@@ -1,0 +1,305 @@
+package fbdetect
+
+// This file holds one benchmark per table and figure of the paper's
+// evaluation, as required by DESIGN.md's per-experiment index. Each
+// benchmark regenerates its experiment end to end; `go test -bench=.`
+// therefore reproduces the full evaluation. Reported custom metrics
+// surface each experiment's headline number.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"fbdetect/internal/experiments"
+)
+
+// BenchmarkFigure1 regenerates the three challenge panels of Figure 1.
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFigure1(int64(i + 1))
+		if !r.BFiltered || !r.CFiltered {
+			b.Fatal("figure 1 verdicts wrong")
+		}
+	}
+}
+
+// BenchmarkFigure2 regenerates the process-level averaging figure.
+func BenchmarkFigure2(b *testing.B) {
+	var snr float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFigure2(int64(i + 1))
+		snr = r.Points[2].SNR
+	}
+	b.ReportMetric(snr, "SNR@50M")
+}
+
+// BenchmarkFigure3 regenerates the subroutine-level averaging figure.
+func BenchmarkFigure3(b *testing.B) {
+	var snr float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFigure3(int64(i + 1))
+		snr = r.Points[2].SNR
+	}
+	b.ReportMetric(snr, "SNR@50k")
+}
+
+// BenchmarkTable1 runs all twelve workload configurations.
+func BenchmarkTable1(b *testing.B) {
+	detected := 0
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunTable1(int64(i + 1))
+		detected = 0
+		for _, row := range r.Rows {
+			if row.Detected {
+				detected++
+			}
+		}
+	}
+	b.ReportMetric(float64(detected), "rows-detected")
+}
+
+// BenchmarkTable2 regenerates the root-cause attribution example.
+func BenchmarkTable2(b *testing.B) {
+	var attribution float64
+	for i := 0; i < b.N; i++ {
+		attribution = experiments.RunTable2().Attribution
+	}
+	b.ReportMetric(attribution, "attribution")
+}
+
+// BenchmarkFigure5 regenerates the PyPerf stack reconstruction.
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if !experiments.RunFigure5().Correct {
+			b.Fatal("reconstruction incorrect")
+		}
+	}
+}
+
+// BenchmarkFigure7 regenerates the went-away robustness scenario.
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFigure7(int64(i + 1))
+		if r.SpikeKept || !r.RegressionKept {
+			b.Fatal("figure 7 verdicts wrong")
+		}
+	}
+}
+
+// BenchmarkTable3 runs the week-long three-workload filtering funnel; this
+// is the heaviest benchmark (tens of seconds per iteration).
+func BenchmarkTable3(b *testing.B) {
+	var wentAwayReduction float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunTable3()
+		f := r.Columns[0].Funnel
+		wentAwayReduction = float64(f.ChangePoints+f.LongTermChangePoints) /
+			float64(f.AfterWentAway)
+	}
+	b.ReportMetric(wentAwayReduction, "went-away-reduction")
+}
+
+// BenchmarkTable4 regenerates the detected-magnitude distribution.
+func BenchmarkTable4(b *testing.B) {
+	var n int
+	for i := 0; i < b.N; i++ {
+		n = len(experiments.RunTable4(int64(i + 1)).All)
+	}
+	b.ReportMetric(float64(n), "detections")
+}
+
+// BenchmarkFigure8 regenerates the FBDetect-vs-EGADS comparison.
+func BenchmarkFigure8(b *testing.B) {
+	var fp float64
+	for i := 0; i < b.N; i++ {
+		fp = experiments.RunFigure8(int64(i + 1)).FBDetect.FPRate
+	}
+	b.ReportMetric(fp, "fbdetect-FP-rate")
+}
+
+// BenchmarkPyPerfOverhead reproduces §6.6: microbenchmark throughput with
+// sampling on and off.
+func BenchmarkPyPerfOverhead(b *testing.B) {
+	var overhead1Hz float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunOverhead(300 * time.Millisecond)
+		overhead1Hz = r.Points[1].OverheadPc
+	}
+	b.ReportMetric(overhead1Hz, "overhead-pct@1Hz")
+}
+
+// BenchmarkPipeline measures one full detection scan over a simulated
+// service (the Figure 6 pipeline end to end).
+func BenchmarkPipeline(b *testing.B) {
+	start := time.Date(2024, 8, 1, 0, 0, 0, 0, time.UTC)
+	root := &CallNode{Name: "main", SelfWeight: 1, Children: []*CallNode{
+		{Name: "handler", SelfWeight: 20, Children: []*CallNode{
+			{Name: "serialize", SelfWeight: 10},
+		}},
+		{Name: "gc", SelfWeight: 9},
+	}}
+	tree, err := NewCallTree(root)
+	if err != nil {
+		b.Fatal(err)
+	}
+	svc, err := NewFleetService(FleetConfig{
+		Name: "bench", Servers: 2000, Step: time.Minute,
+		SamplesPerStep: 1e5, BaseCPU: 0.4, CPUNoise: 0.05,
+		BaseThroughput: 500, Tree: tree, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	svc.ScheduleChange(ScheduledChange{
+		At:     start.Add(7 * time.Hour),
+		Effect: func(tr *CallTree) error { return tr.ScaleSelfWeight("serialize", 1.3) },
+	})
+	db := NewDB(time.Minute)
+	end := start.Add(9 * time.Hour)
+	if err := svc.Run(db, nil, start, end); err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{
+		Threshold: 0.001,
+		Windows: WindowConfig{
+			Historic: 5 * time.Hour, Analysis: 3 * time.Hour, Extended: time.Hour,
+		},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det, err := NewDetector(cfg, db, nil, FleetSamples(svc, 1e5))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := det.Scan("bench", end); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation benchmarks for the design choices DESIGN.md calls out.
+
+func BenchmarkAblationSOMGrid(b *testing.B) {
+	var purity float64
+	for i := 0; i < b.N; i++ {
+		purity = experiments.RunAblationSOMGrid(int64(i + 1)).Points[0].Purity
+	}
+	b.ReportMetric(purity, "heuristic-purity")
+}
+
+func BenchmarkAblationSAX(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunAblationSAX(int64(i + 1))
+	}
+}
+
+func BenchmarkAblationSeasonality(b *testing.B) {
+	var width float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunAblationSeasonality(int64(i + 1))
+		width = float64(r.Points[0].TransitionWidth)
+	}
+	b.ReportMetric(width, "stl-step-width")
+}
+
+func BenchmarkAblationWentAway(b *testing.B) {
+	var kept float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunAblationWentAway(int64(i + 1))
+		kept = r.Points[2].TRKept
+	}
+	b.ReportMetric(kept, "shipped-TR-kept")
+}
+
+func BenchmarkAblationStageOrder(b *testing.B) {
+	var calls float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunAblationStageOrder(int64(i + 1))
+		calls = float64(r.Points[0].CostShiftCalls)
+	}
+	b.ReportMetric(calls, "fast-first-costshift-calls")
+}
+
+// BenchmarkExpression1 validates the detection-threshold scaling law of
+// paper Appendix A.2 (threshold ~ sqrt(sigma^2/n)).
+func BenchmarkExpression1(b *testing.B) {
+	var exponent float64
+	for i := 0; i < b.N; i++ {
+		exponent = experiments.RunExpression1(int64(i + 1)).FitExponent
+	}
+	b.ReportMetric(exponent, "fitted-exponent")
+}
+
+// BenchmarkLongTermPaths exercises the short-term vs long-term comparison
+// of §5.3.
+func BenchmarkLongTermPaths(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunLongTerm(int64(i + 1))
+		if len(r.Points) != 3 {
+			b.Fatal("scenario count wrong")
+		}
+	}
+}
+
+// BenchmarkDetectionDelay measures timeliness vs re-run interval (the
+// Table 1 interval-tuning trade-off).
+func BenchmarkDetectionDelay(b *testing.B) {
+	var delay float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunDetectionDelay(int64(i + 1))
+		delay = r.Points[0].Delay.Minutes()
+	}
+	b.ReportMetric(delay, "delay-min@30m-rerun")
+}
+
+// BenchmarkScanManyMetrics measures one scan over a thousand metrics —
+// the per-scan cost that, multiplied across 800k series, sizes the
+// paper's "hundreds of servers" detection tier.
+func BenchmarkScanManyMetrics(b *testing.B) {
+	const nMetrics = 1000
+	db := NewDB(time.Minute)
+	start := time.Date(2024, 8, 1, 0, 0, 0, 0, time.UTC)
+	rng := rand.New(rand.NewSource(1))
+	for m := 0; m < nMetrics; m++ {
+		id := ID("big", fmt.Sprintf("sub_%04d", m), "gcpu")
+		base := 0.001 * (1 + rng.Float64())
+		for i := 0; i < 540; i++ {
+			v := base + rng.NormFloat64()*base*0.02
+			if err := db.Append(id, start.Add(time.Duration(i)*time.Minute), v); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	cfg := Config{
+		Threshold: 0.0001,
+		Windows: WindowConfig{
+			Historic: 5 * time.Hour, Analysis: 3 * time.Hour, Extended: time.Hour,
+		},
+	}
+	end := start.Add(9 * time.Hour)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det, err := NewDetector(cfg, db, nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := det.Scan("big", end); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(nMetrics, "metrics-per-scan")
+}
+
+// BenchmarkRCAAccuracy reproduces the §6.3 root-cause accuracy study.
+func BenchmarkRCAAccuracy(b *testing.B) {
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunRCAAccuracy(int64(i + 1))
+		if r.Suggested > 0 {
+			acc = float64(r.Top3Correct) / float64(r.Suggested)
+		}
+	}
+	b.ReportMetric(acc, "top3-accuracy")
+}

@@ -1,0 +1,90 @@
+// Command benchreport regenerates every table and figure of the FBDetect
+// paper's evaluation and prints them in order, with a short note on how
+// each reproduction is scaled relative to the paper's production run.
+//
+// Usage:
+//
+//	benchreport [-seed N] [-skip-slow] [-overhead-ms N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"fbdetect/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "experiment seed")
+	skipSlow := flag.Bool("skip-slow", false, "skip the multi-second Table 3 simulation")
+	overheadMs := flag.Int("overhead-ms", 2000, "wall time per overhead measurement point")
+	flag.Parse()
+
+	section := func(note string, body fmt.Stringer) {
+		fmt.Println(body.String())
+		if note != "" {
+			fmt.Printf("note: %s\n", note)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("FBDetect reproduction — evaluation report")
+	fmt.Println("==========================================")
+	fmt.Println()
+
+	section("panel (a) uses the paper's published simulation parameters "+
+		"(mu=50%, sigma^2=0.01, +0.005% mid-series)",
+		experiments.RunFigure1(*seed))
+	section("the averaged series' noise is modeled exactly as sigma/sqrt(m) "+
+		"instead of materializing 50M per-server series",
+		experiments.RunFigure2(*seed))
+	section("k=1000 subroutines as in the paper's simulation; compare each "+
+		"row with the Figure 2 row at 1000x more servers",
+		experiments.RunFigure3(*seed))
+	section("windows compressed to ~1000 points per series keeping their "+
+		"proportions; per-point noise models each row's accumulated samples",
+		experiments.RunTable1(*seed))
+	section("exact reproduction of the paper's worked example",
+		experiments.RunTable2())
+	section("", experiments.RunFigure5())
+	section("", experiments.RunFigure7(*seed))
+	if !*skipSlow {
+		section("the paper's month over ~800k series is scaled to a "+
+			"simulated week over ~100-200 series per workload; ratios are "+
+			"correspondingly smaller but ordered the same way",
+			experiments.RunTable3())
+	}
+	section("§6.3 analogue on controlled scenarios: the paper reports "+
+		"71/75 = 95% top-3 accuracy when a cause is suggested, and treats "+
+		"silence on never-exported changes as correct",
+		experiments.RunRCAAccuracy(*seed))
+	section("ground-truth labels substitute for developer confirmation; "+
+		"FPs are unrecovered transients, the analogue of the paper's "+
+		"unfiltered cost shifts",
+		experiments.RunTable4(*seed))
+	section("corpus: 80 true regressions, 400 negatives (noise, "+
+		"long transients, seasonality); EGADS uses the paper's window "+
+		"protocol", experiments.RunFigure8(*seed))
+	section("Go microbenchmark stands in for the Python workload; the "+
+		"paper reports 0.8% at 1 sample/sec",
+		experiments.RunOverhead(time.Duration(*overheadMs)*time.Millisecond))
+
+	section("validates paper Appendix A.2's threshold ~ sqrt(sigma^2/n) law",
+		experiments.RunExpression1(*seed))
+	section("validates the two detection paths of §5.3",
+		experiments.RunLongTerm(*seed))
+	section("the 'missed' row shows why Table 1 keeps every re-run "+
+		"interval <= its analysis window: a slower cadence lets the change "+
+		"point slide from the analysis window into history between scans",
+		experiments.RunDetectionDelay(*seed))
+
+	fmt.Println("Ablations (design choices called out in DESIGN.md)")
+	fmt.Println("---------------------------------------------------")
+	fmt.Println()
+	section("", experiments.RunAblationSOMGrid(*seed))
+	section("", experiments.RunAblationSAX(*seed))
+	section("", experiments.RunAblationSeasonality(*seed))
+	section("", experiments.RunAblationWentAway(*seed))
+	section("", experiments.RunAblationStageOrder(*seed))
+}

@@ -1,0 +1,89 @@
+// Command fbdetect-worker runs one detection scan worker over a simulated
+// service, exposing POST /scan for a coordinator — the sharded deployment
+// shape production FBDetect uses (paper §5.1). Point a coordinator (or
+// curl) at it:
+//
+//	fbdetect-worker -listen :8080 -service websvc &
+//	curl -X POST localhost:8080/scan \
+//	  -d '{"service":"websvc","scan_time":"2024-08-01T09:00:00Z"}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"time"
+
+	"fbdetect"
+	"fbdetect/internal/core"
+	"fbdetect/internal/distributed"
+	"fbdetect/internal/tsdb"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", ":8080", "listen address")
+		service = flag.String("service", "websvc", "simulated service name")
+		hours   = flag.Int("hours", 9, "hours of simulated history")
+		regress = flag.Float64("regress", 1.15, "regression factor injected 2h before the data ends")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	start := time.Date(2024, 8, 1, 0, 0, 0, 0, time.UTC)
+	end := start.Add(time.Duration(*hours) * time.Hour)
+	rng := rand.New(rand.NewSource(*seed))
+
+	tree := fbdetect.GenerateCallTree(rng, 80, 4)
+	if err := tree.AddSubroutine(tree.Root.Name, "victim", "", 20); err != nil {
+		log.Fatal(err)
+	}
+	svc, err := fbdetect.NewFleetService(fbdetect.FleetConfig{
+		Name: *service, Servers: 10000, Step: time.Minute,
+		SamplesPerStep: 2e5, BaseCPU: 0.5, CPUNoise: 0.06,
+		BaseThroughput: 1e5, Tree: tree, Seed: *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *regress != 1 {
+		svc.ScheduleChange(fbdetect.ScheduledChange{
+			At:     end.Add(-2 * time.Hour),
+			Effect: func(tr *fbdetect.CallTree) error { return tr.ScaleSelfWeight("victim", *regress) },
+		})
+	}
+	db := tsdb.New(time.Minute)
+	log.Printf("simulating %dh of %q ...", *hours, *service)
+	if err := svc.Run(db, nil, start, end); err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := core.Config{
+		Threshold: 0.001,
+		Windows: fbdetect.WindowConfig{
+			Historic: time.Duration(*hours-4) * time.Hour,
+			Analysis: 3 * time.Hour,
+			Extended: time.Hour,
+		},
+	}
+	pipe, err := core.NewPipeline(cfg, db, nil, fbdetectSamples{svc})
+	if err != nil {
+		log.Fatal(err)
+	}
+	worker := distributed.NewWorker(*listen, pipe)
+	mux := http.NewServeMux()
+	mux.Handle("/scan", worker)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	log.Printf("worker serving %q on %s (data ends %s)", *service, *listen, end.Format(time.RFC3339))
+	log.Fatal(http.ListenAndServe(*listen, mux))
+}
+
+type fbdetectSamples struct{ svc *fbdetect.FleetService }
+
+func (p fbdetectSamples) SamplesBetween(service string, from, to time.Time) *fbdetect.SampleSet {
+	return p.svc.ExpectedSamplesBetween(from, to, 1e6)
+}

@@ -1,0 +1,220 @@
+// Command fbdetect runs the FBDetect pipeline against a simulated service
+// fleet and prints the regression report, demonstrating the system
+// end-to-end from one binary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"time"
+
+	"fbdetect"
+)
+
+func main() {
+	var (
+		subroutines = flag.Int("subroutines", 300, "call-tree size")
+		servers     = flag.Int("servers", 10000, "fleet size")
+		hours       = flag.Int("hours", 9, "simulated duration in hours")
+		regress     = flag.Float64("regress", 1.1, "cost factor applied to the victim subroutine (1 = no regression)")
+		costshift   = flag.Bool("costshift", false, "also inject a cost-shift refactoring")
+		transient   = flag.Bool("transient", false, "also inject a transient load spike")
+		threshold   = flag.Float64("threshold", 0.0005, "absolute detection threshold")
+		seed        = flag.Int64("seed", 1, "simulation seed")
+		verbose     = flag.Bool("v", false, "print the stage funnel")
+		watch       = flag.Bool("watch", false, "scan repeatedly over the simulated timeline (monitor mode) instead of once at the end")
+		watchEvery  = flag.Duration("watch-interval", time.Hour, "re-run interval in watch mode")
+		input       = flag.String("input", "", "scan a time,metric,value CSV file instead of simulating")
+		inputStep   = flag.Duration("input-step", time.Minute, "sample step of the CSV data")
+		service     = flag.String("service", "", "service to scan in -input mode (default: first service found)")
+		configPath  = flag.String("config", "", "JSON detection-job config (see fbdetect.ParseConfig); required windows")
+	)
+	flag.Parse()
+
+	if *input != "" {
+		runCSV(*input, *inputStep, *service, *configPath, *threshold)
+		return
+	}
+	if *hours < 9 {
+		fmt.Fprintln(os.Stderr, "need at least 9 hours for the default windows")
+		os.Exit(2)
+	}
+
+	start := time.Date(2024, 8, 1, 0, 0, 0, 0, time.UTC)
+	end := start.Add(time.Duration(*hours) * time.Hour)
+	rng := rand.New(rand.NewSource(*seed))
+
+	tree := fbdetect.GenerateCallTree(rng, *subroutines, 4)
+	root := tree.Root.Name
+	check(tree.AddSubroutine(root, "victim_subroutine", "", 30))
+	check(tree.AddSubroutine(root, "Pair::left", "Pair", 20))
+	check(tree.AddSubroutine(root, "Pair::right", "Pair", 20))
+
+	// Emit the interesting subroutines plus a slice of the generated tree.
+	emit := []string{"victim_subroutine", "Pair::left", "Pair::right"}
+	all := tree.Subroutines()
+	for i := 0; i < len(all) && len(emit) < 60; i += 1 + len(all)/60 {
+		emit = append(emit, all[i])
+	}
+
+	svc, err := fbdetect.NewFleetService(fbdetect.FleetConfig{
+		Name:            "simsvc",
+		Servers:         *servers,
+		Step:            time.Minute,
+		SamplesPerStep:  float64(*servers) * 10,
+		BaseCPU:         0.5,
+		CPUNoise:        0.08,
+		SeasonalAmp:     0.04,
+		SeasonalPeriod:  24 * time.Hour,
+		BaseThroughput:  float64(*servers) * 20,
+		Tree:            tree,
+		Seed:            *seed,
+		EmitSubroutines: emit,
+	})
+	check(err)
+
+	var changes fbdetect.ChangeLog
+	changeAt := start.Add(time.Duration(*hours-2) * time.Hour)
+	if *regress != 1 {
+		svc.ScheduleChange(fbdetect.ScheduledChange{
+			At: changeAt,
+			Effect: func(tr *fbdetect.CallTree) error {
+				return tr.ScaleSelfWeight("victim_subroutine", *regress)
+			},
+			Record: &fbdetect.Change{
+				ID:          "D-regression",
+				Title:       "optimize victim_subroutine hot loop",
+				Subroutines: []string{"victim_subroutine"},
+			},
+		})
+	}
+	if *costshift {
+		svc.ScheduleChange(fbdetect.ScheduledChange{
+			At: changeAt,
+			Effect: func(tr *fbdetect.CallTree) error {
+				return tr.ShiftWeight("Pair::left", "Pair::right", 10)
+			},
+			Record: &fbdetect.Change{
+				ID:          "D-refactor",
+				Title:       "move work from left to right",
+				Subroutines: []string{"Pair::left", "Pair::right"},
+			},
+		})
+	}
+	if *transient {
+		svc.ScheduleIssue(fbdetect.DefaultIssue(fbdetect.LoadSpike,
+			start.Add(time.Duration(*hours-3)*time.Hour), 30*time.Minute))
+	}
+
+	db := fbdetect.NewDB(time.Minute)
+	fmt.Printf("simulating %dh of %q on %d servers (%d subroutines)...\n",
+		*hours, "simsvc", *servers, len(tree.Subroutines()))
+	check(svc.Run(db, &changes, start, end))
+
+	det, err := fbdetect.NewDetector(fbdetect.Config{
+		Threshold: *threshold,
+		Windows: fbdetect.WindowConfig{
+			Historic: time.Duration(*hours-4) * time.Hour,
+			Analysis: 3 * time.Hour,
+			Extended: time.Hour,
+		},
+		LongTerm: true,
+	}, db, &changes, fbdetect.FleetSamples(svc, 1e6))
+	check(err)
+
+	if *watch {
+		mon, err := fbdetect.NewMonitor(det, *watchEvery)
+		check(err)
+		mon.Watch("simsvc")
+		mon.OnReport(func(r *fbdetect.Regression) {
+			fmt.Printf("[monitor] %s\n", r)
+		})
+		// The earliest scan with full windows is at `end`; sweep the last
+		// two intervals so the monitor demonstrates overlap handling.
+		check(mon.RunVirtual(end.Add(-*watchEvery), end))
+		funnel, scans := mon.Stats()
+		fmt.Printf("\nmonitor: %d scans, %d change points, %d reported\n",
+			scans, funnel.ChangePoints, len(mon.Reports()))
+		return
+	}
+
+	res, err := det.Scan("simsvc", end)
+	check(err)
+
+	if *verbose {
+		f := res.Funnel
+		fmt.Printf("\nfunnel: change-points=%d long-term=%d went-away=%d seasonality=%d threshold=%d same=%d som=%d costshift=%d reported=%d\n",
+			f.ChangePoints, f.LongTermChangePoints, f.AfterWentAway, f.AfterSeasonality,
+			f.AfterThreshold, f.AfterSameMerger, f.AfterSOMDedup, f.AfterCostShift, f.AfterPairwise)
+	}
+	fmt.Printf("\n%d regression(s) reported:\n\n", len(res.Reported))
+	check(fbdetect.WriteScanReport(os.Stdout, res, &changes))
+}
+
+// runCSV scans user-provided telemetry: ingest the CSV, derive or load a
+// config, and scan at the data's end.
+func runCSV(path string, step time.Duration, service, configPath string, threshold float64) {
+	f, err := os.Open(path)
+	check(err)
+	defer f.Close()
+	db, err := fbdetect.ReadCSV(f, step)
+	check(err)
+
+	metrics := db.Metrics(service)
+	if len(metrics) == 0 {
+		metrics = db.Metrics("")
+	}
+	if len(metrics) == 0 {
+		log.Fatal("no metrics in input")
+	}
+	if service == "" {
+		service, _, _ = metrics[0].Parts()
+	}
+	// Find the common data extent for the scan time.
+	var end time.Time
+	var span time.Duration
+	for _, id := range db.Metrics(service) {
+		s, err := db.Full(id)
+		check(err)
+		if end.IsZero() || s.End().Before(end) {
+			end = s.End()
+		}
+		if d := s.End().Sub(s.Start); span == 0 || d < span {
+			span = d
+		}
+	}
+
+	var cfg fbdetect.Config
+	if configPath != "" {
+		cfg, err = fbdetect.LoadConfig(configPath)
+		check(err)
+	} else {
+		// Derive windows from the data extent: 60% historic, 30%
+		// analysis, 10% extended.
+		cfg = fbdetect.Config{
+			Threshold: threshold,
+			Windows: fbdetect.WindowConfig{
+				Historic: span * 6 / 10,
+				Analysis: span * 3 / 10,
+				Extended: span / 10,
+			},
+			LongTerm: true,
+		}
+	}
+	det, err := fbdetect.NewDetector(cfg, db, nil, nil)
+	check(err)
+	res, err := det.Scan(service, end)
+	check(err)
+	fmt.Printf("scanned %q (%d metrics) at %s\n\n", service,
+		len(db.Metrics(service)), end.Format(time.RFC3339))
+	check(fbdetect.WriteScanReport(os.Stdout, res, nil))
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,93 @@
+// Command fleetsim generates synthetic fleet telemetry — the same data the
+// FBDetect pipeline consumes — and writes it as CSV to stdout, one row per
+// (time, metric, value). Useful for feeding external tooling or inspecting
+// what the simulator produces.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"time"
+
+	"fbdetect"
+)
+
+func main() {
+	var (
+		subroutines = flag.Int("subroutines", 50, "call-tree size")
+		servers     = flag.Int("servers", 1000, "fleet size")
+		hours       = flag.Int("hours", 4, "simulated duration in hours")
+		stepMin     = flag.Int("step", 1, "emission step in minutes")
+		seed        = flag.Int64("seed", 1, "simulation seed")
+		regress     = flag.Float64("regress", 0, "if nonzero, scale a random subroutine's cost by this factor mid-run")
+		spike       = flag.Bool("spike", false, "inject a transient load spike mid-run")
+	)
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	tree := fbdetect.GenerateCallTree(rng, *subroutines, 4)
+	step := time.Duration(*stepMin) * time.Minute
+	svc, err := fbdetect.NewFleetService(fbdetect.FleetConfig{
+		Name:           "fleetsim",
+		Servers:        *servers,
+		Step:           step,
+		SamplesPerStep: float64(*servers) * 10 * float64(*stepMin),
+		BaseCPU:        0.5,
+		CPUNoise:       0.08,
+		SeasonalAmp:    0.05,
+		SeasonalPeriod: 24 * time.Hour,
+		BaseThroughput: float64(*servers) * 20,
+		BaseLatency:    25,
+		LatencyNoise:   0.5,
+		BaseErrorRate:  0.001,
+		ErrorNoise:     0.0002,
+		Tree:           tree,
+		Seed:           *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	start := time.Date(2024, 8, 1, 0, 0, 0, 0, time.UTC)
+	end := start.Add(time.Duration(*hours) * time.Hour)
+	mid := start.Add(time.Duration(*hours) * time.Hour / 2)
+	if *regress != 0 {
+		subs := tree.Subroutines()
+		victim := subs[rng.Intn(len(subs))]
+		// Inject at 70% of the run so the change lands inside the
+		// analysis window of a scan at the end (60/30/10 split).
+		at := start.Add(time.Duration(*hours) * time.Hour * 7 / 10)
+		fmt.Fprintf(os.Stderr, "injecting %gx regression on %s at %s\n", *regress, victim, at)
+		svc.ScheduleChange(fbdetect.ScheduledChange{
+			At: at,
+			Effect: func(tr *fbdetect.CallTree) error {
+				return tr.ScaleSelfWeight(victim, *regress)
+			},
+		})
+	}
+	if *spike {
+		svc.ScheduleIssue(fbdetect.DefaultIssue(fbdetect.LoadSpike, mid, 30*time.Minute))
+	}
+
+	db := fbdetect.NewDB(step)
+	if err := svc.Run(db, nil, start, end); err != nil {
+		log.Fatal(err)
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	fmt.Fprintln(w, "time,metric,value")
+	for _, id := range db.Metrics("fleetsim") {
+		s, err := db.Full(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, v := range s.Values {
+			fmt.Fprintf(w, "%s,%s,%.9g\n", s.TimeAt(i).Format(time.RFC3339), id, v)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+// Command quickstart is the minimal FBDetect example: ingest a metric time
+// series into the store, scan it, and print the detected regression.
+//
+// It simulates a subroutine whose gCPU steps from 1.00% to 1.05% midway —
+// a 0.05% absolute (5% relative) regression — with realistic sampling
+// noise, then runs the detector with a 0.02% threshold.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"fbdetect"
+)
+
+func main() {
+	const step = time.Minute
+	db := fbdetect.NewDB(step)
+	metric := fbdetect.ID("myservice", "render_feed", "gcpu")
+
+	// Ingest 9 hours of data: 5h baseline at 1.00% gCPU, then a
+	// regression to 1.05% for the remaining 4 hours.
+	rng := rand.New(rand.NewSource(42))
+	start := time.Date(2024, 8, 1, 0, 0, 0, 0, time.UTC)
+	regressionAt := start.Add(7 * time.Hour)
+	for t := start; t.Before(start.Add(9 * time.Hour)); t = t.Add(step) {
+		mean := 0.0100
+		if !t.Before(regressionAt) {
+			mean = 0.0105
+		}
+		v := mean + rng.NormFloat64()*0.0002
+		if err := db.Append(metric, t, v); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	det, err := fbdetect.NewDetector(fbdetect.Config{
+		Threshold: 0.0002, // 0.02% absolute gCPU
+		Windows: fbdetect.WindowConfig{
+			Historic: 5 * time.Hour,
+			Analysis: 3 * time.Hour,
+			Extended: time.Hour,
+		},
+	}, db, nil, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := det.Scan("myservice", start.Add(9*time.Hour))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("change points detected: %d\n", res.Funnel.ChangePoints)
+	fmt.Printf("regressions reported:   %d\n", len(res.Reported))
+	for _, r := range res.Reported {
+		fmt.Printf("  %s\n", r)
+		fmt.Printf("    before %.4f%%  after %.4f%%  (injected change was at %s)\n",
+			r.Before*100, r.After*100, regressionAt.Format(time.RFC3339))
+	}
+	if len(res.Reported) == 0 {
+		fmt.Println("no regression found — try a lower threshold")
+	}
+}

@@ -1,0 +1,45 @@
+package fbdetect
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// FuzzParseConfig: arbitrary JSON either yields a valid config or an
+// error, never a panic or an invalid config.
+func FuzzParseConfig(f *testing.F) {
+	f.Add(`{"windows": {"historic": "10h", "analysis": "1h"}}`)
+	f.Add(`{"threshold": 0.1}`)
+	f.Add(`{`)
+	f.Add(`{"windows": {"historic": "-1h", "analysis": "1h"}}`)
+	f.Fuzz(func(t *testing.T, s string) {
+		cfg, err := ParseConfig(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		if verr := cfg.Validate(); verr != nil {
+			t.Fatalf("ParseConfig returned invalid config: %v", verr)
+		}
+	})
+}
+
+// FuzzReadCSV: arbitrary CSV either ingests cleanly or errors; ingested
+// databases answer queries without panicking.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("time,metric,value\n2024-08-01T00:00:00Z,m,1\n")
+	f.Add("time,metric,value\n")
+	f.Add("x\n")
+	f.Add("time,metric,value\n2024-08-01T00:00:00Z,a/b/c,1\n2024-08-01T00:01:00Z,a/b/c,2\n")
+	f.Fuzz(func(t *testing.T, s string) {
+		db, err := ReadCSV(strings.NewReader(s), time.Minute)
+		if err != nil {
+			return
+		}
+		for _, id := range db.Metrics("") {
+			if _, err := db.Full(id); err != nil {
+				t.Fatalf("ingested metric unreadable: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,3 @@
+module fbdetect
+
+go 1.22

@@ -1,0 +1,73 @@
+package fbdetect
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// ReadCSV ingests telemetry in the CSV format cmd/fleetsim emits —
+// a "time,metric,value" header followed by one row per observation, with
+// RFC 3339 timestamps — into a new DB with the given step. Rows may be
+// grouped per metric in any order; within a metric they are sorted by
+// time before insertion.
+//
+// This is the file-based integration point: export your monitoring data
+// in this shape and scan it offline.
+func ReadCSV(r io.Reader, step time.Duration) (*DB, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 3
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("fbdetect: reading CSV header: %w", err)
+	}
+	if header[0] != "time" || header[1] != "metric" || header[2] != "value" {
+		return nil, fmt.Errorf("fbdetect: unexpected CSV header %v, want time,metric,value", header)
+	}
+	type point struct {
+		t time.Time
+		v float64
+	}
+	series := map[MetricID][]point{}
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		line++
+		if err != nil {
+			return nil, fmt.Errorf("fbdetect: CSV line %d: %w", line, err)
+		}
+		ts, err := time.Parse(time.RFC3339, rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("fbdetect: CSV line %d: bad timestamp: %w", line, err)
+		}
+		v, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("fbdetect: CSV line %d: bad value: %w", line, err)
+		}
+		id := MetricID(rec[1])
+		series[id] = append(series[id], point{ts, v})
+	}
+	db := NewDB(step)
+	// Deterministic metric order for reproducible gap-filling.
+	ids := make([]MetricID, 0, len(series))
+	for id := range series {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		pts := series[id]
+		sort.Slice(pts, func(i, j int) bool { return pts[i].t.Before(pts[j].t) })
+		for _, p := range pts {
+			if err := db.Append(id, p.t, p.v); err != nil {
+				return nil, fmt.Errorf("fbdetect: ingesting %s: %w", id, err)
+			}
+		}
+	}
+	return db, nil
+}

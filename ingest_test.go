@@ -1,0 +1,162 @@
+package fbdetect
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseConfig(t *testing.T) {
+	in := `{
+		"name": "my-job",
+		"threshold": 0.0005,
+		"rerun_interval": "2h",
+		"windows": {"historic": "240h", "analysis": "4h", "extended": "6h"},
+		"long_term": true,
+		"went_away": {"sax_buckets": 30, "sax_validity_pct": 5},
+		"root_cause": {"lookback": "48h", "top_k": 5}
+	}`
+	cfg, err := ParseConfig(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Name != "my-job" || cfg.Threshold != 0.0005 || !cfg.LongTerm {
+		t.Errorf("cfg = %+v", cfg)
+	}
+	if cfg.Windows.Historic != 240*time.Hour || cfg.Windows.Extended != 6*time.Hour {
+		t.Errorf("windows = %+v", cfg.Windows)
+	}
+	if cfg.RerunInterval != 2*time.Hour {
+		t.Errorf("rerun = %v", cfg.RerunInterval)
+	}
+	if cfg.WentAway.SAXBuckets != 30 || cfg.WentAway.SAXValidityPct != 5 {
+		t.Errorf("went away = %+v", cfg.WentAway)
+	}
+	if cfg.RootCause.Lookback != 48*time.Hour || cfg.RootCause.TopK != 5 {
+		t.Errorf("root cause = %+v", cfg.RootCause)
+	}
+}
+
+func TestParseConfigErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad json":       `{`,
+		"unknown field":  `{"windows": {"historic": "1h", "analysis": "1h"}, "zzz": 1}`,
+		"bad duration":   `{"windows": {"historic": "10 days", "analysis": "1h"}}`,
+		"missing window": `{"threshold": 0.1}`,
+		"negative":       `{"threshold": -1, "windows": {"historic": "1h", "analysis": "1h"}}`,
+	}
+	for name, in := range cases {
+		if _, err := ParseConfig(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestLoadConfigMissingFile(t *testing.T) {
+	if _, err := LoadConfig("/nonexistent/fbdetect.json"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestReadCSVRoundTrip(t *testing.T) {
+	in := `time,metric,value
+2024-08-01T00:00:00Z,svc/sub/gcpu,0.5
+2024-08-01T00:02:00Z,svc/sub/gcpu,0.7
+2024-08-01T00:01:00Z,svc/sub/gcpu,0.6
+2024-08-01T00:00:00Z,svc//cpu,0.4
+`
+	db, err := ReadCSV(strings.NewReader(in), time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := db.Full(ID("svc", "sub", "gcpu"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Out-of-order rows were sorted before insertion.
+	want := []float64{0.5, 0.6, 0.7}
+	if s.Len() != 3 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	for i := range want {
+		if s.Values[i] != want[i] {
+			t.Errorf("s[%d] = %v, want %v", i, s.Values[i], want[i])
+		}
+	}
+	if db.Len() != 2 {
+		t.Errorf("metric count = %d", db.Len())
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad header": "a,b,c\n",
+		"bad time":   "time,metric,value\nyesterday,m,1\n",
+		"bad value":  "time,metric,value\n2024-08-01T00:00:00Z,m,abc\n",
+		"bad fields": "time,metric,value\nonlyonefield\n",
+		"empty":      "",
+	}
+	for name, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in), time.Minute); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestFleetsimCSVIsIngestable(t *testing.T) {
+	// End-to-end: the fleet simulator's CSV output feeds straight back in.
+	tree, err := NewCallTree(&CallNode{Name: "main", SelfWeight: 1,
+		Children: []*CallNode{{Name: "work", SelfWeight: 9}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := NewFleetService(FleetConfig{
+		Name: "svc", Servers: 100, Step: time.Minute, SamplesPerStep: 1000,
+		BaseCPU: 0.5, BaseThroughput: 10, Tree: tree, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewDB(time.Minute)
+	start := time.Date(2024, 8, 1, 0, 0, 0, 0, time.UTC)
+	if err := svc.Run(db, nil, start, start.Add(30*time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	sb.WriteString("time,metric,value\n")
+	for _, id := range db.Metrics("svc") {
+		s, _ := db.Full(id)
+		for i, v := range s.Values {
+			sb.WriteString(s.TimeAt(i).Format(time.RFC3339))
+			sb.WriteString(",")
+			sb.WriteString(string(id))
+			sb.WriteString(",")
+			sb.WriteString(strconv.FormatFloat(v, 'f', -1, 64))
+			sb.WriteString("\n")
+		}
+	}
+	back, err := ReadCSV(strings.NewReader(sb.String()), time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != db.Len() {
+		t.Errorf("metric counts: %d vs %d", back.Len(), db.Len())
+	}
+}
+
+func TestParseConfigMetricThresholds(t *testing.T) {
+	in := `{
+		"threshold": 0.0005,
+		"windows": {"historic": "10h", "analysis": "2h"},
+		"metric_thresholds": {"throughput": 0.05},
+		"metric_relative": {"throughput": true}
+	}`
+	cfg, err := ParseConfig(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.MetricThresholds["throughput"] != 0.05 || !cfg.MetricRelative["throughput"] {
+		t.Errorf("overrides = %v / %v", cfg.MetricThresholds, cfg.MetricRelative)
+	}
+}

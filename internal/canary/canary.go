@@ -1,0 +1,98 @@
+// Package canary implements the canary-test analysis FBDetect's
+// evaluation corroborates regressions against (paper §6.2: resolved
+// regressions "match well with the same magnitudes and similar timings of
+// regressions recorded by Meta's canary-test tool"). A canary runs the
+// new code on a small server subset while the control keeps the old code;
+// comparing the two groups' metrics bounds the change's impact before
+// full rollout — the pre-production counterpart (ServiceLab, §7) of
+// FBDetect's in-production detection.
+package canary
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"fbdetect/internal/core"
+	"fbdetect/internal/stats"
+)
+
+// Result is the outcome of one canary comparison for one metric.
+type Result struct {
+	Metric string
+	// Delta is the canary-minus-control mean difference; Relative the
+	// fraction of the control mean.
+	Delta, Relative float64
+	// PValue is the Welch t-test p-value for the difference.
+	PValue float64
+	// Regressed is true when the canary is significantly worse (higher).
+	Regressed bool
+	// At is when the canary ran.
+	At time.Time
+}
+
+// Analyzer compares canary and control samples.
+type Analyzer struct {
+	// Alpha is the significance level (default 0.01).
+	Alpha float64
+	// MinRelative ignores differences smaller than this relative change,
+	// guarding against statistically significant but operationally
+	// irrelevant deltas on huge sample counts (default 0.001).
+	MinRelative float64
+}
+
+func (a Analyzer) withDefaults() Analyzer {
+	if a.Alpha <= 0 || a.Alpha >= 1 {
+		a.Alpha = 0.01
+	}
+	if a.MinRelative <= 0 {
+		a.MinRelative = 0.001
+	}
+	return a
+}
+
+// Compare evaluates canary versus control samples of one metric.
+func (a Analyzer) Compare(metric string, at time.Time, control, canary []float64) (Result, error) {
+	a = a.withDefaults()
+	if len(control) < 2 || len(canary) < 2 {
+		return Result{}, fmt.Errorf("canary: need at least 2 samples per group")
+	}
+	tt := stats.WelchTTest(canary, control)
+	mc := stats.Mean(control)
+	mk := stats.Mean(canary)
+	res := Result{Metric: metric, At: at, Delta: mk - mc, PValue: tt.P}
+	if mc != 0 {
+		res.Relative = res.Delta / mc
+	}
+	res.Regressed = tt.P < a.Alpha && res.Delta > 0 && math.Abs(res.Relative) >= a.MinRelative
+	return res, nil
+}
+
+// Corroborate scores how well a canary result supports an in-production
+// regression report: magnitudes within a factor of two and timing within
+// the window score near 1 (the paper's manual corroboration, automated).
+// The result is in [0, 1].
+func Corroborate(r *core.Regression, c Result, timingWindow time.Duration) float64 {
+	if !c.Regressed || r.Delta <= 0 {
+		return 0
+	}
+	// Magnitude agreement: ratio of relative changes, folded into (0, 1].
+	magScore := 0.0
+	if r.Relative > 0 && c.Relative > 0 {
+		ratio := r.Relative / c.Relative
+		if ratio > 1 {
+			ratio = 1 / ratio
+		}
+		magScore = ratio
+	}
+	// Timing agreement: linear falloff across the window.
+	gap := r.ChangePointTime.Sub(c.At)
+	if gap < 0 {
+		gap = -gap
+	}
+	timeScore := 1 - float64(gap)/float64(timingWindow)
+	if timeScore < 0 {
+		timeScore = 0
+	}
+	return 0.6*magScore + 0.4*timeScore
+}

@@ -1,0 +1,114 @@
+package canary
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"fbdetect/internal/core"
+	"fbdetect/internal/tsdb"
+)
+
+var t0 = time.Date(2024, 8, 1, 0, 0, 0, 0, time.UTC)
+
+func group(rng *rand.Rand, n int, mu, sd float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = mu + rng.NormFloat64()*sd
+	}
+	return out
+}
+
+func TestCompareDetectsRegression(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	control := group(rng, 500, 100, 2)
+	canary := group(rng, 500, 103, 2)
+	res, err := Analyzer{}.Compare("cpu", t0, control, canary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Regressed {
+		t.Errorf("3%% canary regression missed: %+v", res)
+	}
+	if res.Relative < 0.02 || res.Relative > 0.04 {
+		t.Errorf("relative = %v, want ~0.03", res.Relative)
+	}
+}
+
+func TestCompareCleanCanary(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	falsePositives := 0
+	for i := 0; i < 50; i++ {
+		control := group(rng, 200, 100, 2)
+		canary := group(rng, 200, 100, 2)
+		res, err := Analyzer{}.Compare("cpu", t0, control, canary)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Regressed {
+			falsePositives++
+		}
+	}
+	if falsePositives > 4 {
+		t.Errorf("false positives: %d/50", falsePositives)
+	}
+}
+
+func TestCompareImprovementNotRegressed(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	control := group(rng, 500, 100, 2)
+	canary := group(rng, 500, 95, 2)
+	res, _ := Analyzer{}.Compare("cpu", t0, control, canary)
+	if res.Regressed {
+		t.Error("improvement flagged as regression")
+	}
+	if res.Delta >= 0 {
+		t.Errorf("delta = %v, want negative", res.Delta)
+	}
+}
+
+func TestCompareMinRelativeGuard(t *testing.T) {
+	// A statistically significant but operationally tiny difference must
+	// not flag when below MinRelative.
+	rng := rand.New(rand.NewSource(4))
+	control := group(rng, 50000, 100, 1)
+	canary := group(rng, 50000, 100.05, 1) // 0.05% difference
+	res, _ := Analyzer{MinRelative: 0.01}.Compare("cpu", t0, control, canary)
+	if res.Regressed {
+		t.Errorf("sub-threshold difference flagged: %+v", res)
+	}
+}
+
+func TestCompareValidation(t *testing.T) {
+	if _, err := (Analyzer{}).Compare("m", t0, []float64{1}, []float64{1, 2}); err == nil {
+		t.Error("short control accepted")
+	}
+}
+
+func TestCorroborate(t *testing.T) {
+	r := core.NewRegressionRecord(tsdb.ID("svc", "sub", "gcpu"))
+	r.Delta = 0.002
+	r.Relative = 0.05
+	r.ChangePointTime = t0
+
+	match := Result{Regressed: true, Relative: 0.05, At: t0.Add(30 * time.Minute)}
+	score := Corroborate(r, match, 6*time.Hour)
+	if score < 0.8 {
+		t.Errorf("matching canary score = %v, want high", score)
+	}
+	// Wrong magnitude scores lower.
+	wrongMag := Result{Regressed: true, Relative: 0.5, At: t0.Add(30 * time.Minute)}
+	if s := Corroborate(r, wrongMag, 6*time.Hour); s >= score {
+		t.Errorf("10x magnitude mismatch should score lower: %v vs %v", s, score)
+	}
+	// Distant timing scores lower.
+	late := Result{Regressed: true, Relative: 0.05, At: t0.Add(48 * time.Hour)}
+	if s := Corroborate(r, late, 6*time.Hour); s >= score {
+		t.Errorf("late canary should score lower: %v vs %v", s, score)
+	}
+	// A clean canary corroborates nothing.
+	clean := Result{Regressed: false, Relative: 0.05, At: t0}
+	if s := Corroborate(r, clean, 6*time.Hour); s != 0 {
+		t.Errorf("clean canary score = %v", s)
+	}
+}

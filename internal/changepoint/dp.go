@@ -1,0 +1,111 @@
+package changepoint
+
+import "math"
+
+// NormalLossSplit finds the partition point that minimizes the sum of the
+// within-segment squared deviations ("normal loss") on both sides, the
+// dynamic-programming search the long-term detector uses to locate a change
+// point when the trend is not a clean linear drift (paper §5.3, citing
+// Truong et al.'s selective review). For the single-change-point case the
+// dynamic program reduces to an O(n) scan with prefix sums.
+//
+// It returns the split index t in [minSegment, n-minSegment] and the total
+// loss; t = 0 means the series is too short.
+func NormalLossSplit(xs []float64, minSegment int) (t int, loss float64) {
+	n := len(xs)
+	if minSegment < 1 {
+		minSegment = 1
+	}
+	if n < 2*minSegment {
+		return 0, 0
+	}
+	// Prefix sums of values and squares let us compute segment SSE in O(1):
+	// SSE(i, j) = sumsq - sum^2/len.
+	sum := make([]float64, n+1)
+	sumsq := make([]float64, n+1)
+	for i, x := range xs {
+		sum[i+1] = sum[i] + x
+		sumsq[i+1] = sumsq[i] + x*x
+	}
+	sse := func(i, j int) float64 { // [i, j)
+		l := float64(j - i)
+		s := sum[j] - sum[i]
+		return (sumsq[j] - sumsq[i]) - s*s/l
+	}
+	best, bestT := math.Inf(1), 0
+	for i := minSegment; i <= n-minSegment; i++ {
+		if l := sse(0, i) + sse(i, n); l < best {
+			best, bestT = l, i
+		}
+	}
+	return bestT, best
+}
+
+// MultiSplit segments xs into at most maxSegments pieces by recursively
+// applying NormalLossSplit, keeping a split only when it reduces the loss by
+// at least minGain (relative). It returns the sorted change-point indices.
+// FBDetect's went-away detector compares the windows after different change
+// points, so locating the secondary change points matters (paper Figure 7).
+func MultiSplit(xs []float64, maxSegments, minSegment int, minGain float64) []int {
+	if maxSegments < 2 {
+		return nil
+	}
+	type segment struct{ lo, hi int }
+	segs := []segment{{0, len(xs)}}
+	var cuts []int
+	for len(segs)+0 < maxSegments {
+		// Find the segment whose best split gains the most.
+		bestGain, bestSeg, bestCut := 0.0, -1, 0
+		for si, sg := range segs {
+			sub := xs[sg.lo:sg.hi]
+			if len(sub) < 2*minSegment {
+				continue
+			}
+			t, splitLoss := NormalLossSplit(sub, minSegment)
+			if t == 0 {
+				continue
+			}
+			whole := sseWhole(sub)
+			if whole <= 0 {
+				continue
+			}
+			gain := (whole - splitLoss) / whole
+			if gain > bestGain {
+				bestGain, bestSeg, bestCut = gain, si, sg.lo+t
+			}
+		}
+		if bestSeg < 0 || bestGain < minGain {
+			break
+		}
+		sg := segs[bestSeg]
+		segs = append(segs[:bestSeg], append([]segment{
+			{sg.lo, bestCut}, {bestCut, sg.hi},
+		}, segs[bestSeg+1:]...)...)
+		cuts = insertSorted(cuts, bestCut)
+	}
+	return cuts
+}
+
+func sseWhole(xs []float64) float64 {
+	n := float64(len(xs))
+	if n == 0 {
+		return 0
+	}
+	var s, sq float64
+	for _, x := range xs {
+		s += x
+		sq += x * x
+	}
+	return sq - s*s/n
+}
+
+func insertSorted(xs []int, v int) []int {
+	i := 0
+	for i < len(xs) && xs[i] < v {
+		i++
+	}
+	xs = append(xs, 0)
+	copy(xs[i+1:], xs[i:])
+	xs[i] = v
+	return xs
+}

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"fbdetect/internal/timeseries"
+	"fbdetect/internal/tsdb"
+)
+
+func testConfig() Config {
+	return Config{
+		Name:      "test",
+		Threshold: 0.1,
+		Windows: timeseries.WindowConfig{
+			Historic: 300 * time.Minute,
+			Analysis: 200 * time.Minute,
+			Extended: 60 * time.Minute,
+		},
+	}.WithDefaults()
+}
+
+func TestDetectShortTermFindsStep(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cfg := testConfig()
+	hist := noisy(rng, 300, 10, 0.2)
+	analysis := append(noisy(rng, 100, 10, 0.2), noisy(rng, 100, 10.5, 0.2)...)
+	extended := noisy(rng, 60, 10.5, 0.2)
+	ws := buildWindows(t, hist, analysis, extended)
+	metric := tsdb.ID("svc", "sub", "gcpu")
+	r := DetectShortTerm(cfg, metric, ws, ws.Extended.End())
+	if r == nil {
+		t.Fatal("step not detected")
+	}
+	if r.ChangePoint < 90 || r.ChangePoint > 110 {
+		t.Errorf("change point = %d, want ~100", r.ChangePoint)
+	}
+	if !approx(r.Delta, 0.5, 0.1) {
+		t.Errorf("delta = %v, want ~0.5", r.Delta)
+	}
+	if r.Path != ShortTerm {
+		t.Errorf("path = %v", r.Path)
+	}
+	if r.Service != "svc" || r.Entity != "sub" || r.Name != "gcpu" {
+		t.Errorf("identity = %q %q %q", r.Service, r.Entity, r.Name)
+	}
+	wantTime := ws.Analysis.TimeAt(r.ChangePoint)
+	if !r.ChangePointTime.Equal(wantTime) {
+		t.Errorf("change point time = %v, want %v", r.ChangePointTime, wantTime)
+	}
+}
+
+func TestDetectShortTermIgnoresImprovement(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cfg := testConfig()
+	hist := noisy(rng, 300, 10, 0.2)
+	analysis := append(noisy(rng, 100, 10, 0.2), noisy(rng, 100, 9, 0.2)...)
+	ws := buildWindows(t, hist, analysis, nil)
+	if r := DetectShortTerm(cfg, tsdb.ID("s", "e", "m"), ws, ws.Analysis.End()); r != nil {
+		t.Errorf("improvement reported as regression: %v", r)
+	}
+}
+
+func TestDetectShortTermQuietSeries(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cfg := testConfig()
+	hist := noisy(rng, 300, 10, 0.2)
+	analysis := noisy(rng, 200, 10, 0.2)
+	ws := buildWindows(t, hist, analysis, nil)
+	if r := DetectShortTerm(cfg, tsdb.ID("s", "e", "m"), ws, ws.Analysis.End()); r != nil {
+		t.Errorf("flat series reported: %v", r)
+	}
+}
+
+func TestPassesThreshold(t *testing.T) {
+	abs := Config{Threshold: 0.5}
+	rel := Config{Threshold: 0.1, RelativeThreshold: true}
+	r := &Regression{Delta: 0.6, Relative: 0.05}
+	if !PassesThreshold(abs, r) {
+		t.Error("absolute threshold should pass")
+	}
+	if PassesThreshold(rel, r) {
+		t.Error("relative threshold should fail")
+	}
+	r2 := &Regression{Delta: 0.01, Relative: 0.2}
+	if PassesThreshold(abs, r2) {
+		t.Error("absolute threshold should fail")
+	}
+	if !PassesThreshold(rel, r2) {
+		t.Error("relative threshold should pass")
+	}
+}
+
+func TestDetectLongTermGradualDrift(t *testing.T) {
+	// A slow drift invisible to the short-term step detector.
+	rng := rand.New(rand.NewSource(4))
+	cfg := testConfig()
+	cfg.Threshold = 0.3
+	hist := noisy(rng, 300, 10, 0.1)
+	analysis := make([]float64, 200)
+	for i := range analysis {
+		analysis[i] = 10 + float64(i)/200*1.0 + rng.NormFloat64()*0.1
+	}
+	extended := noisy(rng, 60, 11, 0.1)
+	ws := buildWindows(t, hist, analysis, extended)
+	r := DetectLongTerm(cfg, tsdb.ID("svc", "", "cpu"), ws, ws.Extended.End())
+	if r == nil {
+		t.Fatal("gradual drift not detected")
+	}
+	if r.Path != LongTerm {
+		t.Errorf("path = %v", r.Path)
+	}
+	if r.Delta < 0.3 {
+		t.Errorf("delta = %v", r.Delta)
+	}
+	// Gradual drift: change point at the start of the trend.
+	if r.ChangePoint > 40 {
+		t.Errorf("gradual change point = %d, want near 0", r.ChangePoint)
+	}
+}
+
+func TestDetectLongTermStepLocatesChangePoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cfg := testConfig()
+	cfg.Threshold = 0.3
+	hist := noisy(rng, 300, 10, 0.1)
+	analysis := append(noisy(rng, 120, 10, 0.1), noisy(rng, 80, 11, 0.1)...)
+	extended := noisy(rng, 60, 11, 0.1)
+	ws := buildWindows(t, hist, analysis, extended)
+	r := DetectLongTerm(cfg, tsdb.ID("svc", "", "cpu"), ws, ws.Extended.End())
+	if r == nil {
+		t.Fatal("step not detected by long-term path")
+	}
+	if r.ChangePoint < 100 || r.ChangePoint > 140 {
+		t.Errorf("step change point = %d, want ~120", r.ChangePoint)
+	}
+}
+
+func TestDetectLongTermConservativeBaseline(t *testing.T) {
+	// If the historic level was already as high as the current level, the
+	// bigger baseline suppresses the report.
+	rng := rand.New(rand.NewSource(6))
+	cfg := testConfig()
+	cfg.Threshold = 0.3
+	hist := noisy(rng, 300, 11, 0.1) // history already at 11
+	analysis := append(noisy(rng, 100, 10, 0.1), noisy(rng, 100, 11, 0.1)...)
+	extended := noisy(rng, 60, 11, 0.1)
+	ws := buildWindows(t, hist, analysis, extended)
+	if r := DetectLongTerm(cfg, tsdb.ID("svc", "", "cpu"), ws, ws.Extended.End()); r != nil {
+		t.Errorf("recovery to historic level reported: %v", r)
+	}
+}
+
+func TestDetectLongTermQuiet(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cfg := testConfig()
+	hist := noisy(rng, 300, 10, 0.1)
+	analysis := noisy(rng, 200, 10, 0.1)
+	extended := noisy(rng, 60, 10, 0.1)
+	ws := buildWindows(t, hist, analysis, extended)
+	if r := DetectLongTerm(cfg, tsdb.ID("svc", "", "cpu"), ws, ws.Extended.End()); r != nil {
+		t.Errorf("flat series reported: %v", r)
+	}
+}
+
+func TestDetectionPathString(t *testing.T) {
+	if ShortTerm.String() != "short-term" || LongTerm.String() != "long-term" {
+		t.Error("DetectionPath.String wrong")
+	}
+}
+
+func TestRegressionString(t *testing.T) {
+	r := NewRegressionRecord(tsdb.ID("svc", "sub", "gcpu"))
+	r.Delta = 0.001
+	r.Relative = 0.05
+	s := r.String()
+	if s == "" {
+		t.Error("empty String()")
+	}
+	if r.Group != -1 {
+		t.Error("new regression should be ungrouped")
+	}
+}
+
+func TestPerMetricThresholdOverrides(t *testing.T) {
+	cfg := Config{
+		Threshold: 0.0005,
+		MetricThresholds: map[string]float64{
+			"throughput": 0.05,
+		},
+		MetricRelative: map[string]bool{"throughput": true},
+	}
+	// gCPU uses the config-wide absolute threshold.
+	g := &Regression{Name: "gcpu", Delta: 0.001, Relative: 0.01}
+	if !PassesThreshold(cfg, g) {
+		t.Error("gcpu should pass the config-wide threshold")
+	}
+	// Throughput noise of the same absolute size fails its relative
+	// override.
+	thr := &Regression{Name: "throughput", Delta: 0.6, Relative: 0.001}
+	if PassesThreshold(cfg, thr) {
+		t.Error("throughput noise should fail its relative override")
+	}
+	// A genuine 10% throughput regression passes.
+	big := &Regression{Name: "throughput", Delta: 100, Relative: 0.10}
+	if !PassesThreshold(cfg, big) {
+		t.Error("10% throughput regression should pass")
+	}
+	// ThresholdFor resolution.
+	if th, rel := ThresholdFor(cfg, "throughput"); th != 0.05 || !rel {
+		t.Errorf("ThresholdFor(throughput) = %v, %v", th, rel)
+	}
+	if th, rel := ThresholdFor(cfg, "gcpu"); th != 0.0005 || rel {
+		t.Errorf("ThresholdFor(gcpu) = %v, %v", th, rel)
+	}
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"fbdetect/internal/changelog"
+	"fbdetect/internal/stacktrace"
+	"fbdetect/internal/timeseries"
+	"fbdetect/internal/tsdb"
+)
+
+func metaTrace(sub, meta string) stacktrace.Trace {
+	f := stacktrace.NewFrame(sub)
+	f = stacktrace.SetFrameMetadata(f, meta)
+	return stacktrace.Trace{stacktrace.NewFrame("main"), f}
+}
+
+func TestMetadataDomains(t *testing.T) {
+	before := stacktrace.NewSampleSet()
+	before.Add(metaTrace("handle_vip", "user:vip"), 10)
+	before.Add(metaTrace("handle_free", "user:free"), 10)
+	before.AddTraceString("main->other", 80)
+
+	r := costShiftRegression("handle_vip", 0.10, 0.18)
+	domains := (MetadataDomains{}).Domains(r, before)
+	if len(domains) != 1 {
+		t.Fatalf("domains = %v", domains)
+	}
+	if domains[0].Name != "metadata:user" {
+		t.Errorf("domain name = %q", domains[0].Name)
+	}
+	if !domains[0].Subroutines["handle_vip"] || !domains[0].Subroutines["handle_free"] {
+		t.Errorf("domain members = %v", domains[0].Subroutines)
+	}
+	// Subroutine without metadata: no domain.
+	rPlain := costShiftRegression("other", 0.8, 0.9)
+	if got := (MetadataDomains{}).Domains(rPlain, before); len(got) != 0 {
+		t.Errorf("plain subroutine got metadata domain: %v", got)
+	}
+}
+
+func TestMetadataCostShiftEndToEnd(t *testing.T) {
+	// Work moves from the free path to the vip path; the user-metadata
+	// domain total is unchanged, so the vip regression is a cost shift.
+	before := stacktrace.NewSampleSet()
+	before.Add(metaTrace("handle_vip", "user:vip"), 10)
+	before.Add(metaTrace("handle_free", "user:free"), 10)
+	before.AddTraceString("main->other", 80)
+	after := stacktrace.NewSampleSet()
+	after.Add(metaTrace("handle_vip", "user:vip"), 18)
+	after.Add(metaTrace("handle_free", "user:free"), 2)
+	after.AddTraceString("main->other", 80)
+
+	r := costShiftRegression("handle_vip", 0.10, 0.18)
+	detectors := []DomainDetector{MetadataDomains{}}
+	v := CheckCostShift(CostShiftConfig{MaxDomainCostRatio: 100}, detectors, r, before, after)
+	if !v.IsCostShift || v.Domain != "metadata:user" {
+		t.Errorf("metadata cost shift not detected: %+v", v)
+	}
+}
+
+func TestCommitDomains(t *testing.T) {
+	var log changelog.Log
+	cp := t0.Add(10 * time.Hour)
+	log.Record(&changelog.Change{
+		ID: "D-split", Service: "svc",
+		Subroutines: []string{"sub", "sub_helper"},
+		DeployedAt:  cp.Add(-time.Hour),
+	})
+	log.Record(&changelog.Change{
+		ID: "D-solo", Service: "svc",
+		Subroutines: []string{"sub"},
+		DeployedAt:  cp.Add(-2 * time.Hour),
+	})
+	r := costShiftRegression("sub", 0.1, 0.2)
+	r.ChangePointTime = cp
+	domains := CommitDomains{Log: &log}.Domains(r, nil)
+	if len(domains) != 1 {
+		t.Fatalf("domains = %v", domains)
+	}
+	if domains[0].Name != "commit:D-split" {
+		t.Errorf("domain = %q", domains[0].Name)
+	}
+	if len(domains[0].Subroutines) != 2 {
+		t.Errorf("members = %v", domains[0].Subroutines)
+	}
+	// nil log: no domains.
+	if got := (CommitDomains{}).Domains(r, nil); got != nil {
+		t.Errorf("nil log domains = %v", got)
+	}
+}
+
+func TestCommitCostShiftEndToEnd(t *testing.T) {
+	// A commit splits sub's work into sub and sub_helper: sub_helper
+	// "regresses" while the commit's domain total is constant.
+	before := stacktrace.NewSampleSet()
+	before.AddTraceString("main->sub", 20)
+	before.AddTraceString("main->sub_helper", 1)
+	before.AddTraceString("main->other", 79)
+	after := stacktrace.NewSampleSet()
+	after.AddTraceString("main->sub", 11)
+	after.AddTraceString("main->sub_helper", 10)
+	after.AddTraceString("main->other", 79)
+
+	var log changelog.Log
+	cp := t0.Add(10 * time.Hour)
+	log.Record(&changelog.Change{
+		ID: "D-split", Service: "svc",
+		Subroutines: []string{"sub", "sub_helper"},
+		DeployedAt:  cp.Add(-30 * time.Minute),
+	})
+	r := costShiftRegression("sub_helper", 0.01, 0.10)
+	r.ChangePointTime = cp
+	detectors := []DomainDetector{CommitDomains{Log: &log}}
+	v := CheckCostShift(CostShiftConfig{MaxDomainCostRatio: 100}, detectors, r, before, after)
+	if !v.IsCostShift || v.Domain != "commit:D-split" {
+		t.Errorf("commit cost shift not detected: %+v", v)
+	}
+}
+
+func TestCheckEndpointCostShift(t *testing.T) {
+	db := tsdb.New(time.Minute)
+	windows := timeseries.WindowConfig{
+		Historic: 200 * time.Minute,
+		Analysis: 100 * time.Minute,
+	}
+	scan := t0.Add(300 * time.Minute)
+	cp := t0.Add(250 * time.Minute)
+	// Two sibling endpoints under /feed: cost moves from /feed/b to
+	// /feed/a at cp; an unrelated endpoint stays flat.
+	for i := 0; i < 300; i++ {
+		ts := t0.Add(time.Duration(i) * time.Minute)
+		shifted := ts.After(cp) || ts.Equal(cp)
+		a, b := 10.0, 10.0
+		if shifted {
+			a, b = 15.0, 5.0
+		}
+		db.Append(tsdb.ID("svc", "endpoint:/feed/a", "endpoint_cost"), ts, a)
+		db.Append(tsdb.ID("svc", "endpoint:/feed/b", "endpoint_cost"), ts, b)
+		db.Append(tsdb.ID("svc", "endpoint:/ads/x", "endpoint_cost"), ts, 7)
+	}
+	r := NewRegressionRecord(tsdb.ID("svc", "endpoint:/feed/a", "endpoint_cost"))
+	r.ChangePointTime = cp
+	r.Before, r.After, r.Delta = 10, 15, 5
+	v := CheckEndpointCostShift(CostShiftConfig{MaxDomainCostRatio: 100}, db, r, windows, scan)
+	if !v.IsCostShift {
+		t.Fatalf("endpoint cost shift not detected: %+v", v)
+	}
+	if v.Domain != "endpoint-prefix:/feed" {
+		t.Errorf("domain = %q", v.Domain)
+	}
+
+	// A genuine endpoint regression (domain total rises) is kept.
+	db2 := tsdb.New(time.Minute)
+	for i := 0; i < 300; i++ {
+		ts := t0.Add(time.Duration(i) * time.Minute)
+		a := 10.0
+		if !ts.Before(cp) {
+			a = 15
+		}
+		db2.Append(tsdb.ID("svc", "endpoint:/feed/a", "endpoint_cost"), ts, a)
+		db2.Append(tsdb.ID("svc", "endpoint:/feed/b", "endpoint_cost"), ts, 10)
+	}
+	v2 := CheckEndpointCostShift(CostShiftConfig{MaxDomainCostRatio: 100}, db2, r, windows, scan)
+	if v2.IsCostShift {
+		t.Errorf("true endpoint regression filtered: %+v", v2)
+	}
+}
+
+func TestCheckEndpointCostShiftDegenerate(t *testing.T) {
+	r := NewRegressionRecord(tsdb.ID("svc", "sub", "gcpu")) // not an endpoint
+	r.Delta = 1
+	if v := CheckEndpointCostShift(CostShiftConfig{}, tsdb.New(time.Minute), r,
+		timeseries.WindowConfig{Historic: time.Hour, Analysis: time.Hour}, t0); v.IsCostShift {
+		t.Error("non-endpoint regression flagged")
+	}
+	top := NewRegressionRecord(tsdb.ID("svc", "endpoint:/toplevel", "endpoint_cost"))
+	top.Delta = 1
+	if v := CheckEndpointCostShift(CostShiftConfig{}, tsdb.New(time.Minute), top,
+		timeseries.WindowConfig{Historic: time.Hour, Analysis: time.Hour}, t0); v.IsCostShift {
+		t.Error("top-level endpoint (no parent domain) flagged")
+	}
+}

@@ -1,0 +1,327 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"fbdetect/internal/changelog"
+	"fbdetect/internal/stacktrace"
+	"fbdetect/internal/tsdb"
+)
+
+// Funnel counts the regression candidates surviving each pipeline stage,
+// the quantity Table 3 reports. Stages appear in execution order.
+type Funnel struct {
+	ChangePoints         int // short-term change points detected
+	LongTermChangePoints int // long-term detections
+	AfterWentAway        int
+	AfterSeasonality     int
+	AfterThreshold       int
+	AfterSameMerger      int
+	AfterSOMDedup        int
+	AfterCostShift       int
+	AfterPairwise        int // new groups reported this scan
+}
+
+// Add accumulates another funnel's counts.
+func (f *Funnel) Add(o Funnel) {
+	f.ChangePoints += o.ChangePoints
+	f.LongTermChangePoints += o.LongTermChangePoints
+	f.AfterWentAway += o.AfterWentAway
+	f.AfterSeasonality += o.AfterSeasonality
+	f.AfterThreshold += o.AfterThreshold
+	f.AfterSameMerger += o.AfterSameMerger
+	f.AfterSOMDedup += o.AfterSOMDedup
+	f.AfterCostShift += o.AfterCostShift
+	f.AfterPairwise += o.AfterPairwise
+}
+
+// ReductionRatios renders the funnel as Table 3's "1/x" ratios relative to
+// the detected change points; a stage with no survivors reports the full
+// reduction.
+func (f Funnel) ReductionRatios() map[string]float64 {
+	total := float64(f.ChangePoints + f.LongTermChangePoints)
+	ratio := func(n int) float64 {
+		if n == 0 || total == 0 {
+			return 0
+		}
+		return total / float64(n)
+	}
+	return map[string]float64{
+		"went-away":   ratio(f.AfterWentAway),
+		"seasonality": ratio(f.AfterSeasonality),
+		"threshold":   ratio(f.AfterThreshold),
+		"same-merger": ratio(f.AfterSameMerger),
+		"som-dedup":   ratio(f.AfterSOMDedup),
+		"cost-shift":  ratio(f.AfterCostShift),
+		"pairwise":    ratio(f.AfterPairwise),
+	}
+}
+
+// ScanResult is the outcome of one pipeline scan.
+type ScanResult struct {
+	// Reported holds the representative regressions newly reported this
+	// scan (one per new PairwiseDedup group).
+	Reported []*Regression
+	// Funnel counts candidates per stage.
+	Funnel Funnel
+}
+
+// Pipeline wires the FBDetect stages together (Figure 6) and carries
+// cross-scan state: the SameRegressionMerger's memory and the
+// PairwiseDeduper's groups.
+type Pipeline struct {
+	cfg      Config
+	db       *tsdb.DB
+	log      *changelog.Log
+	samples  SampleProvider
+	domains  []DomainDetector
+	merger   *SameRegressionMerger
+	pairwise *PairwiseDeduper
+	planned  *PlannedChangeRegistry
+}
+
+// NewPipeline builds a pipeline. log and samples may be nil, disabling
+// root-cause analysis and cost-shift/overlap features respectively.
+func NewPipeline(cfg Config, db *tsdb.DB, log *changelog.Log, samples SampleProvider) (*Pipeline, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if db == nil {
+		return nil, fmt.Errorf("core: nil tsdb")
+	}
+	return &Pipeline{
+		cfg:      cfg,
+		db:       db,
+		log:      log,
+		samples:  samples,
+		domains:  DefaultDomainDetectors(),
+		merger:   NewSameRegressionMerger(cfg.Dedup.SameRegressionWindow),
+		pairwise: NewPairwiseDeduper(cfg.Dedup, nil),
+	}, nil
+}
+
+// AddDomainDetector registers a custom cost-domain detector (paper §5.4:
+// "FBDetect allows developers to create custom detectors").
+func (p *Pipeline) AddDomainDetector(d DomainDetector) {
+	p.domains = append(p.domains, d)
+}
+
+// Groups exposes the PairwiseDeduper's accumulated regression groups.
+func (p *Pipeline) Groups() []*RegressionGroup { return p.pairwise.Groups() }
+
+// defaultScanConcurrency bounds the per-metric detection fan-out when the
+// config does not set one.
+const defaultScanConcurrency = 8
+
+// metricScan is the stage 1-3 outcome for one metric.
+type metricScan struct {
+	changePoints     int
+	afterWentAway    int
+	afterSeasonality int
+	longTerm         int
+	candidates       []*Regression
+}
+
+// scanMetric runs stages 1-3 (short-term change point, went-away,
+// seasonality) plus the long-term path for one metric.
+func (p *Pipeline) scanMetric(metric tsdb.MetricID, from, scanTime time.Time) metricScan {
+	var m metricScan
+	series, err := p.db.Query(metric, from, scanTime)
+	if err != nil {
+		return m
+	}
+	ws, err := p.cfg.Windows.Cut(series, scanTime)
+	if err != nil {
+		return m // insufficient data for this metric
+	}
+	if r := DetectShortTerm(p.cfg, metric, ws, scanTime); r != nil {
+		m.changePoints++
+		if CheckWentAway(p.cfg.WentAway, r).Keep {
+			m.afterWentAway++
+			if CheckSeasonality(p.cfg.Seasonality, r).Keep {
+				m.afterSeasonality++
+				m.candidates = append(m.candidates, r)
+			}
+		}
+	}
+	// Long-term path: seasonality first (inside DetectLongTerm), no
+	// went-away stage.
+	if p.cfg.LongTerm {
+		if r := DetectLongTerm(p.cfg, metric, ws, scanTime); r != nil {
+			m.longTerm++
+			m.candidates = append(m.candidates, r)
+		}
+	}
+	return m
+}
+
+// Scan runs one detection pass over every metric of the service at
+// scanTime, following the Figure 6 stage order: change-point detection,
+// went-away, seasonality, threshold, SameRegressionMerger, SOMDedup,
+// cost-shift, PairwiseDedup, root-cause analysis. Metrics without enough
+// data are skipped silently (new services warm up).
+func (p *Pipeline) Scan(service string, scanTime time.Time) (*ScanResult, error) {
+	res := &ScanResult{}
+
+	// Stages 1-3 are independent per metric; scan them concurrently, as
+	// the production system fans series out across a serverless platform
+	// (paper §5.1: "scanning different time series in parallel"). Results
+	// are collected per metric index so the downstream order — and thus
+	// deduplication and reporting — stays deterministic.
+	metrics := p.db.Metrics(service)
+	from := scanTime.Add(-p.cfg.Windows.Total())
+	perMetric := make([]metricScan, len(metrics))
+	workers := p.cfg.ScanConcurrency
+	if workers <= 0 {
+		workers = defaultScanConcurrency
+	}
+	if workers > len(metrics) {
+		workers = len(metrics)
+	}
+	if workers > 1 {
+		var wg sync.WaitGroup
+		jobs := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					perMetric[i] = p.scanMetric(metrics[i], from, scanTime)
+				}
+			}()
+		}
+		for i := range metrics {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	} else {
+		for i := range metrics {
+			perMetric[i] = p.scanMetric(metrics[i], from, scanTime)
+		}
+	}
+
+	var candidates []*Regression
+	for _, m := range perMetric {
+		res.Funnel.ChangePoints += m.changePoints
+		res.Funnel.AfterWentAway += m.afterWentAway
+		res.Funnel.AfterSeasonality += m.afterSeasonality
+		res.Funnel.LongTermChangePoints += m.longTerm
+		candidates = append(candidates, m.candidates...)
+	}
+
+	// Stage 4: threshold filtering (long-term already thresholds itself,
+	// but re-checking is harmless and keeps the funnel uniform).
+	var passed []*Regression
+	for _, r := range candidates {
+		if PassesThreshold(p.cfg, r) {
+			passed = append(passed, r)
+		}
+	}
+	res.Funnel.AfterThreshold = len(passed)
+
+	// Planned-change suppression (§8 future work): a regression whose
+	// change point lands inside a registered planned window is expected
+	// and not reported.
+	if p.planned != nil {
+		var unexplained []*Regression
+		for _, r := range passed {
+			if p.planned.Explains(r) == nil {
+				unexplained = append(unexplained, r)
+			}
+		}
+		passed = unexplained
+	}
+
+	// Stage 5: SameRegressionMerger.
+	var fresh []*Regression
+	for _, r := range passed {
+		if !p.merger.IsDuplicate(r) {
+			fresh = append(fresh, r)
+		}
+	}
+	res.Funnel.AfterSameMerger = len(fresh)
+	if len(fresh) == 0 {
+		return res, nil
+	}
+
+	// Gather sample sets around the median change point once per scan;
+	// SOM features, cost shift, and root cause all use them.
+	var before, after *stacktrace.SampleSet
+	var popularity map[string]float64
+	if p.samples != nil {
+		span := p.cfg.Windows.Analysis
+		cp := fresh[0].ChangePointTime
+		before = p.samples.SamplesBetween(service, cp.Add(-span), cp)
+		afterEnd := cp.Add(span)
+		if afterEnd.After(scanTime) {
+			afterEnd = scanTime
+		}
+		after = p.samples.SamplesBetween(service, cp, afterEnd)
+		popularity = before.GCPUAll()
+	}
+
+	// Prefill candidate root causes (cheap subroutine-touch search) so the
+	// SOMDedup bitmap feature is available (paper §5.5.1).
+	if p.log != nil {
+		for _, r := range fresh {
+			if r.Entity == "" {
+				continue
+			}
+			lookback := p.cfg.RootCause.Lookback
+			for _, c := range p.log.TouchingSubroutine(service, r.Entity,
+				r.ChangePointTime.Add(-lookback), r.ChangePointTime.Add(lookback/4)) {
+				r.RootCauses = append(r.RootCauses, RootCauseCandidate{ChangeID: c.ID})
+			}
+		}
+	}
+
+	// Stage 6: SOMDedup.
+	somRes := SOMDedup(p.cfg.Dedup, fresh, popularity)
+	var reps []*Regression
+	for _, ri := range somRes.Representatives {
+		reps = append(reps, fresh[ri])
+	}
+	res.Funnel.AfterSOMDedup = len(reps)
+
+	// Stage 7: cost-shift analysis on representatives — stack-sample
+	// domains for gCPU regressions, the endpoint-prefix domain for
+	// endpoint regressions.
+	var surviving []*Regression
+	for _, r := range reps {
+		if r.Name == "gcpu" && before != nil && after != nil {
+			if CheckCostShift(p.cfg.CostShift, p.domains, r, before, after).IsCostShift {
+				continue
+			}
+		}
+		if strings.HasPrefix(r.Entity, "endpoint:") {
+			if CheckEndpointCostShift(p.cfg.CostShift, p.db, r, p.cfg.Windows, scanTime).IsCostShift {
+				continue
+			}
+		}
+		surviving = append(surviving, r)
+	}
+	res.Funnel.AfterCostShift = len(surviving)
+
+	// Stage 8: PairwiseDedup across metrics and windows.
+	p.pairwise.samples = after
+	var reported []*Regression
+	for _, r := range surviving {
+		if _, merged := p.pairwise.Merge(r); !merged {
+			reported = append(reported, r)
+		}
+	}
+	res.Funnel.AfterPairwise = len(reported)
+
+	// Stage 9: root-cause analysis on newly reported regressions.
+	for _, r := range reported {
+		r.RootCauses = nil // replace the prefill with scored candidates
+		AnalyzeRootCause(p.cfg.RootCause, p.log, r, before, after)
+	}
+	res.Reported = reported
+	return res, nil
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// PlannedChange is a known, intentional operational event — a capacity
+// reduction, planned maintenance, or an expected-cost feature launch —
+// whose performance impact should not be reported as a regression. The
+// paper's future-work section (§8) calls for correlating regressions with
+// these: "Planned capacity changes also trigger false positives, so we
+// plan to correlate regressions with these known changes."
+type PlannedChange struct {
+	ID      string
+	Service string // empty matches every service
+	Start   time.Time
+	End     time.Time
+	// Metrics restricts the suppression to the named metric names
+	// (e.g. "throughput"); empty suppresses all metrics.
+	Metrics []string
+	Reason  string
+}
+
+// covers reports whether the planned change explains a regression in the
+// given service/metric at time t.
+func (p *PlannedChange) covers(service, metric string, t time.Time) bool {
+	if p.Service != "" && p.Service != service {
+		return false
+	}
+	if t.Before(p.Start) || !t.Before(p.End) {
+		return false
+	}
+	if len(p.Metrics) == 0 {
+		return true
+	}
+	for _, m := range p.Metrics {
+		if m == metric {
+			return true
+		}
+	}
+	return false
+}
+
+// PlannedChangeRegistry records planned changes and answers whether a
+// regression is explained by one. Safe for concurrent use.
+type PlannedChangeRegistry struct {
+	mu      sync.RWMutex
+	changes []*PlannedChange
+}
+
+// Add registers a planned change.
+func (r *PlannedChangeRegistry) Add(p *PlannedChange) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.changes = append(r.changes, p)
+	sort.SliceStable(r.changes, func(i, j int) bool {
+		return r.changes[i].Start.Before(r.changes[j].Start)
+	})
+}
+
+// Explains returns the planned change covering the regression's change
+// point, or nil.
+func (r *PlannedChangeRegistry) Explains(reg *Regression) *PlannedChange {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, p := range r.changes {
+		if p.covers(reg.Service, reg.Name, reg.ChangePointTime) {
+			return p
+		}
+	}
+	return nil
+}
+
+// Len returns the number of registered planned changes.
+func (r *PlannedChangeRegistry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.changes)
+}
+
+// SetPlannedChanges attaches a planned-change registry to the pipeline;
+// regressions whose change point falls inside a covering planned window
+// are dropped before deduplication.
+func (p *Pipeline) SetPlannedChanges(reg *PlannedChangeRegistry) {
+	p.planned = reg
+}

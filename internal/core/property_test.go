@@ -1,0 +1,219 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"fbdetect/internal/timeseries"
+	"fbdetect/internal/tsdb"
+)
+
+// TestDetectShortTermInvariants: whatever the input, a returned regression
+// has a positive delta, a change point inside the analysis window, and a
+// change-point time consistent with the index.
+func TestDetectShortTermInvariants(t *testing.T) {
+	cfg := testConfig()
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 60; trial++ {
+		// Random series: random level, noise, optional step of random sign.
+		level := rng.Float64() * 100
+		noise := rng.Float64()
+		hist := noisy(rng, 300, level, noise)
+		analysis := noisy(rng, 200, level, noise)
+		if rng.Intn(2) == 0 {
+			shift := (rng.Float64() - 0.5) * 10
+			at := 20 + rng.Intn(160)
+			for i := at; i < len(analysis); i++ {
+				analysis[i] += shift
+			}
+		}
+		ws := buildWindows(t, hist, analysis, noisy(rng, 60, level, noise))
+		r := DetectShortTerm(cfg, tsdb.ID("s", "e", "m"), ws, ws.Extended.End())
+		if r == nil {
+			continue
+		}
+		if r.Delta <= 0 {
+			t.Fatalf("trial %d: non-positive delta %v", trial, r.Delta)
+		}
+		if r.ChangePoint <= 0 || r.ChangePoint >= ws.Analysis.Len() {
+			t.Fatalf("trial %d: change point %d out of window", trial, r.ChangePoint)
+		}
+		if !r.ChangePointTime.Equal(ws.Analysis.TimeAt(r.ChangePoint)) {
+			t.Fatalf("trial %d: time/index mismatch", trial)
+		}
+		if r.Before >= r.After {
+			t.Fatalf("trial %d: means not increasing", trial)
+		}
+	}
+}
+
+// TestWentAwayNeverPanics: the went-away detector must tolerate arbitrary
+// window contents including NaN-free extremes and constant data.
+func TestWentAwayRobustToExtremes(t *testing.T) {
+	f := func(seed int64, constant bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var hist, analysis []float64
+		if constant {
+			hist = make([]float64, 100)
+			analysis = make([]float64, 100)
+			for i := range analysis {
+				hist[i], analysis[i] = 5, 5
+			}
+		} else {
+			hist = noisy(rng, 100, 1e9, 1e8)
+			analysis = noisy(rng, 100, 1e9, 1e8)
+		}
+		ws := buildWindows(t, hist, analysis, nil)
+		r := regressionAt(t, ws, 50)
+		v := CheckWentAway(WentAwayConfig{}, r)
+		// Only the predicate identity is required.
+		want := v.NewPattern || (v.SignificantRegression && v.LastingTrend && !v.GoneAway)
+		return v.Keep == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPipelineEmptyAndSparseDB: scans over empty or warming-up databases
+// must return cleanly with empty results.
+func TestPipelineEmptyAndSparseDB(t *testing.T) {
+	db := tsdb.New(time.Minute)
+	p, err := NewPipeline(testConfig(), db, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Scan("ghost", t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Funnel.ChangePoints != 0 || len(res.Reported) != 0 {
+		t.Errorf("empty db produced results: %+v", res)
+	}
+	// A service with too little history is skipped, not an error.
+	db.Append(tsdb.ID("young", "sub", "gcpu"), t0, 1)
+	db.Append(tsdb.ID("young", "sub", "gcpu"), t0.Add(time.Minute), 1)
+	res, err = p.Scan("young", t0.Add(2*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reported) != 0 {
+		t.Error("warming-up service reported")
+	}
+}
+
+// TestPipelineConstantSeries: constant metrics never regress.
+func TestPipelineConstantSeries(t *testing.T) {
+	db := tsdb.New(time.Minute)
+	for i := 0; i < 600; i++ {
+		db.Append(tsdb.ID("flat", "sub", "gcpu"), t0.Add(time.Duration(i)*time.Minute), 0.5)
+	}
+	p, err := NewPipeline(testConfig(), db, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Scan("flat", t0.Add(560*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reported) != 0 {
+		t.Errorf("constant series reported: %v", res.Reported)
+	}
+}
+
+// TestImportanceScoreBounded: the score stays within [0, sum(weights)]
+// for arbitrary inputs.
+func TestImportanceScoreBounded(t *testing.T) {
+	w := [4]float64{0.2, 0.6, 0.1, 0.1}
+	f := func(delta, rel, pop float64) bool {
+		if math.IsNaN(delta) || math.IsNaN(rel) || math.IsNaN(pop) {
+			return true
+		}
+		r := &Regression{Delta: math.Abs(delta), Relative: math.Abs(rel)}
+		p := math.Mod(math.Abs(pop), 1)
+		s := ImportanceScore(w, r, p)
+		return s >= 0 && s <= 1.0000001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSOMDedupTotalMembership: every input regression lands in exactly
+// one group and each group has a representative inside it.
+func TestSOMDedupTotalMembership(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{1, 2, 7, 25} {
+		var regs []*Regression
+		for i := 0; i < n; i++ {
+			m := tsdb.ID("svc", string(rune('a'+i%26))+"sub", "gcpu")
+			regs = append(regs, mkDedupRegression(t, m, rng, 0.2+rng.Float64()))
+		}
+		res := SOMDedup(DedupConfig{SOMSeed: 9}, regs, nil)
+		seen := map[int]bool{}
+		total := 0
+		for gi, g := range res.Groups {
+			total += len(g)
+			for _, i := range g {
+				if seen[i] {
+					t.Fatalf("n=%d: regression %d in two groups", n, i)
+				}
+				seen[i] = true
+			}
+			rep := res.Representatives[gi]
+			found := false
+			for _, i := range g {
+				if i == rep {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("n=%d: representative %d outside its group", n, rep)
+			}
+		}
+		if total != n {
+			t.Fatalf("n=%d: membership total %d", n, total)
+		}
+	}
+}
+
+// TestWindowsCutConsistency: Full() always equals historic+analysis+extended
+// concatenated, regardless of configuration.
+func TestWindowsCutConsistency(t *testing.T) {
+	f := func(h, a, e uint8) bool {
+		hist := int(h%50) + 10
+		ana := int(a%50) + 10
+		ext := int(e % 30)
+		n := hist + ana + ext
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = float64(i)
+		}
+		s := timeseries.New(t0, time.Minute, vals)
+		cfg := timeseries.WindowConfig{
+			Historic: time.Duration(hist) * time.Minute,
+			Analysis: time.Duration(ana) * time.Minute,
+			Extended: time.Duration(ext) * time.Minute,
+		}
+		ws, err := cfg.Cut(s, s.End())
+		if err != nil {
+			return false
+		}
+		full := ws.Full()
+		if full.Len() != n {
+			return false
+		}
+		for i, v := range full.Values {
+			if v != float64(i) {
+				return false
+			}
+		}
+		return ws.Historic.Len() == hist && ws.Analysis.Len() == ana && ws.Extended.Len() == ext
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,118 @@
+// Package core implements the FBDetect regression-detection pipeline of
+// paper §5: short-term detection (change-point detector, went-away
+// detector, seasonality detector), long-term detection, threshold
+// filtering, deduplication (SameRegressionMerger, SOMDedup,
+// PairwiseDedup), cost-shift analysis, and root-cause analysis, arranged
+// in the fast-filters-first order of Figure 6.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"fbdetect/internal/timeseries"
+	"fbdetect/internal/tsdb"
+)
+
+// DetectionPath tells which algorithm reported a regression.
+type DetectionPath int
+
+// Detection paths.
+const (
+	ShortTerm DetectionPath = iota
+	LongTerm
+)
+
+func (p DetectionPath) String() string {
+	if p == LongTerm {
+		return "long-term"
+	}
+	return "short-term"
+}
+
+// Regression is one detected performance regression: a shift in the mean
+// of a time series (paper §5.2).
+type Regression struct {
+	Metric  tsdb.MetricID
+	Service string
+	Entity  string // subroutine or endpoint; empty for service-level metrics
+	Name    string // metric name, e.g. "gcpu", "throughput"
+
+	Path DetectionPath
+
+	// ChangePoint locates the regression: index into the analysis window
+	// and the corresponding time.
+	ChangePoint     int
+	ChangePointTime time.Time
+
+	// Before and After are the means on each side of the change point;
+	// Delta = After - Before is the absolute regression magnitude, and
+	// Relative = Delta / Before (0 when Before is 0).
+	Before, After float64
+	Delta         float64
+	Relative      float64
+
+	PValue float64
+
+	// Windows holds the historic/analysis/extended series the regression
+	// was detected on; later stages (dedup, cost shift, root cause) reuse
+	// them.
+	Windows timeseries.Windows
+
+	// RootCauses holds ranked root-cause candidates filled in by the
+	// root-cause analysis stage.
+	RootCauses []RootCauseCandidate
+
+	// Group is the deduplication group the regression was merged into;
+	// -1 until assigned.
+	Group int
+}
+
+// NewRegressionRecord builds a Regression for the given metric with parts
+// split out of the metric ID.
+func NewRegressionRecord(metric tsdb.MetricID) *Regression {
+	svc, entity, name := metric.Parts()
+	return &Regression{Metric: metric, Service: svc, Entity: entity, Name: name, Group: -1}
+}
+
+func (r *Regression) String() string {
+	return fmt.Sprintf("%s: %+.6f (%.2f%% relative) at %s [%s]",
+		r.Metric, r.Delta, r.Relative*100,
+		r.ChangePointTime.Format(time.RFC3339), r.Path)
+}
+
+// MetricText returns the searchable text of the regression's metric
+// identity, used for text-similarity features.
+func (r *Regression) MetricText() string {
+	return r.Service + " " + r.Entity + " " + r.Name
+}
+
+// EstimatedServerWaste returns the number of servers a gCPU regression
+// wastes if left undetected on a fleet of the given size: a Delta
+// increase in the fraction of fleet CPU consumed corresponds to
+// Delta × fleetServers machines (the paper's framing — e.g. the 0.005%
+// to 0.01% regressions that "collectively would have wasted around 4,000
+// servers"). Non-gCPU regressions return 0: their waste is not directly
+// expressible in servers.
+func (r *Regression) EstimatedServerWaste(fleetServers int) float64 {
+	if r.Name != "gcpu" || r.Delta <= 0 {
+		return 0
+	}
+	return r.Delta * float64(fleetServers)
+}
+
+// RootCauseCandidate is a change ranked as a possible cause of a
+// regression.
+type RootCauseCandidate struct {
+	ChangeID string
+	Score    float64
+	// Attribution is the fraction of the regression explained by the
+	// change's subroutines (the Table 2 L/R factor); -1 when inapplicable.
+	Attribution float64
+	// TextSimilarity is the cosine similarity between regression context
+	// and change description.
+	TextSimilarity float64
+	// Correlation is the time-series correlation between the deployment
+	// indicator and the regression window.
+	Correlation float64
+}

@@ -1,0 +1,28 @@
+package core
+
+import (
+	"testing"
+
+	"fbdetect/internal/tsdb"
+)
+
+func TestEstimatedServerWaste(t *testing.T) {
+	r := NewRegressionRecord(tsdb.ID("frontfaas", "sub", "gcpu"))
+	r.Delta = 0.00005 // the paper's 0.005%
+	// On a 500k-server platform, 0.005% of fleet CPU is ~25 servers.
+	if got := r.EstimatedServerWaste(500000); got != 25 {
+		t.Errorf("waste = %v, want 25", got)
+	}
+	// Non-gCPU regressions have no direct server equivalent.
+	thr := NewRegressionRecord(tsdb.ID("svc", "", "throughput"))
+	thr.Delta = 100
+	if got := thr.EstimatedServerWaste(1000); got != 0 {
+		t.Errorf("non-gcpu waste = %v", got)
+	}
+	// Improvements (negative delta) report no waste.
+	imp := NewRegressionRecord(tsdb.ID("svc", "sub", "gcpu"))
+	imp.Delta = -0.1
+	if got := imp.EstimatedServerWaste(1000); got != 0 {
+		t.Errorf("improvement waste = %v", got)
+	}
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"fbdetect/internal/stats"
+	"fbdetect/internal/stl"
+)
+
+// SeasonalityVerdict explains the seasonality detector's decision.
+type SeasonalityVerdict struct {
+	// Keep is true when the regression survives deseasonalization.
+	Keep bool
+	// Seasonal is true when the series shows significant seasonality.
+	Seasonal bool
+	// Period is the detected seasonal period in points (0 if none).
+	Period int
+	// ZAnalysis and ZExtended are the deseasonalized z-scores in the two
+	// windows.
+	ZAnalysis, ZExtended float64
+}
+
+// CheckSeasonality runs the seasonality detector of paper §5.2.3 on a
+// regression candidate: if the full series is seasonal, decompose with
+// STL, remove seasonality, and require the regression to remain visible
+// (z-score above threshold) in both the analysis and extended windows.
+// Non-seasonal series keep their regressions.
+func CheckSeasonality(cfg SeasonalityConfig, r *Regression) SeasonalityVerdict {
+	cfg = cfg.withDefaults()
+	full := r.Windows.Full()
+	period, seasonal := stl.DetectPeriod(full.Values, cfg.MinPeriod, cfg.MaxPeriod, cfg.Strength)
+	if !seasonal || full.Len() < 2*period {
+		return SeasonalityVerdict{Keep: true}
+	}
+	d, err := stl.Decompose(full.Values, period, stl.Options{})
+	if err != nil {
+		return SeasonalityVerdict{Keep: true, Seasonal: true, Period: period}
+	}
+	des := d.Deseasonalized()
+	resSD := stats.StdDev(d.Residual)
+	if resSD == 0 {
+		return SeasonalityVerdict{Keep: true, Seasonal: true, Period: period}
+	}
+
+	// Index of the change point within the full series.
+	histLen := r.Windows.Historic.Len()
+	cpFull := histLen + r.ChangePoint
+	if cpFull <= 0 || cpFull >= len(des) {
+		return SeasonalityVerdict{Keep: true, Seasonal: true, Period: period}
+	}
+	before := stats.Median(des[:cpFull])
+
+	// z-score over the post-change-point part of the analysis window.
+	anaEnd := histLen + r.Windows.Analysis.Len()
+	zAnalysis := (stats.Median(des[cpFull:anaEnd]) - before) / resSD
+
+	// z-score over the extended window (falls back to the analysis score
+	// when there is no extended window).
+	zExtended := zAnalysis
+	if r.Windows.Extended != nil && r.Windows.Extended.Len() > 0 {
+		zExtended = (stats.Median(des[anaEnd:]) - before) / resSD
+	}
+
+	keep := zAnalysis >= cfg.ZThreshold && zExtended >= cfg.ZThreshold
+	return SeasonalityVerdict{
+		Keep: keep, Seasonal: true, Period: period,
+		ZAnalysis: zAnalysis, ZExtended: zExtended,
+	}
+}

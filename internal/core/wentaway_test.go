@@ -1,0 +1,139 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestWentAwayKeepsTrueRegression(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	hist := noisy(rng, 400, 10, 0.2)
+	// Regression at index 100 of the analysis window, persisting through
+	// the extended window.
+	analysis := append(noisy(rng, 100, 10, 0.2), noisy(rng, 100, 11, 0.2)...)
+	extended := noisy(rng, 60, 11, 0.2)
+	ws := buildWindows(t, hist, analysis, extended)
+	r := regressionAt(t, ws, 100)
+	v := CheckWentAway(WentAwayConfig{}, r)
+	if !v.Keep {
+		t.Errorf("true regression filtered: %+v", v)
+	}
+	if v.GoneAway {
+		t.Error("persistent regression marked gone away")
+	}
+}
+
+func TestWentAwayFiltersTransientSpike(t *testing.T) {
+	// Figure 1(c): a transient issue that recovers within the window.
+	rng := rand.New(rand.NewSource(2))
+	hist := noisy(rng, 400, 10, 0.2)
+	analysis := append(noisy(rng, 80, 10, 0.2), noisy(rng, 40, 13, 0.2)...)
+	analysis = append(analysis, noisy(rng, 80, 10, 0.2)...) // recovers
+	extended := noisy(rng, 60, 10, 0.2)
+	ws := buildWindows(t, hist, analysis, extended)
+	r := regressionAt(t, ws, 80)
+	v := CheckWentAway(WentAwayConfig{}, r)
+	if v.Keep {
+		t.Errorf("transient spike kept: %+v", v)
+	}
+	if !v.GoneAway {
+		t.Error("recovered spike not marked gone away")
+	}
+}
+
+func TestWentAwayFigure7(t *testing.T) {
+	// Paper Figure 7: a short spike in the middle of history must not
+	// mask a true regression at the end. The spike letters occupy <3% of
+	// historic points, so SAX validity ignores them.
+	rng := rand.New(rand.NewSource(3))
+	hist := noisy(rng, 400, 10, 0.2)
+	for i := 200; i < 208; i++ { // 2% spike in history
+		hist[i] = 14
+	}
+	analysis := append(noisy(rng, 120, 10, 0.2), noisy(rng, 80, 11.5, 0.2)...)
+	extended := noisy(rng, 60, 11.5, 0.2)
+	ws := buildWindows(t, hist, analysis, extended)
+	r := regressionAt(t, ws, 120)
+	v := CheckWentAway(WentAwayConfig{}, r)
+	if !v.Keep {
+		t.Errorf("regression masked by historic spike: %+v", v)
+	}
+}
+
+func TestWentAwayDipAfterTrueRegression(t *testing.T) {
+	// §5.2.2 first-iteration failure mode: a temporary dip shortly after a
+	// true regression must not cancel it, because the tail recovers to the
+	// regressed level.
+	rng := rand.New(rand.NewSource(4))
+	hist := noisy(rng, 400, 10, 0.2)
+	analysis := append(noisy(rng, 100, 10, 0.2), noisy(rng, 40, 11, 0.2)...)
+	analysis = append(analysis, noisy(rng, 10, 10.2, 0.2)...) // brief dip
+	analysis = append(analysis, noisy(rng, 50, 11, 0.2)...)   // back to regressed level
+	extended := noisy(rng, 60, 11, 0.2)
+	ws := buildWindows(t, hist, analysis, extended)
+	r := regressionAt(t, ws, 100)
+	v := CheckWentAway(WentAwayConfig{}, r)
+	if !v.Keep {
+		t.Errorf("dip after true regression caused filtering: %+v", v)
+	}
+}
+
+func TestWentAwayNewPattern(t *testing.T) {
+	// A post-regression level far outside anything in history forms a new
+	// pattern and is reported even without a trend.
+	rng := rand.New(rand.NewSource(5))
+	hist := noisy(rng, 400, 10, 0.1)
+	analysis := append(noisy(rng, 100, 10, 0.1), noisy(rng, 100, 20, 0.1)...)
+	extended := noisy(rng, 60, 20, 0.1)
+	ws := buildWindows(t, hist, analysis, extended)
+	r := regressionAt(t, ws, 100)
+	v := CheckWentAway(WentAwayConfig{}, r)
+	if !v.NewPattern {
+		t.Errorf("expected new pattern: %+v", v)
+	}
+	if !v.Keep {
+		t.Error("new pattern should be kept")
+	}
+}
+
+func TestWentAwayNewPatternBelowHistoryIsNotRegression(t *testing.T) {
+	// A novel pattern *below* the historic range is an improvement, not a
+	// regression; NewPattern must not fire.
+	rng := rand.New(rand.NewSource(6))
+	hist := noisy(rng, 400, 10, 0.1)
+	analysis := append(noisy(rng, 100, 10, 0.1), noisy(rng, 100, 2, 0.1)...)
+	extended := noisy(rng, 60, 2, 0.1)
+	ws := buildWindows(t, hist, analysis, extended)
+	r := regressionAt(t, ws, 100)
+	v := CheckWentAway(WentAwayConfig{}, r)
+	if v.NewPattern {
+		t.Errorf("improvement flagged as new pattern: %+v", v)
+	}
+}
+
+func TestWentAwayDegenerateInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ws := buildWindows(t, noisy(rng, 50, 10, 0.1), noisy(rng, 50, 10, 0.1), nil)
+	r := regressionAt(t, ws, 25)
+	r.ChangePoint = 0 // invalid
+	if v := CheckWentAway(WentAwayConfig{}, r); v.Keep {
+		t.Error("invalid change point should not keep")
+	}
+	r.ChangePoint = 60 // past end
+	if v := CheckWentAway(WentAwayConfig{}, r); v.Keep {
+		t.Error("out-of-range change point should not keep")
+	}
+}
+
+func TestWentAwayVerdictTermsConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	hist := noisy(rng, 300, 5, 0.3)
+	analysis := append(noisy(rng, 80, 5, 0.3), noisy(rng, 120, 6, 0.3)...)
+	ws := buildWindows(t, hist, analysis, nil)
+	r := regressionAt(t, ws, 80)
+	v := CheckWentAway(WentAwayConfig{}, r)
+	wantKeep := v.NewPattern || (v.SignificantRegression && v.LastingTrend && !v.GoneAway)
+	if v.Keep != wantKeep {
+		t.Errorf("Keep inconsistent with terms: %+v", v)
+	}
+}

@@ -1,0 +1,187 @@
+// Package distributed shards detection across a fleet of scan workers,
+// the way production FBDetect runs on a serverless platform "scanning
+// different time series in parallel ... utilizing capacity equivalent to
+// hundreds of servers" (paper §5.1). A Worker wraps a local pipeline
+// behind an HTTP endpoint; a Coordinator owns the service-to-worker
+// assignment, fans scan requests out, and merges results.
+//
+// The wire format carries regression summaries (not raw windows): the
+// worker that detected a regression keeps its heavy state, and the
+// coordinator aggregates what reporting needs.
+package distributed
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"fbdetect/internal/core"
+)
+
+// ScanRequest asks a worker to scan one service at a scan time.
+type ScanRequest struct {
+	Service  string    `json:"service"`
+	ScanTime time.Time `json:"scan_time"`
+}
+
+// WireRegression is the coordinator-facing summary of a reported
+// regression.
+type WireRegression struct {
+	Metric          string                    `json:"metric"`
+	Service         string                    `json:"service"`
+	Entity          string                    `json:"entity"`
+	Name            string                    `json:"name"`
+	Path            string                    `json:"path"`
+	ChangePointTime time.Time                 `json:"change_point_time"`
+	Before          float64                   `json:"before"`
+	After           float64                   `json:"after"`
+	Delta           float64                   `json:"delta"`
+	Relative        float64                   `json:"relative"`
+	RootCauses      []core.RootCauseCandidate `json:"root_causes,omitempty"`
+}
+
+// ScanResponse is a worker's reply.
+type ScanResponse struct {
+	Reported []WireRegression `json:"reported"`
+	Funnel   core.Funnel      `json:"funnel"`
+	Worker   string           `json:"worker"`
+}
+
+// Worker serves scan requests against a local pipeline.
+type Worker struct {
+	Name     string
+	pipeline *core.Pipeline
+	mu       sync.Mutex // serializes scans: the pipeline is not concurrent-safe
+}
+
+// NewWorker wraps a pipeline.
+func NewWorker(name string, p *core.Pipeline) *Worker {
+	return &Worker{Name: name, pipeline: p}
+}
+
+// ServeHTTP implements the worker's /scan endpoint.
+func (w *Worker) ServeHTTP(rw http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		http.Error(rw, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var sr ScanRequest
+	if err := json.NewDecoder(io.LimitReader(req.Body, 1<<20)).Decode(&sr); err != nil {
+		http.Error(rw, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if sr.Service == "" || sr.ScanTime.IsZero() {
+		http.Error(rw, "service and scan_time required", http.StatusBadRequest)
+		return
+	}
+	w.mu.Lock()
+	res, err := w.pipeline.Scan(sr.Service, sr.ScanTime)
+	w.mu.Unlock()
+	if err != nil {
+		http.Error(rw, "scan failed: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	resp := ScanResponse{Funnel: res.Funnel, Worker: w.Name}
+	for _, r := range res.Reported {
+		resp.Reported = append(resp.Reported, WireRegression{
+			Metric:          string(r.Metric),
+			Service:         r.Service,
+			Entity:          r.Entity,
+			Name:            r.Name,
+			Path:            r.Path.String(),
+			ChangePointTime: r.ChangePointTime,
+			Before:          r.Before,
+			After:           r.After,
+			Delta:           r.Delta,
+			Relative:        r.Relative,
+			RootCauses:      r.RootCauses,
+		})
+	}
+	rw.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(rw).Encode(resp)
+}
+
+// Coordinator assigns services to workers by consistent hash and fans
+// scans out over HTTP.
+type Coordinator struct {
+	workers []string // worker base URLs
+	client  *http.Client
+}
+
+// NewCoordinator returns a coordinator over the given worker base URLs
+// (e.g. "http://10.0.0.1:8080"). client may be nil (http.DefaultClient).
+func NewCoordinator(workerURLs []string, client *http.Client) (*Coordinator, error) {
+	if len(workerURLs) == 0 {
+		return nil, fmt.Errorf("distributed: at least one worker required")
+	}
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return &Coordinator{workers: workerURLs, client: client}, nil
+}
+
+// WorkerFor returns the worker URL owning a service. Assignment is stable
+// for a fixed worker list, so a service's cross-scan deduplication state
+// stays on one worker.
+func (c *Coordinator) WorkerFor(service string) string {
+	h := fnv.New32a()
+	h.Write([]byte(service))
+	return c.workers[int(h.Sum32())%len(c.workers)]
+}
+
+// Scan sends one service's scan to its owning worker.
+func (c *Coordinator) Scan(service string, scanTime time.Time) (*ScanResponse, error) {
+	body, err := json.Marshal(ScanRequest{Service: service, ScanTime: scanTime})
+	if err != nil {
+		return nil, err
+	}
+	url := c.WorkerFor(service) + "/scan"
+	resp, err := c.client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("distributed: posting to %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("distributed: worker %s: %s: %s", url, resp.Status, bytes.TrimSpace(msg))
+	}
+	var sr ScanResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 16<<20)).Decode(&sr); err != nil {
+		return nil, fmt.Errorf("distributed: decoding response: %w", err)
+	}
+	return &sr, nil
+}
+
+// ScanAll fans a scan of every service out concurrently and merges the
+// responses. Per-service errors are collected rather than aborting the
+// sweep; the merged result and the first error (if any) are returned.
+func (c *Coordinator) ScanAll(services []string, scanTime time.Time) (*ScanResponse, error) {
+	merged := &ScanResponse{Worker: "coordinator"}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var firstErr error
+	for _, svc := range services {
+		wg.Add(1)
+		go func(svc string) {
+			defer wg.Done()
+			resp, err := c.Scan(svc, scanTime)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			merged.Funnel.Add(resp.Funnel)
+			merged.Reported = append(merged.Reported, resp.Reported...)
+		}(svc)
+	}
+	wg.Wait()
+	return merged, firstErr
+}

@@ -1,0 +1,45 @@
+package egads
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchData() (baseline, test []float64) {
+	rng := rand.New(rand.NewSource(1))
+	baseline = make([]float64, 500)
+	test = make([]float64, 260)
+	for i := range baseline {
+		baseline[i] = 10 + rng.NormFloat64()
+	}
+	for i := range test {
+		test[i] = 10.5 + rng.NormFloat64()
+	}
+	return baseline, test
+}
+
+func BenchmarkKSigma(b *testing.B) {
+	base, test := benchData()
+	d := NewKSigma()
+	for i := 0; i < b.N; i++ {
+		d.Detect(base, test, 0.5)
+	}
+}
+
+func BenchmarkAdaptiveKernelDensity(b *testing.B) {
+	base, test := benchData()
+	d := AdaptiveKernelDensity{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Detect(base, test, 0.5)
+	}
+}
+
+func BenchmarkExtremeLowDensity(b *testing.B) {
+	base, test := benchData()
+	d := ExtremeLowDensity{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Detect(base, test, 0.5)
+	}
+}

@@ -1,0 +1,160 @@
+// Package egads implements the three Yahoo EGADS anomaly-detection
+// algorithms the paper compares against in §6.5 (Figure 8): K-Sigma,
+// adaptive kernel density, and extreme low density. Each has a sensitivity
+// parameter that trades false positives against false negatives — the
+// paper's point is that no setting achieves both, unlike FBDetect.
+//
+// Following the paper's comparison protocol, each detector sees the same
+// historic window FBDetect uses as its model-building baseline, and
+// FBDetect's analysis + extended windows combined as its test window.
+package egads
+
+import (
+	"math"
+	"sort"
+
+	"fbdetect/internal/stats"
+)
+
+// Detector is one EGADS anomaly-detection algorithm.
+type Detector interface {
+	// Name identifies the algorithm.
+	Name() string
+	// Detect reports whether the test window is anomalous relative to the
+	// baseline, at the given sensitivity in [0, 1] (higher = more
+	// sensitive = more detections).
+	Detect(baseline, test []float64, sensitivity float64) bool
+}
+
+// KSigma flags the test window when its mean deviates from the baseline
+// mean by more than k standard deviations, with k mapped from the
+// sensitivity (k ranges from KMax at sensitivity 0 down to KMin at 1).
+type KSigma struct {
+	KMin, KMax float64
+}
+
+// NewKSigma returns a K-Sigma detector spanning k in [0.1, 6].
+func NewKSigma() *KSigma { return &KSigma{KMin: 0.1, KMax: 6} }
+
+// Name implements Detector.
+func (k *KSigma) Name() string { return "K-Sigma" }
+
+// Detect implements Detector.
+func (k *KSigma) Detect(baseline, test []float64, sensitivity float64) bool {
+	if len(baseline) < 2 || len(test) == 0 {
+		return false
+	}
+	mb, vb := stats.MeanVariance(baseline)
+	sd := math.Sqrt(vb)
+	if sd == 0 {
+		return stats.Mean(test) != mb
+	}
+	kval := k.KMax - sensitivity*(k.KMax-k.KMin)
+	return math.Abs(stats.Mean(test)-mb) > kval*sd
+}
+
+// AdaptiveKernelDensity estimates the baseline density with a Gaussian
+// kernel whose bandwidth follows Silverman's rule, then flags the test
+// window when the fraction of test points falling in low-density regions
+// exceeds a sensitivity-mapped threshold.
+type AdaptiveKernelDensity struct{}
+
+// Name implements Detector.
+func (AdaptiveKernelDensity) Name() string { return "adaptive kernel density" }
+
+// Detect implements Detector.
+func (AdaptiveKernelDensity) Detect(baseline, test []float64, sensitivity float64) bool {
+	if len(baseline) < 8 || len(test) == 0 {
+		return false
+	}
+	// Silverman bandwidth with robust scale.
+	sd := stats.StdDev(baseline)
+	iqr := stats.Percentile(baseline, 75) - stats.Percentile(baseline, 25)
+	scale := sd
+	if iqr > 0 && iqr/1.34 < scale {
+		scale = iqr / 1.34
+	}
+	if scale == 0 {
+		return stats.Mean(test) != stats.Mean(baseline)
+	}
+	h := 1.06 * scale * math.Pow(float64(len(baseline)), -0.2)
+
+	// Density threshold: the density quantile below which a point is
+	// "low density". Subsample the baseline for O(n*m) bounds.
+	base := subsample(baseline, 256)
+	densities := make([]float64, len(base))
+	for i, x := range base {
+		densities[i] = kde(base, x, h)
+	}
+	sort.Float64s(densities)
+	// Higher sensitivity -> higher density cutoff -> more anomalies.
+	cutoff := stats.PercentileSorted(densities, 2+sensitivity*30)
+
+	low := 0
+	for _, x := range test {
+		if kde(base, x, h) < cutoff {
+			low++
+		}
+	}
+	needed := 0.5 - 0.45*sensitivity // fraction of low-density test points
+	return float64(low)/float64(len(test)) > needed
+}
+
+// ExtremeLowDensity flags the test window when its densest point is still
+// far out in the tail of the baseline distribution: it measures the
+// empirical quantile of each test point and requires a
+// sensitivity-dependent fraction to be beyond the extreme quantiles.
+type ExtremeLowDensity struct{}
+
+// Name implements Detector.
+func (ExtremeLowDensity) Name() string { return "extreme low density" }
+
+// Detect implements Detector.
+func (ExtremeLowDensity) Detect(baseline, test []float64, sensitivity float64) bool {
+	if len(baseline) < 8 || len(test) == 0 {
+		return false
+	}
+	sorted := make([]float64, len(baseline))
+	copy(sorted, baseline)
+	sort.Float64s(sorted)
+	// Extreme tail bound: from the max/min (sensitivity 0) in toward the
+	// P90/P10 (sensitivity 1).
+	hiQ := 100 - 0.5 - sensitivity*9.5
+	loQ := 0.5 + sensitivity*9.5
+	hi := stats.PercentileSorted(sorted, hiQ)
+	lo := stats.PercentileSorted(sorted, loQ)
+	out := 0
+	for _, x := range test {
+		if x > hi || x < lo {
+			out++
+		}
+	}
+	needed := 0.6 - 0.5*sensitivity
+	return float64(out)/float64(len(test)) > needed
+}
+
+func kde(xs []float64, x, h float64) float64 {
+	sum := 0.0
+	for _, xi := range xs {
+		z := (x - xi) / h
+		sum += math.Exp(-0.5 * z * z)
+	}
+	return sum / (float64(len(xs)) * h * math.Sqrt(2*math.Pi))
+}
+
+func subsample(xs []float64, max int) []float64 {
+	if len(xs) <= max {
+		return xs
+	}
+	out := make([]float64, max)
+	step := float64(len(xs)) / float64(max)
+	for i := range out {
+		out[i] = xs[int(float64(i)*step)]
+	}
+	return out
+}
+
+// All returns the three EGADS detectors the paper evaluates.
+func All() []Detector {
+	return []Detector{NewKSigma(), AdaptiveKernelDensity{}, ExtremeLowDensity{}}
+}

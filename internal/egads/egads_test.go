@@ -1,0 +1,132 @@
+package egads
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func series(rng *rand.Rand, n int, mu, sigma float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = mu + rng.NormFloat64()*sigma
+	}
+	return out
+}
+
+func TestAllDetectorsCatchObviousAnomaly(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	baseline := series(rng, 500, 10, 0.2)
+	anomalous := series(rng, 100, 15, 0.2) // 25-sigma shift
+	for _, d := range All() {
+		if !d.Detect(baseline, anomalous, 0.8) {
+			t.Errorf("%s missed a 25-sigma anomaly", d.Name())
+		}
+	}
+}
+
+func TestAllDetectorsPassQuietSeries(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	baseline := series(rng, 500, 10, 0.2)
+	quiet := series(rng, 100, 10, 0.2)
+	for _, d := range All() {
+		if d.Detect(baseline, quiet, 0.2) {
+			t.Errorf("%s flagged a quiet window at low sensitivity", d.Name())
+		}
+	}
+}
+
+func TestSensitivityMonotonicityTradeoff(t *testing.T) {
+	// Higher sensitivity must not reduce detections on a marginal
+	// anomaly, and must not reduce false positives on noise.
+	rng := rand.New(rand.NewSource(3))
+	baseline := series(rng, 500, 10, 0.5)
+	marginal := series(rng, 100, 10.8, 0.5)
+	for _, d := range All() {
+		detectedAtLow := d.Detect(baseline, marginal, 0.1)
+		detectedAtHigh := d.Detect(baseline, marginal, 0.95)
+		if detectedAtLow && !detectedAtHigh {
+			t.Errorf("%s: detection lost as sensitivity increased", d.Name())
+		}
+	}
+}
+
+func TestTinyRegressionMissedAtLowSensitivity(t *testing.T) {
+	// The paper's point: a sensitivity low enough to ignore transients
+	// also misses tiny regressions.
+	rng := rand.New(rand.NewSource(4))
+	baseline := series(rng, 500, 10, 0.5)
+	tiny := series(rng, 100, 10.1, 0.5) // 0.2-sigma shift
+	for _, d := range All() {
+		if d.Detect(baseline, tiny, 0.05) {
+			t.Errorf("%s caught a 0.2-sigma shift at near-zero sensitivity (implausible)", d.Name())
+		}
+	}
+}
+
+func TestTransientCaughtAtHighSensitivity(t *testing.T) {
+	// At high sensitivity the detectors flag a transient spike window —
+	// the false-positive side of the tradeoff.
+	rng := rand.New(rand.NewSource(5))
+	baseline := series(rng, 500, 10, 0.5)
+	transient := series(rng, 100, 10, 0.5)
+	for i := 40; i < 60; i++ {
+		transient[i] = 14 // spike occupying 20% of the window
+	}
+	flagged := 0
+	for _, d := range All() {
+		if d.Detect(baseline, transient, 0.95) {
+			flagged++
+		}
+	}
+	if flagged == 0 {
+		t.Error("no detector flagged the transient at high sensitivity")
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	for _, d := range All() {
+		if d.Detect(nil, []float64{1}, 0.5) {
+			t.Errorf("%s detected with empty baseline", d.Name())
+		}
+		if d.Detect([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9}, nil, 0.5) {
+			t.Errorf("%s detected with empty test", d.Name())
+		}
+	}
+	// Constant baseline.
+	constant := make([]float64, 100)
+	for i := range constant {
+		constant[i] = 5
+	}
+	shifted := []float64{6, 6, 6}
+	k := NewKSigma()
+	if !k.Detect(constant, shifted, 0.5) {
+		t.Error("K-Sigma should flag any shift off a constant baseline")
+	}
+}
+
+func TestNames(t *testing.T) {
+	names := map[string]bool{}
+	for _, d := range All() {
+		names[d.Name()] = true
+	}
+	for _, want := range []string{"K-Sigma", "adaptive kernel density", "extreme low density"} {
+		if !names[want] {
+			t.Errorf("missing detector %q", want)
+		}
+	}
+}
+
+func TestSubsample(t *testing.T) {
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	sub := subsample(xs, 100)
+	if len(sub) != 100 {
+		t.Errorf("len = %d", len(sub))
+	}
+	small := []float64{1, 2}
+	if len(subsample(small, 100)) != 2 {
+		t.Error("small input should pass through")
+	}
+}

@@ -1,0 +1,494 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"fbdetect/internal/core"
+	"fbdetect/internal/som"
+	"fbdetect/internal/stats"
+	"fbdetect/internal/stl"
+	"fbdetect/internal/timeseries"
+	"fbdetect/internal/tsdb"
+)
+
+// --- SOM grid ablation (paper §5.5.1: L = ceil(n^(1/4)) is robust) ---
+
+// SOMGridPoint is the clustering quality at one grid choice.
+type SOMGridPoint struct {
+	Grid      string
+	Groups    int
+	Purity    float64 // fraction of groups containing a single true cluster
+	Reduction float64 // inputs per group
+}
+
+// AblationSOMGridResult compares the paper's grid heuristic against fixed
+// grids on a corpus of regressions from known clusters.
+type AblationSOMGridResult struct {
+	Inputs   int
+	Clusters int
+	Points   []SOMGridPoint
+}
+
+func (r AblationSOMGridResult) String() string {
+	var rows [][]string
+	for _, p := range r.Points {
+		rows = append(rows, []string{p.Grid, fmt.Sprintf("%d", p.Groups),
+			fmt.Sprintf("%.2f", p.Purity), fmt.Sprintf("%.1fx", p.Reduction)})
+	}
+	return fmt.Sprintf("Ablation: SOM grid size (%d regressions from %d true clusters)\n",
+		r.Inputs, r.Clusters) +
+		table([]string{"grid", "groups", "purity", "reduction"}, rows)
+}
+
+// RunAblationSOMGrid clusters 96 feature vectors drawn from 6 well
+// separated clusters under several grid sizes.
+func RunAblationSOMGrid(seed int64) AblationSOMGridResult {
+	rng := newRng(seed)
+	const clusters = 6
+	const perCluster = 16
+	var vectors [][]float64
+	var labels []int
+	for c := 0; c < clusters; c++ {
+		cx, cy := float64(c%3)*10, float64(c/3)*10
+		for i := 0; i < perCluster; i++ {
+			vectors = append(vectors, []float64{
+				cx + rng.NormFloat64()*0.4,
+				cy + rng.NormFloat64()*0.4,
+			})
+			labels = append(labels, c)
+		}
+	}
+	n := len(vectors)
+	res := AblationSOMGridResult{Inputs: n, Clusters: clusters}
+	heuristic := som.GridSize(n)
+	grids := []struct {
+		name       string
+		rows, cols int
+	}{
+		{fmt.Sprintf("heuristic %dx%d", heuristic, heuristic), heuristic, heuristic},
+		{"fixed 2x2", 2, 2},
+		{"fixed 8x8", 8, 8},
+		{"fixed 16x16", 16, 16},
+	}
+	for _, g := range grids {
+		groups, err := som.Cluster(vectors, som.Options{Rows: g.rows, Cols: g.cols, Seed: seed})
+		if err != nil {
+			continue
+		}
+		pure := 0
+		for _, grp := range groups {
+			first := labels[grp[0]]
+			ok := true
+			for _, i := range grp[1:] {
+				if labels[i] != first {
+					ok = false
+				}
+			}
+			if ok {
+				pure++
+			}
+		}
+		res.Points = append(res.Points, SOMGridPoint{
+			Grid:      g.name,
+			Groups:    len(groups),
+			Purity:    float64(pure) / float64(len(groups)),
+			Reduction: float64(n) / float64(len(groups)),
+		})
+	}
+	return res
+}
+
+// --- SAX parameter ablation (paper §5.2.2: N=20, X=3% is robust) ---
+
+// SAXPoint is went-away accuracy at one (N, X) setting.
+type SAXPoint struct {
+	Buckets     int
+	ValidityPct float64
+	TRKept      float64 // fraction of true regressions kept
+	FPFiltered  float64 // fraction of transients filtered
+}
+
+// AblationSAXResult sweeps SAX parameters through the went-away detector.
+type AblationSAXResult struct{ Points []SAXPoint }
+
+func (r AblationSAXResult) String() string {
+	var rows [][]string
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			fmt.Sprintf("N=%d X=%g%%", p.Buckets, p.ValidityPct),
+			fmt.Sprintf("%.2f", p.TRKept),
+			fmt.Sprintf("%.2f", p.FPFiltered),
+		})
+	}
+	return "Ablation: SAX discretization in the went-away detector\n" +
+		table([]string{"setting", "TR kept", "transients filtered"}, rows)
+}
+
+// RunAblationSAX evaluates the went-away detector over the Figure 8 corpus
+// at several SAX settings.
+func RunAblationSAX(seed int64) AblationSAXResult {
+	corpus := figure8Corpus(seed, 60, 120)
+	cfg := core.Config{
+		Threshold: 0.00002,
+		Windows: timeseries.WindowConfig{
+			Historic: 400 * time.Minute,
+			Analysis: 200 * time.Minute,
+			Extended: 60 * time.Minute,
+		},
+	}.WithDefaults()
+	res := AblationSAXResult{}
+	settings := []struct {
+		n int
+		x float64
+	}{{5, 3}, {20, 3}, {20, 0.01}, {50, 10}}
+	for _, s := range settings {
+		wa := cfg.WentAway
+		wa.SAXBuckets = s.n
+		wa.SAXValidityPct = s.x
+		var trKept, trTotal, fpFiltered, fpTotal float64
+		for _, c := range corpus {
+			start := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+			series := timeseries.New(start, time.Minute, c.values)
+			ws, err := cfg.Windows.Cut(series, series.End())
+			if err != nil {
+				continue
+			}
+			r := core.DetectShortTerm(cfg, tsdb.ID("s", "e", "gcpu"), ws, series.End())
+			if r == nil {
+				if c.positive {
+					trTotal++ // missed before went-away even ran
+				}
+				continue
+			}
+			kept := core.CheckWentAway(wa, r).Keep
+			if c.positive {
+				trTotal++
+				if kept {
+					trKept++
+				}
+			} else {
+				fpTotal++
+				if !kept {
+					fpFiltered++
+				}
+			}
+		}
+		p := SAXPoint{Buckets: s.n, ValidityPct: s.x}
+		if trTotal > 0 {
+			p.TRKept = trKept / trTotal
+		}
+		if fpTotal > 0 {
+			p.FPFiltered = fpFiltered / fpTotal
+		}
+		res.Points = append(res.Points, p)
+	}
+	return res
+}
+
+// --- Seasonality handler ablation (paper §5.2.3: STL vs moving average) ---
+
+// SeasonalityHandlerPoint is deseasonalization quality for one method.
+type SeasonalityHandlerPoint struct {
+	Method        string
+	StepRecovered float64 // recovered step size (truth 1.0)
+	// TransitionWidth is how many points the deseasonalized view takes to
+	// move from 25% to 75% of the step — a smeared step delays detection
+	// (the paper's "robust against sudden changes" criterion for STL).
+	TransitionWidth int
+	// DriftLeakage is the residual seasonal oscillation when the seasonal
+	// amplitude drifts over time (the paper's "sensitive to slight
+	// changes in seasonality" criterion).
+	DriftLeakage float64
+}
+
+// AblationSeasonalityResult compares STL with the moving-average
+// alternative the paper rejected (§5.2.3 "Discussion of alternatives").
+type AblationSeasonalityResult struct{ Points []SeasonalityHandlerPoint }
+
+func (r AblationSeasonalityResult) String() string {
+	var rows [][]string
+	for _, p := range r.Points {
+		rows = append(rows, []string{p.Method,
+			fmt.Sprintf("%.3f", p.StepRecovered),
+			fmt.Sprintf("%d", p.TransitionWidth),
+			fmt.Sprintf("%.3f", p.DriftLeakage)})
+	}
+	return "Ablation: seasonality handling (true step = 1.000; smaller width/leakage is better)\n" +
+		table([]string{"method", "recovered step", "step transition width", "drift leakage sd"}, rows)
+}
+
+// RunAblationSeasonality builds (a) a seasonal series with a unit step and
+// (b) a series whose seasonal amplitude drifts, and compares how each
+// method preserves the step edge and tracks the drifting seasonality.
+func RunAblationSeasonality(seed int64) AblationSeasonalityResult {
+	rng := newRng(seed)
+	period := 96
+	n := period * 12
+
+	stepVals := make([]float64, n)
+	for i := range stepVals {
+		v := 10 + 2*math.Sin(2*math.Pi*float64(i)/float64(period)) + rng.NormFloat64()*0.05
+		if i >= n/2 {
+			v += 1
+		}
+		stepVals[i] = v
+	}
+	driftVals := make([]float64, n)
+	for i := range driftVals {
+		amp := 2 * (1 + 0.5*float64(i)/float64(n)) // amplitude drifts +50%
+		driftVals[i] = 10 + amp*math.Sin(2*math.Pi*float64(i)/float64(period)) +
+			rng.NormFloat64()*0.05
+	}
+
+	type view struct {
+		step, drift []float64
+	}
+	views := map[string]view{}
+	if d, err := stl.Decompose(stepVals, period, stl.Options{}); err == nil {
+		v := view{step: d.Deseasonalized()}
+		if dd, err := stl.Decompose(driftVals, period, stl.Options{}); err == nil {
+			v.drift = dd.Deseasonalized()
+		}
+		views["STL"] = v
+	}
+	views["moving average"] = view{
+		step:  stl.MovingAverage(stepVals, period),
+		drift: stl.MovingAverage(driftVals, period),
+	}
+
+	res := AblationSeasonalityResult{}
+	for _, method := range []string{"STL", "moving average"} {
+		v, ok := views[method]
+		if !ok {
+			continue
+		}
+		before := stats.Mean(v.step[period : n/2-period])
+		after := stats.Mean(v.step[n/2+period : n-period])
+		stepSize := after - before
+		// Transition width: last crossing of the 25% level before the
+		// midpoint settles, to first sustained crossing of 75%.
+		lo, hi := before+0.25*stepSize, before+0.75*stepSize
+		first75 := n - period
+		for i := n / 2; i < n-period; i++ {
+			if v.step[i] >= hi {
+				first75 = i
+				break
+			}
+		}
+		last25 := n / 2
+		for i := first75; i >= period; i-- {
+			if v.step[i] <= lo {
+				last25 = i
+				break
+			}
+		}
+		width := first75 - last25
+		if width < 0 {
+			width = 0
+		}
+		leak := stats.StdDev(v.drift[period : n-period])
+		res.Points = append(res.Points, SeasonalityHandlerPoint{
+			Method:          method,
+			StepRecovered:   stepSize,
+			TransitionWidth: width,
+			DriftLeakage:    leak,
+		})
+	}
+	return res
+}
+
+// --- Went-away iteration ablation (paper §5.2.2's three iterations) ---
+
+// WentAwayIterationPoint is detection accuracy for one algorithm
+// generation.
+type WentAwayIterationPoint struct {
+	Iteration  string
+	TRKept     float64
+	FPFiltered float64
+}
+
+// AblationWentAwayResult compares the paper's three went-away iterations.
+type AblationWentAwayResult struct{ Points []WentAwayIterationPoint }
+
+func (r AblationWentAwayResult) String() string {
+	var rows [][]string
+	for _, p := range r.Points {
+		rows = append(rows, []string{p.Iteration,
+			fmt.Sprintf("%.2f", p.TRKept), fmt.Sprintf("%.2f", p.FPFiltered)})
+	}
+	return "Ablation: went-away detector iterations (§5.2.2 history)\n" +
+		table([]string{"iteration", "TR kept", "transients filtered"}, rows)
+}
+
+// RunAblationWentAway evaluates the three historical went-away designs on
+// a corpus that includes the traps each iteration was built to fix: dips
+// after true regressions (breaks iteration 1) and historic spikes
+// (breaks iteration 2).
+func RunAblationWentAway(seed int64) AblationWentAwayResult {
+	rng := newRng(seed)
+	type entry struct {
+		values   []float64
+		positive bool
+	}
+	var corpus []entry
+	mk := func(n int, mu, sd float64) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = mu + rng.NormFloat64()*sd
+		}
+		return out
+	}
+	for i := 0; i < 40; i++ {
+		// True regressions. A third carry a brief dip after the step (the
+		// iteration-1 trap); another third carry a spike in history (the
+		// iteration-2 / Figure 7 trap).
+		hist := mk(400, 10, 0.2)
+		if i%3 == 1 {
+			for j := 150; j < 158; j++ {
+				hist[j] = 14
+			}
+		}
+		analysis := append(mk(100, 10, 0.2), mk(40, 11, 0.2)...)
+		if i%3 == 0 {
+			analysis = append(analysis, mk(10, 10.05, 0.2)...)
+		}
+		analysis = append(analysis, mk(200-len(analysis), 11, 0.2)...)
+		full := append(append(hist, analysis...), mk(60, 11, 0.2)...)
+		corpus = append(corpus, entry{full, true})
+	}
+	for i := 0; i < 80; i++ {
+		// Transient spike that recovers; half with a historic spike too.
+		hist := mk(400, 10, 0.2)
+		if i%2 == 0 {
+			for j := 150; j < 158; j++ {
+				hist[j] = 14
+			}
+		}
+		analysis := append(mk(80, 10, 0.2), mk(40, 12, 0.2)...)
+		analysis = append(analysis, mk(80, 10, 0.2)...)
+		corpus = append(corpus, entry{append(append(hist, analysis...), mk(60, 10, 0.2)...), false})
+	}
+
+	cfg := core.Config{
+		Threshold: 0.01,
+		Windows: timeseries.WindowConfig{
+			Historic: 400 * time.Minute,
+			Analysis: 200 * time.Minute,
+			Extended: 60 * time.Minute,
+		},
+	}.WithDefaults()
+
+	evaluate := func(keep func(r *core.Regression) bool) WentAwayIterationPoint {
+		var trKept, trTotal, fpFiltered, fpTotal float64
+		for _, c := range corpus {
+			start := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+			series := timeseries.New(start, time.Minute, c.values)
+			ws, err := cfg.Windows.Cut(series, series.End())
+			if err != nil {
+				continue
+			}
+			r := core.DetectShortTerm(cfg, tsdb.ID("s", "e", "gcpu"), ws, series.End())
+			if r == nil {
+				if c.positive {
+					trTotal++
+				}
+				continue
+			}
+			kept := keep(r)
+			if c.positive {
+				trTotal++
+				if kept {
+					trKept++
+				}
+			} else {
+				fpTotal++
+				if !kept {
+					fpFiltered++
+				}
+			}
+		}
+		p := WentAwayIterationPoint{}
+		if trTotal > 0 {
+			p.TRKept = trKept / trTotal
+		}
+		if fpTotal > 0 {
+			p.FPFiltered = fpFiltered / fpTotal
+		}
+		return p
+	}
+
+	res := AblationWentAwayResult{}
+	// Iteration 1: inverse-CUSUM compensation — filter when a later
+	// inverse change point compensates the original regression.
+	p1 := evaluate(func(r *core.Regression) bool { return !iteration1GoneAway(r) })
+	p1.Iteration = "1: inverse CUSUM"
+	res.Points = append(res.Points, p1)
+	// Iteration 2: trend + raw historical comparison (sensitive to
+	// historic spikes because it compares against raw history).
+	p2 := evaluate(func(r *core.Regression) bool { return iteration2Keep(r) })
+	p2.Iteration = "2: trend + raw history"
+	res.Points = append(res.Points, p2)
+	// Iteration 3: the shipped SAX-based predicate.
+	p3 := evaluate(func(r *core.Regression) bool {
+		return core.CheckWentAway(cfg.WentAway, r).Keep
+	})
+	p3.Iteration = "3: SAX predicate (shipped)"
+	res.Points = append(res.Points, p3)
+	return res
+}
+
+// iteration1GoneAway reimplements the paper's first went-away attempt: run
+// an additional CUSUM on the post-change-point data looking for an inverse
+// regression whose local magnitude compensates the original one — too
+// sensitive to dips after true regressions, because it judges the inverse
+// change by its local depth, not by whether the series stays recovered.
+func iteration1GoneAway(r *core.Regression) bool {
+	analysis := r.Windows.Analysis.Values
+	post := append([]float64{}, analysis[r.ChangePoint:]...)
+	if r.Windows.Extended != nil {
+		post = append(post, r.Windows.Extended.Values...)
+	}
+	if len(post) < 16 {
+		return false
+	}
+	// Scan for the deepest downward change point: the largest local drop
+	// from the running pre-mean to a short window after the candidate.
+	const k = 8
+	worstDrop := 0.0
+	for cp := 4; cp+k <= len(post); cp++ {
+		drop := stats.Mean(post[:cp]) - stats.Mean(post[cp:cp+k])
+		if drop > worstDrop {
+			worstDrop = drop
+		}
+	}
+	return worstDrop > 0.6*r.Delta
+}
+
+// iteration2Keep reimplements the second attempt: keep unless a decreasing
+// trend exists AND the end values have recovered relative to the raw
+// historic window (including any spikes, which is the flaw).
+func iteration2Keep(r *core.Regression) bool {
+	analysis := r.Windows.Analysis.Values
+	post := append([]float64{}, analysis[r.ChangePoint:]...)
+	if r.Windows.Extended != nil {
+		post = append(post, r.Windows.Extended.Values...)
+	}
+	if len(post) < 8 {
+		return true
+	}
+	hist := r.Windows.Historic.Values
+	// Raw-history comparison: the flaw — a spike inflates the historic
+	// max, so genuine end-of-window regressions look unremarkable.
+	histMax := stats.Percentile(hist, 99)
+	endMean := stats.Mean(post[len(post)*9/10:])
+	if endMean <= histMax {
+		return false // looks like history; filtered (false negative trap)
+	}
+	mk := stats.MannKendall(post, 0.05)
+	if mk.Trend == stats.TrendDecreasing && endMean < r.Before+0.5*r.Delta {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,66 @@
+// Package experiments regenerates every table and figure of the FBDetect
+// paper's evaluation (§2 simulations and §6) against this repository's
+// implementation. Each RunX function is deterministic given its seed and
+// returns a result struct with a String method that prints rows/series in
+// the paper's layout. cmd/benchreport prints them all; the root package's
+// bench_test.go wraps each in a testing.B benchmark.
+//
+// Scale note: experiments that the paper ran over weeks of production data
+// on millions of servers are scaled down (documented per experiment) while
+// preserving the statistical structure, so shapes — who wins, where
+// detection becomes possible, what each filter removes — are comparable,
+// not absolute values.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// fmtPct renders a fraction as a percentage with enough digits for tiny
+// regressions.
+func fmtPct(x float64) string {
+	return fmt.Sprintf("%.4f%%", x*100)
+}
+
+// table renders rows of cells with aligned columns.
+func table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// newRng returns a seeded generator; every experiment derives its
+// randomness from an explicit seed for reproducibility.
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

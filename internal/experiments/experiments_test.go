@@ -1,0 +1,427 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFigure1Shapes(t *testing.T) {
+	r := RunFigure1(1)
+	if r.ADetectable {
+		t.Error("a 0.005% shift must not be detectable from one noisy server")
+	}
+	if r.AFleetPValue > 0.01 {
+		t.Errorf("fleet-averaged shift should be detectable, p=%v", r.AFleetPValue)
+	}
+	if !r.BFiltered {
+		t.Error("cost shift (Figure 1b) not filtered")
+	}
+	if !r.CFiltered {
+		t.Error("transient (Figure 1c) not filtered")
+	}
+	if !strings.Contains(r.String(), "Figure 1") {
+		t.Error("String() missing title")
+	}
+}
+
+func TestFigure2Shape(t *testing.T) {
+	r := RunFigure2(1)
+	if len(r.Points) != 3 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	// Noise must shrink with fleet size; visibility only at the largest m.
+	for i := 1; i < 3; i++ {
+		if r.Points[i].NoiseSD >= r.Points[i-1].NoiseSD {
+			t.Errorf("noise not shrinking: %v", r.Points)
+		}
+	}
+	if r.Points[0].Visible {
+		t.Error("500k servers should not make 0.005% visible at process level")
+	}
+	if !r.Points[2].Visible {
+		t.Error("50M servers should make 0.005% visible")
+	}
+}
+
+func TestFigure3MatchesFigure2With1000xFewerServers(t *testing.T) {
+	f2 := RunFigure2(1)
+	f3 := RunFigure3(1)
+	for i := range f3.Points {
+		if f3.Points[i].Servers*1000 != f2.Points[i].Servers {
+			t.Errorf("server scaling wrong: %d vs %d",
+				f3.Points[i].Servers, f2.Points[i].Servers)
+		}
+		// SNR at subroutine level with m servers should be comparable to
+		// process level with 1000m servers (within noise).
+		ratio := f3.Points[i].SNR / f2.Points[i].SNR
+		if ratio < 0.7 || ratio > 1.4 {
+			t.Errorf("point %d: SNR ratio = %v, want ~1", i, ratio)
+		}
+	}
+	if !f3.Points[2].Visible {
+		t.Error("50k servers at subroutine level should make 0.005% visible")
+	}
+}
+
+func TestTable1AllRowsDetect(t *testing.T) {
+	r := RunTable1(1)
+	if len(r.Rows) != 12 {
+		t.Fatalf("rows = %d, want 12", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if !row.Detected {
+			t.Errorf("%s: regression at 1.5x threshold not detected", row.Spec.Name)
+		}
+		if row.FalsePositive {
+			t.Errorf("%s: control run reported a false positive", row.Spec.Name)
+		}
+		if row.Detected {
+			// The measured delta should be within 2x of the injected.
+			if row.MeasuredDelta < row.Injected/2 || row.MeasuredDelta > row.Injected*2 {
+				t.Errorf("%s: measured %v vs injected %v",
+					row.Spec.Name, row.MeasuredDelta, row.Injected)
+			}
+		}
+	}
+}
+
+func TestTable2Attribution(t *testing.T) {
+	r := RunTable2()
+	if !approxEq(r.GCPUBBefore, 0.09) || !approxEq(r.GCPUBAfter, 0.14) {
+		t.Errorf("gCPU(B) = %v -> %v, want 0.09 -> 0.14", r.GCPUBBefore, r.GCPUBAfter)
+	}
+	if !approxEq(r.Attribution, 0.8) {
+		t.Errorf("attribution = %v, want 0.8", r.Attribution)
+	}
+}
+
+func approxEq(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}
+
+func TestFigure5Reconstruction(t *testing.T) {
+	r := RunFigure5()
+	if !r.Correct {
+		t.Errorf("merge incorrect: %v", r.Merged)
+	}
+	// The Scalene view must lose the native frame detail.
+	for _, f := range r.ScaleneView {
+		if f == "C-lib-foo" {
+			t.Error("Scalene approximation should not name C-lib-foo")
+		}
+	}
+}
+
+func TestFigure7Verdicts(t *testing.T) {
+	r := RunFigure7(1)
+	if r.SpikeKept {
+		t.Error("mid-window spike must be filtered")
+	}
+	if !r.RegressionKept {
+		t.Error("end regression must be kept despite historic spike")
+	}
+}
+
+func TestTable3FunnelShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table 3 simulates three one-week workloads")
+	}
+	r := RunTable3()
+	if len(r.Columns) != 3 {
+		t.Fatalf("columns = %d", len(r.Columns))
+	}
+	for _, c := range r.Columns {
+		f := c.Funnel
+		if f.ChangePoints == 0 {
+			t.Errorf("%s: no change points at all", c.Workload.Name)
+		}
+		// Went-away must be the dominant filter: at least 4x reduction.
+		if f.AfterWentAway*4 > f.ChangePoints {
+			t.Errorf("%s: went-away too weak: %d -> %d",
+				c.Workload.Name, f.ChangePoints, f.AfterWentAway)
+		}
+		// Short-term path stages are monotone.
+		if f.AfterSeasonality > f.AfterWentAway {
+			t.Errorf("%s: seasonality stage grew the set", c.Workload.Name)
+		}
+		if f.AfterSOMDedup > f.AfterSameMerger || f.AfterCostShift > f.AfterSOMDedup ||
+			f.AfterPairwise > f.AfterCostShift {
+			t.Errorf("%s: funnel not monotone: %+v", c.Workload.Name, f)
+		}
+		// Recall: at least half of the injected regressions caught.
+		if c.TruePositivesReported*2 < c.Workload.TrueRegressions {
+			t.Errorf("%s: caught %d/%d injected regressions",
+				c.Workload.Name, c.TruePositivesReported, c.Workload.TrueRegressions)
+		}
+		// PythonFaaS skips long-term detection (Table 3 note).
+		if c.Workload.Name == "PythonFaaS" && f.LongTermChangePoints != 0 {
+			t.Error("PythonFaaS should skip long-term detection")
+		}
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	r := RunTable4(1)
+	if len(r.All) < 100 {
+		t.Fatalf("too few detections: %d", len(r.All))
+	}
+	if len(r.All) != len(r.TR)+len(r.FP) {
+		t.Error("All != TR + FP")
+	}
+	smallest := r.TR[0]
+	for _, m := range r.TR {
+		if m < smallest {
+			smallest = m
+		}
+	}
+	// The smallest true regression should be near the 0.005% floor.
+	if smallest > 0.0002 {
+		t.Errorf("smallest TR = %v, want near 0.00005", smallest)
+	}
+	// FPs skew large (paper: "the reported largest regressions tend to be
+	// false positives").
+	if len(r.FP) > 3 {
+		if median(r.FP) <= median(r.TR) {
+			t.Errorf("FP median %v should exceed TR median %v",
+				median(r.FP), median(r.TR))
+		}
+	}
+}
+
+func median(xs []float64) float64 {
+	c := append([]float64{}, xs...)
+	for i := 1; i < len(c); i++ {
+		for j := i; j > 0 && c[j] < c[j-1]; j-- {
+			c[j], c[j-1] = c[j-1], c[j]
+		}
+	}
+	return c[len(c)/2]
+}
+
+func TestFigure8Tradeoff(t *testing.T) {
+	r := RunFigure8(1)
+	if r.FBDetect.FPRate > 0.01 {
+		t.Errorf("FBDetect FP rate = %v, want ~0", r.FBDetect.FPRate)
+	}
+	if r.FBDetect.FNRate > 0.05 {
+		t.Errorf("FBDetect FN rate = %v, want ~0", r.FBDetect.FNRate)
+	}
+	// No EGADS algorithm simultaneously achieves FP < 0.02 and FN < 0.2
+	// (the paper's ~0.02 FP budget and EGADS's best 0.84 FN at that
+	// budget).
+	byAlgo := map[string]bool{}
+	for _, p := range r.EGADS {
+		if p.FPRate < 0.02 && p.FNRate < 0.2 {
+			byAlgo[p.Algorithm] = true
+		}
+	}
+	for algo := range byAlgo {
+		t.Errorf("%s achieved both low FP and low FN — corpus too easy", algo)
+	}
+}
+
+func TestAblationSOMGrid(t *testing.T) {
+	r := RunAblationSOMGrid(1)
+	if len(r.Points) < 3 {
+		t.Fatal("missing grid points")
+	}
+	heuristic := r.Points[0]
+	if heuristic.Purity < 0.99 {
+		t.Errorf("heuristic grid purity = %v", heuristic.Purity)
+	}
+	// The heuristic should reduce at least as well as the big fixed grids.
+	for _, p := range r.Points[2:] {
+		if p.Reduction > heuristic.Reduction {
+			t.Errorf("%s reduces better (%vx) than heuristic (%vx)",
+				p.Grid, p.Reduction, heuristic.Reduction)
+		}
+	}
+}
+
+func TestAblationSAX(t *testing.T) {
+	r := RunAblationSAX(1)
+	var shipped *SAXPoint
+	for i := range r.Points {
+		if r.Points[i].Buckets == 20 && r.Points[i].ValidityPct == 3 {
+			shipped = &r.Points[i]
+		}
+	}
+	if shipped == nil {
+		t.Fatal("shipped setting missing")
+	}
+	if shipped.TRKept < 0.9 || shipped.FPFiltered < 0.9 {
+		t.Errorf("shipped SAX setting underperforms: %+v", *shipped)
+	}
+}
+
+func TestAblationSeasonality(t *testing.T) {
+	r := RunAblationSeasonality(1)
+	var stlP, maP *SeasonalityHandlerPoint
+	for i := range r.Points {
+		switch r.Points[i].Method {
+		case "STL":
+			stlP = &r.Points[i]
+		case "moving average":
+			maP = &r.Points[i]
+		}
+	}
+	if stlP == nil || maP == nil {
+		t.Fatal("missing methods")
+	}
+	// The paper's criterion: STL is robust against sudden changes — its
+	// step edge must be much sharper than the moving average's.
+	if stlP.TransitionWidth*4 > maP.TransitionWidth {
+		t.Errorf("STL width %d not clearly sharper than MA width %d",
+			stlP.TransitionWidth, maP.TransitionWidth)
+	}
+}
+
+func TestAblationWentAwayIterations(t *testing.T) {
+	r := RunAblationWentAway(1)
+	if len(r.Points) != 3 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	shipped := r.Points[2]
+	if shipped.TRKept < 0.95 || shipped.FPFiltered < 0.95 {
+		t.Errorf("shipped went-away underperforms: %+v", shipped)
+	}
+	// Each earlier iteration must lose true regressions to its trap.
+	if r.Points[0].TRKept >= shipped.TRKept {
+		t.Errorf("iteration 1 should lose TRs to the dip trap: %+v", r.Points[0])
+	}
+	if r.Points[1].TRKept >= shipped.TRKept {
+		t.Errorf("iteration 2 should lose TRs to the historic-spike trap: %+v", r.Points[1])
+	}
+}
+
+func TestAblationStageOrder(t *testing.T) {
+	r := RunAblationStageOrder(1)
+	if len(r.Points) != 2 {
+		t.Fatal("missing orderings")
+	}
+	fast, slow := r.Points[0], r.Points[1]
+	if fast.CostShiftCalls >= slow.CostShiftCalls {
+		t.Errorf("fast-first should call cost shift less: %d vs %d",
+			fast.CostShiftCalls, slow.CostShiftCalls)
+	}
+}
+
+func TestOverheadRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overhead measurement takes wall time")
+	}
+	r := RunOverhead(200 * time.Millisecond)
+	if len(r.Points) != 4 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	for _, p := range r.Points {
+		if p.OpsPerSec <= 0 {
+			t.Errorf("rate %v: no throughput measured", p.RateHz)
+		}
+	}
+}
+
+func TestResultStringsNonEmpty(t *testing.T) {
+	for name, s := range map[string]string{
+		"table2":      RunTable2().String(),
+		"figure5":     RunFigure5().String(),
+		"figure7":     RunFigure7(1).String(),
+		"som-grid":    RunAblationSOMGrid(1).String(),
+		"stage-order": RunAblationStageOrder(1).String(),
+	} {
+		if len(s) < 40 {
+			t.Errorf("%s: suspiciously short output %q", name, s)
+		}
+	}
+}
+
+func TestExpression1Scaling(t *testing.T) {
+	r := RunExpression1(1)
+	if len(r.Points) != 4 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	// The threshold must shrink monotonically with n.
+	for i := 1; i < len(r.Points); i++ {
+		if r.Points[i].MinDelta >= r.Points[i-1].MinDelta {
+			t.Errorf("threshold not shrinking: %+v", r.Points)
+		}
+	}
+	// Expression 1 predicts exponent -0.5; allow simulation slack.
+	if r.FitExponent < -0.6 || r.FitExponent > -0.4 {
+		t.Errorf("fitted exponent = %v, want ~-0.5", r.FitExponent)
+	}
+}
+
+func TestLongTermPaths(t *testing.T) {
+	r := RunLongTerm(1)
+	byName := map[string]LongTermPoint{}
+	for _, p := range r.Points {
+		byName[p.Scenario] = p
+	}
+	if !byName["sudden step"].ShortTermCaught || !byName["sudden step"].LongTermCaught {
+		t.Errorf("step not caught: %+v", byName["sudden step"])
+	}
+	if !byName["slow drift"].LongTermCaught {
+		t.Errorf("drift missed by long-term path: %+v", byName["slow drift"])
+	}
+	// Gradual drift: change point at the start of the trend (§5.3).
+	if loc := byName["slow drift"].LongTermLocation; loc > 60 {
+		t.Errorf("drift change point = %d, want near 0", loc)
+	}
+	ctrl := byName["flat control"]
+	if ctrl.ShortTermCaught || ctrl.LongTermCaught {
+		t.Errorf("control falsely caught: %+v", ctrl)
+	}
+}
+
+func TestDetectionDelay(t *testing.T) {
+	r := RunDetectionDelay(1)
+	if len(r.Points) != 3 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	fast, mid, slow := r.Points[0], r.Points[1], r.Points[2]
+	if fast.Delay < 0 || mid.Delay < 0 {
+		t.Fatalf("intervals within the analysis window must detect: %+v", r.Points)
+	}
+	if fast.Delay > mid.Delay {
+		t.Errorf("faster re-runs should detect sooner: %v vs %v", fast.Delay, mid.Delay)
+	}
+	if fast.Scans <= mid.Scans {
+		t.Error("faster re-runs must scan more often")
+	}
+	// A re-run interval exceeding the analysis window can let regressions
+	// slide from the analysis window into history between scans — the
+	// reason Table 1 keeps rerun <= analysis everywhere.
+	if slow.Delay >= 0 && slow.Delay < mid.Delay {
+		t.Errorf("implausible: slowest interval detected fastest: %+v", r.Points)
+	}
+}
+
+func TestRCAAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("40 simulated scenarios")
+	}
+	r := RunRCAAccuracy(1)
+	if r.Scenarios != 40 {
+		t.Fatalf("scenarios = %d", r.Scenarios)
+	}
+	if r.Suggested == 0 {
+		t.Fatal("no scenario got a suggestion")
+	}
+	// Paper: 71/75 (95%) top-3 accuracy when a cause is suggested.
+	if acc := float64(r.Top3Correct) / float64(r.Suggested); acc < 0.85 {
+		t.Errorf("top-3 accuracy = %.2f, want >= 0.85", acc)
+	}
+	// Staying silent when the change was never exported is the correct
+	// behavior (§6.3); require a strong majority.
+	if r.UnexportedScenarios > 0 {
+		if frac := float64(r.UnexportedSilent) / float64(r.UnexportedScenarios); frac < 0.7 {
+			t.Errorf("silence on unexported changes = %.2f, want >= 0.7", frac)
+		}
+	}
+}

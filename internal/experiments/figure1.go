@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"fbdetect/internal/core"
+	"fbdetect/internal/stacktrace"
+	"fbdetect/internal/stats"
+	"fbdetect/internal/timeseries"
+	"fbdetect/internal/tsdb"
+)
+
+// Figure1Result reproduces the three panels of paper Figure 1: a true but
+// barely visible 0.005% regression (a), a cost-shift false positive (b),
+// and a transient-issue false positive (c), together with FBDetect's
+// verdict on each.
+type Figure1Result struct {
+	// Panel (a): single-server CPU with a 0.005% shift.
+	ATrueDelta   float64 // injected shift
+	APValue      float64 // Welch t-test p-value on the raw single-server series
+	ADetectable  bool    // whether the single-server series alone reveals it
+	AFleetPValue float64 // p-value after fleet averaging (how FBDetect sees it)
+
+	// Panel (b): subroutine B's gCPU rises purely from a cost shift.
+	BApparentDelta float64 // apparent regression in the receiving subroutine
+	BFiltered      bool    // FBDetect's cost-shift detector filters it
+	BDomain        string
+
+	// Panel (c): throughput dips transiently.
+	CApparentDrop float64 // relative drop during the issue
+	CFiltered     bool    // FBDetect's went-away detector filters it
+}
+
+func (r Figure1Result) String() string {
+	rows := [][]string{
+		{"(a) tiny true regression", fmtPct(r.ATrueDelta),
+			fmt.Sprintf("single-server p=%.3f detectable=%v; fleet-averaged p=%.2g",
+				r.APValue, r.ADetectable, r.AFleetPValue)},
+		{"(b) cost-shift false positive", fmtPct(r.BApparentDelta),
+			fmt.Sprintf("filtered=%v via %s", r.BFiltered, r.BDomain)},
+		{"(c) transient false positive", fmt.Sprintf("-%.0f%% throughput", r.CApparentDrop*100),
+			fmt.Sprintf("filtered by went-away=%v", r.CFiltered)},
+	}
+	return "Figure 1: detection challenges\n" +
+		table([]string{"panel", "magnitude", "FBDetect verdict"}, rows)
+}
+
+// RunFigure1 reproduces Figure 1 with the paper's published parameters:
+// panel (a) uses mu=0.5, sigma^2=0.01, +0.005% mid-series.
+func RunFigure1(seed int64) Figure1Result {
+	rng := newRng(seed)
+	res := Figure1Result{}
+
+	// ---- (a) single server: mu=50%, sigma^2=0.01, +0.005% ----
+	const n = 2000
+	const shift = 0.00005
+	res.ATrueDelta = shift
+	single := make([]float64, 2*n)
+	for i := range single {
+		mu := 0.5
+		if i >= n {
+			mu += shift
+		}
+		v := mu + rng.NormFloat64()*0.1 // sigma^2 = 0.01
+		if v < 0 {
+			v = 0
+		}
+		if v > 1 {
+			v = 1
+		}
+		single[i] = v
+	}
+	tt := stats.WelchTTest(single[:n], single[n:])
+	res.APValue = tt.P
+	res.ADetectable = tt.P < 0.01
+	// Fleet averaging: 500k servers cut per-point noise by sqrt(m); model
+	// the averaged series directly.
+	const m = 500000
+	avg := make([]float64, 2*n)
+	for i := range avg {
+		mu := 0.5
+		if i >= n {
+			mu += shift
+		}
+		avg[i] = mu + rng.NormFloat64()*0.1/math.Sqrt(m)
+	}
+	res.AFleetPValue = stats.WelchTTest(avg[:n], avg[n:]).P
+
+	// ---- (b) cost shift ----
+	before := sampleSet(map[string]float64{
+		"main->Worker::encode": 10, "main->Worker::compress": 10, "main->other": 80,
+	})
+	after := sampleSet(map[string]float64{
+		"main->Worker::encode": 18, "main->Worker::compress": 2, "main->other": 80,
+	})
+	reg := core.NewRegressionRecord(tsdb.ID("svc", "Worker::encode", "gcpu"))
+	reg.Before, reg.After = 0.10, 0.18
+	reg.Delta = 0.08
+	res.BApparentDelta = reg.Delta
+	v := core.CheckCostShift(core.CostShiftConfig{MaxDomainCostRatio: 100}, nil, reg, before, after)
+	res.BFiltered = v.IsCostShift
+	res.BDomain = v.Domain
+
+	// ---- (c) transient throughput dip ----
+	hist := make([]float64, 400)
+	analysis := make([]float64, 200)
+	for i := range hist {
+		hist[i] = 100 + rng.NormFloat64()*2
+	}
+	for i := range analysis {
+		base := 100.0
+		if i >= 80 && i < 120 {
+			base = 60 // the dip
+		}
+		analysis[i] = base + rng.NormFloat64()*2
+	}
+	extended := make([]float64, 60)
+	for i := range extended {
+		extended[i] = 100 + rng.NormFloat64()*2
+	}
+	res.CApparentDrop = 0.4
+	// FBDetect monitors "inverse throughput" so drops read as increases.
+	inv := func(xs []float64) []float64 {
+		out := make([]float64, len(xs))
+		for i, x := range xs {
+			out[i] = 10000 / x
+		}
+		return out
+	}
+	ws := buildWindows(inv(hist), inv(analysis), inv(extended))
+	regC := core.NewRegressionRecord(tsdb.ID("svc", "", "inv_throughput"))
+	regC.Windows = ws
+	regC.ChangePoint = 80
+	regC.ChangePointTime = ws.Analysis.TimeAt(80)
+	regC.Before = stats.Mean(ws.Analysis.Values[:80])
+	regC.After = stats.Mean(ws.Analysis.Values[80:])
+	regC.Delta = regC.After - regC.Before
+	res.CFiltered = !core.CheckWentAway(core.WentAwayConfig{}, regC).Keep
+	return res
+}
+
+func sampleSet(weights map[string]float64) *stacktrace.SampleSet {
+	ss := stacktrace.NewSampleSet()
+	for trace, w := range weights {
+		ss.AddTraceString(trace, w)
+	}
+	return ss
+}
+
+// buildWindows assembles a Windows struct at 1-minute steps.
+func buildWindows(hist, analysis, extended []float64) timeseries.Windows {
+	all := make([]float64, 0, len(hist)+len(analysis)+len(extended))
+	all = append(all, hist...)
+	all = append(all, analysis...)
+	all = append(all, extended...)
+	start := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	s := timeseries.New(start, time.Minute, all)
+	cfg := timeseries.WindowConfig{
+		Historic: time.Duration(len(hist)) * time.Minute,
+		Analysis: time.Duration(len(analysis)) * time.Minute,
+		Extended: time.Duration(len(extended)) * time.Minute,
+	}
+	ws, err := cfg.Cut(s, s.End())
+	if err != nil {
+		panic(err)
+	}
+	return ws
+}

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"fbdetect/internal/stats"
+)
+
+// AveragingPoint is one panel of Figure 2 or Figure 3: the residual noise
+// and detectability after averaging m servers' series.
+type AveragingPoint struct {
+	Servers int
+	NoiseSD float64 // sd of the averaged series around its mean
+	SNR     float64 // shift / NoiseSD: >1 means the step clears the noise floor
+	Visible bool    // SNR > 1, the paper's "can you see it" criterion
+	PValue  float64 // Welch t-test on before/after halves
+}
+
+// Figure2Result reproduces Figure 2: averaging m process-level series.
+type Figure2Result struct {
+	Shift  float64 // the blended regression (0.005%)
+	Points []AveragingPoint
+	// Scale is the divisor applied to the paper's server counts
+	// (simulating 50M servers pointwise is wasteful; the averaged series'
+	// noise is modeled exactly as sigma/sqrt(m), so Scale is 1).
+	Scale int
+}
+
+func (r Figure2Result) String() string {
+	var rows [][]string
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			fmt.Sprintf("m=%d", p.Servers),
+			fmt.Sprintf("%.6f", p.NoiseSD),
+			fmt.Sprintf("%.2f", p.SNR),
+			fmt.Sprintf("%v", p.Visible),
+			fmt.Sprintf("%.3g", p.PValue),
+		})
+	}
+	return fmt.Sprintf("Figure 2: process-level averaging (shift=%s)\n", fmtPct(r.Shift)) +
+		table([]string{"servers", "noise sd", "SNR", "visible", "p-value"}, rows)
+}
+
+// RunFigure2 reproduces Figure 2's setup: half the fleet at mu=40%,
+// sigma^2=0.01 with a +0.003% regression, half at mu=60%, sigma^2=0.02
+// with +0.007%, averaged over m servers for m in {500k, 5M, 50M}.
+//
+// Averaging m iid normal series yields a normal series with sd/sqrt(m);
+// the averaged series is modeled directly (statistically exact) rather
+// than materializing 50M series.
+func RunFigure2(seed int64) Figure2Result {
+	rng := newRng(seed)
+	res := Figure2Result{Shift: 0.00005, Scale: 1}
+	const n = 1000 // points per half
+	for _, m := range []int{500000, 5000000, 50000000} {
+		// Averaged series: mean 50%, regression (0.003+0.007)/2 = 0.005%.
+		// Variance of the average of m/2 servers at var 0.01 and m/2 at
+		// var 0.02: (0.25*0.01 + 0.25*0.02) * (2/m)^... computed directly:
+		// Var = (1/m^2) * (m/2*0.01 + m/2*0.02) = 0.015/m.
+		sd := math.Sqrt(0.015 / float64(m))
+		series := make([]float64, 2*n)
+		for i := range series {
+			mu := 0.5
+			if i >= n {
+				mu += 0.00005
+			}
+			series[i] = mu + rng.NormFloat64()*sd
+		}
+		tt := stats.WelchTTest(series[:n], series[n:])
+		noiseSD := stats.StdDev(series[:n])
+		res.Points = append(res.Points, AveragingPoint{
+			Servers: m,
+			NoiseSD: noiseSD,
+			SNR:     0.00005 / noiseSD,
+			Visible: 0.00005/noiseSD > 1,
+			PValue:  tt.P,
+		})
+	}
+	return res
+}
+
+// Figure3Result reproduces Figure 3: subroutine-level averaging detects
+// the same regression with 1000x fewer servers.
+type Figure3Result struct {
+	K      int // subroutines per process
+	Shift  float64
+	Points []AveragingPoint
+}
+
+func (r Figure3Result) String() string {
+	var rows [][]string
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			fmt.Sprintf("m=%d", p.Servers),
+			fmt.Sprintf("%.6f", p.NoiseSD),
+			fmt.Sprintf("%.2f", p.SNR),
+			fmt.Sprintf("%v", p.Visible),
+			fmt.Sprintf("%.3g", p.PValue),
+		})
+	}
+	return fmt.Sprintf("Figure 3: subroutine-level averaging (k=%d, 1000x fewer servers)\n", r.K) +
+		table([]string{"servers", "noise sd", "SNR", "visible", "p-value"}, rows)
+}
+
+// RunFigure3 reproduces Figure 3: the process-level CPU of Figure 2 is
+// spread across k=1000 subroutines, so the target subroutine's variance is
+// 1/k of the process's (paper Expression 2), and m in {500, 5k, 50k} —
+// 1000x fewer servers than Figure 2 — suffices.
+func RunFigure3(seed int64) Figure3Result {
+	rng := newRng(seed)
+	const k = 1000
+	res := Figure3Result{K: k, Shift: 0.00005}
+	const n = 1000
+	for _, m := range []int{500, 5000, 50000} {
+		// Per-server subroutine variance = process variance / k; the
+		// average over m servers divides by m again.
+		sd := math.Sqrt(0.015 / float64(k) / float64(m))
+		series := make([]float64, 2*n)
+		for i := range series {
+			mu := 0.5 / k // the subroutine's share of the process mean
+			if i >= n {
+				mu += 0.00005
+			}
+			v := mu + rng.NormFloat64()*sd
+			if v < 0 {
+				v = 0 // gCPU cannot be negative (paper footnote 2)
+			}
+			series[i] = v
+		}
+		tt := stats.WelchTTest(series[:n], series[n:])
+		noiseSD := stats.StdDev(series[:n])
+		res.Points = append(res.Points, AveragingPoint{
+			Servers: m,
+			NoiseSD: noiseSD,
+			SNR:     0.00005 / noiseSD,
+			Visible: 0.00005/noiseSD > 1,
+			PValue:  tt.P,
+		})
+	}
+	return res
+}

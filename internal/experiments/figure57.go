@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"fbdetect/internal/core"
+	"fbdetect/internal/pyperf"
+	"fbdetect/internal/tsdb"
+)
+
+// Figure5Result reproduces paper Figure 5: PyPerf's end-to-end stack
+// reconstruction from the system stack and CPython's virtual call stack.
+type Figure5Result struct {
+	SystemStack []string
+	VCS         []string
+	Merged      []string
+	ScaleneView []string // what a Python-level profiler would see
+	Correct     bool
+}
+
+func (r Figure5Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 5: PyPerf stack reconstruction\n")
+	fmt.Fprintf(&b, "  system stack: %s\n", strings.Join(r.SystemStack, " -> "))
+	fmt.Fprintf(&b, "  virtual call stack: %s\n", strings.Join(r.VCS, " -> "))
+	fmt.Fprintf(&b, "  merged (PyPerf): %s\n", strings.Join(r.Merged, " -> "))
+	fmt.Fprintf(&b, "  Scalene-style approximation: %s\n", strings.Join(r.ScaleneView, " -> "))
+	fmt.Fprintf(&b, "  reconstruction correct: %v\n", r.Correct)
+	return b.String()
+}
+
+// RunFigure5 builds the Figure 5 process (two Python frames, one native
+// C-library leaf) and merges it.
+func RunFigure5() Figure5Result {
+	p := pyperf.Process{
+		NativeStack: []string{
+			"_start", "main", "Py_RunMain",
+			pyperf.EvalFrameSymbol, // Py-funX
+			"call_function",
+			pyperf.EvalFrameSymbol, // Py-funZ
+			"cfunction_call",
+			"C-lib-foo",
+		},
+		VCSHead: pyperf.BuildVCS("Py-funX", "Py-funZ"),
+	}
+	res := Figure5Result{
+		SystemStack: p.NativeStack,
+		VCS:         []string{"Py-funX", "Py-funZ"},
+	}
+	merged, err := pyperf.MergeStack(p)
+	if err != nil {
+		return res
+	}
+	res.Merged = merged
+	if approx, err := pyperf.ScaleneApproximation(p); err == nil {
+		res.ScaleneView = approx
+	}
+	want := []string{"_start", "main", "Py_RunMain", "Py-funX", "call_function",
+		"Py-funZ", "cfunction_call", "C-lib-foo"}
+	res.Correct = len(merged) == len(want)
+	for i := range want {
+		if i >= len(merged) || merged[i] != want[i] {
+			res.Correct = false
+		}
+	}
+	return res
+}
+
+// Figure7Result reproduces paper Figure 7: a spike in the middle of the
+// window must not mask a true regression at the end.
+type Figure7Result struct {
+	SpikeKept      bool // verdict on the mid-window spike (should be false)
+	RegressionKept bool // verdict on the end regression (should be true)
+}
+
+func (r Figure7Result) String() string {
+	return fmt.Sprintf("Figure 7: went-away robustness\n"+
+		"  mid-window spike reported:   %v (want false)\n"+
+		"  end regression reported:     %v (want true)\n",
+		r.SpikeKept, r.RegressionKept)
+}
+
+// RunFigure7 builds the Figure 7 series — historic noise, a transient
+// spike, then a true regression at the end — and checks both verdicts.
+func RunFigure7(seed int64) Figure7Result {
+	rng := newRng(seed)
+	mk := func(n int, mu float64) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = mu + rng.NormFloat64()*0.2
+		}
+		return out
+	}
+	hist := mk(400, 10)
+
+	// Scenario A: the analysis window contains the spike, which recovers.
+	spikeAnalysis := append(mk(80, 10), mk(16, 14)...)
+	spikeAnalysis = append(spikeAnalysis, mk(104, 10)...)
+	wsA := buildWindows(hist, spikeAnalysis, mk(60, 10))
+	regA := core.NewRegressionRecord(tsdb.ID("svc", "sub", "gcpu"))
+	regA.Windows = wsA
+	regA.ChangePoint = 80
+	regA.ChangePointTime = wsA.Analysis.TimeAt(80)
+	regA.Before, regA.After = 10, 10.3
+	regA.Delta = 0.3
+
+	// Scenario B: history contains the spike; the analysis window ends in
+	// a true regression.
+	histB := mk(400, 10)
+	for i := 180; i < 190; i++ {
+		histB[i] = 14
+	}
+	endAnalysis := append(mk(120, 10), mk(80, 11.2)...)
+	wsB := buildWindows(histB, endAnalysis, mk(60, 11.2))
+	regB := core.NewRegressionRecord(tsdb.ID("svc", "sub", "gcpu"))
+	regB.Windows = wsB
+	regB.ChangePoint = 120
+	regB.ChangePointTime = wsB.Analysis.TimeAt(120)
+	regB.Before, regB.After = 10, 11.2
+	regB.Delta = 1.2
+
+	return Figure7Result{
+		SpikeKept:      core.CheckWentAway(core.WentAwayConfig{}, regA).Keep,
+		RegressionKept: core.CheckWentAway(core.WentAwayConfig{}, regB).Keep,
+	}
+}

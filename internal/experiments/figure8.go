@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"fbdetect/internal/core"
+	"fbdetect/internal/egads"
+	"fbdetect/internal/timeseries"
+	"fbdetect/internal/tsdb"
+)
+
+// Figure8Point is one operating point: an algorithm at a sensitivity with
+// its false-positive and false-negative rates.
+type Figure8Point struct {
+	Algorithm   string
+	Sensitivity float64
+	FPRate      float64
+	FNRate      float64
+}
+
+// Figure8Result reproduces paper Figure 8: FBDetect versus the EGADS
+// algorithms on a labelled corpus.
+type Figure8Result struct {
+	FBDetect Figure8Point
+	EGADS    []Figure8Point
+	// Corpus sizes.
+	Positives, Negatives int
+}
+
+func (r Figure8Result) String() string {
+	rows := [][]string{{
+		"FBDetect", "-",
+		fmt.Sprintf("%.5f", r.FBDetect.FPRate),
+		fmt.Sprintf("%.3f", r.FBDetect.FNRate),
+	}}
+	for _, p := range r.EGADS {
+		rows = append(rows, []string{
+			p.Algorithm,
+			fmt.Sprintf("%.2f", p.Sensitivity),
+			fmt.Sprintf("%.5f", p.FPRate),
+			fmt.Sprintf("%.3f", p.FNRate),
+		})
+	}
+	return fmt.Sprintf("Figure 8: FBDetect vs EGADS (%d positives, %d negatives)\n",
+		r.Positives, r.Negatives) +
+		table([]string{"algorithm", "sensitivity", "FP rate", "FN rate"}, rows)
+}
+
+// figure8Series is one labelled corpus entry.
+type figure8Series struct {
+	values   []float64
+	positive bool
+}
+
+// figure8Corpus builds the labelled test set: positives carry persistent
+// regressions spanning small to large magnitudes; negatives are quiet,
+// transient-ridden, or seasonal series — the §6.5 environment where a
+// threshold low enough for small regressions floods naive detectors with
+// transients.
+func figure8Corpus(seed int64, nPos, nNeg int) []figure8Series {
+	rng := newRng(seed)
+	var corpus []figure8Series
+	const n = 660
+	for i := 0; i < nPos; i++ {
+		base := 0.01 * math.Exp(rng.NormFloat64()*0.6)
+		noise := base * (0.01 + rng.Float64()*0.01)
+		// Small persistent shifts: 3-6 sigma of the per-point noise,
+		// starting at varying positions in the analysis window.
+		delta := noise * (3 + rng.Float64()*3)
+		cp := 440 + rng.Intn(120)
+		vals := make([]float64, n)
+		for j := range vals {
+			mu := base
+			if j >= cp {
+				mu += delta
+			}
+			vals[j] = mu + rng.NormFloat64()*noise
+		}
+		corpus = append(corpus, figure8Series{vals, true})
+	}
+	for i := 0; i < nNeg; i++ {
+		base := 0.01 * math.Exp(rng.NormFloat64()*0.6)
+		noise := base * (0.01 + rng.Float64()*0.01)
+		vals := make([]float64, n)
+		kind := i % 3
+		// Transients with the SAME magnitude scale as the true
+		// regressions, lasting up to hours (a large fraction of the test
+		// window) but always recovering before the window ends — the
+		// paper's core difficulty (§6.5).
+		tStart := 420 + rng.Intn(140)
+		tLen := 30 + rng.Intn(150)
+		if tStart+tLen > n-25 {
+			tLen = n - 25 - tStart
+		}
+		tMag := noise * (3 + rng.Float64()*5)
+		for j := range vals {
+			mu := base
+			switch kind {
+			case 1: // transient issue
+				if j >= tStart && j < tStart+tLen {
+					mu += tMag
+				}
+			case 2: // seasonality
+				mu += noise * 4 * math.Sin(2*math.Pi*float64(j)/96)
+			}
+			vals[j] = mu + rng.NormFloat64()*noise
+		}
+		corpus = append(corpus, figure8Series{vals, false})
+	}
+	return corpus
+}
+
+// RunFigure8 evaluates FBDetect's short-term path (with went-away and
+// seasonality filters) and the three EGADS algorithms across a sensitivity
+// sweep on the same corpus, using the same window protocol the paper
+// describes: EGADS sees FBDetect's historic window as its baseline and
+// the analysis+extended windows combined as its test window.
+func RunFigure8(seed int64) Figure8Result {
+	corpus := figure8Corpus(seed, 80, 400)
+	cfg := core.Config{
+		Threshold: 0.00002,
+		Windows: timeseries.WindowConfig{
+			Historic: 400 * time.Minute,
+			Analysis: 200 * time.Minute,
+			Extended: 60 * time.Minute,
+		},
+	}.WithDefaults()
+
+	res := Figure8Result{}
+	var fp, fn, pos, neg int
+	for _, s := range corpus {
+		detected := fbdetectVerdict(cfg, s.values)
+		if s.positive {
+			pos++
+			if !detected {
+				fn++
+			}
+		} else {
+			neg++
+			if detected {
+				fp++
+			}
+		}
+	}
+	res.Positives, res.Negatives = pos, neg
+	res.FBDetect = Figure8Point{
+		Algorithm: "FBDetect",
+		FPRate:    float64(fp) / float64(neg),
+		FNRate:    float64(fn) / float64(pos),
+	}
+
+	histN := 400
+	for _, det := range egads.All() {
+		for _, sens := range []float64{0.05, 0.2, 0.35, 0.5, 0.65, 0.8, 0.95} {
+			var fp, fn int
+			for _, s := range corpus {
+				detected := det.Detect(s.values[:histN], s.values[histN:], sens)
+				if s.positive && !detected {
+					fn++
+				}
+				if !s.positive && detected {
+					fp++
+				}
+			}
+			res.EGADS = append(res.EGADS, Figure8Point{
+				Algorithm:   det.Name(),
+				Sensitivity: sens,
+				FPRate:      float64(fp) / float64(neg),
+				FNRate:      float64(fn) / float64(pos),
+			})
+		}
+	}
+	return res
+}
+
+func fbdetectVerdict(cfg core.Config, values []float64) bool {
+	start := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	s := timeseries.New(start, time.Minute, values)
+	ws, err := cfg.Windows.Cut(s, s.End())
+	if err != nil {
+		return false
+	}
+	r := core.DetectShortTerm(cfg, tsdb.ID("svc", "sub", "gcpu"), ws, s.End())
+	if r == nil {
+		return false
+	}
+	return core.CheckWentAway(cfg.WentAway, r).Keep &&
+		core.CheckSeasonality(cfg.Seasonality, r).Keep &&
+		core.PassesThreshold(cfg, r)
+}

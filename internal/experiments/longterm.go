@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"time"
+
+	"fbdetect/internal/core"
+	"fbdetect/internal/timeseries"
+	"fbdetect/internal/tsdb"
+)
+
+// RunLongTerm builds three scenarios — a sudden step, a slow drift across
+// the whole analysis window, and a flat control — and runs both detection
+// paths on each.
+func RunLongTerm(seed int64) LongTermResult {
+	rng := newRng(seed)
+	cfg := core.Config{
+		Threshold: 0.3,
+		Windows: timeseries.WindowConfig{
+			Historic: 400 * time.Minute,
+			Analysis: 400 * time.Minute,
+			Extended: 80 * time.Minute,
+		},
+		LongTerm: true,
+	}.WithDefaults()
+
+	mk := func(n int, mu, sd float64) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = mu + rng.NormFloat64()*sd
+		}
+		return out
+	}
+
+	build := func(analysis []float64, extLevel float64) timeseries.Windows {
+		return buildWindows(mk(400, 10, 0.1), analysis, mk(80, extLevel, 0.1))
+	}
+
+	run := func(name string, ws timeseries.Windows) LongTermPoint {
+		scan := ws.Extended.End()
+		p := LongTermPoint{Scenario: name}
+		if r := core.DetectShortTerm(cfg, tsdb.ID("s", "e", "m"), ws, scan); r != nil {
+			if core.CheckWentAway(cfg.WentAway, r).Keep &&
+				core.CheckSeasonality(cfg.Seasonality, r).Keep &&
+				core.PassesThreshold(cfg, r) {
+				p.ShortTermCaught = true
+			}
+		}
+		if r := core.DetectLongTerm(cfg, tsdb.ID("s", "e", "m"), ws, scan); r != nil {
+			p.LongTermCaught = true
+			p.LongTermLocation = r.ChangePoint
+		}
+		return p
+	}
+
+	var res LongTermResult
+
+	// Sudden step mid-window.
+	step := append(mk(200, 10, 0.1), mk(200, 11, 0.1)...)
+	res.Points = append(res.Points, run("sudden step", build(step, 11)))
+
+	// Slow drift: +1 over the full 400-point analysis window. No single
+	// point looks like a step, so CUSUM's validated split is weak, but
+	// the long-term trend comparison sees start vs end clearly.
+	drift := make([]float64, 400)
+	for i := range drift {
+		drift[i] = 10 + float64(i)/400 + rng.NormFloat64()*0.1
+	}
+	res.Points = append(res.Points, run("slow drift", build(drift, 11)))
+
+	// Flat control.
+	res.Points = append(res.Points, run("flat control", build(mk(400, 10, 0.1), 10)))
+	return res
+}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"time"
+
+	"fbdetect/internal/pyperf"
+)
+
+// OverheadPoint is the measured throughput of the microbenchmark at one
+// sampling rate.
+type OverheadPoint struct {
+	RateHz     float64 // samples per second (0 = sampling off)
+	OpsPerSec  float64
+	OverheadPc float64 // relative throughput loss vs sampling off
+}
+
+// OverheadResult reproduces §6.6: the PyPerf sampling-overhead experiment.
+type OverheadResult struct {
+	Points []OverheadPoint
+}
+
+func (r OverheadResult) String() string {
+	var rows [][]string
+	for _, p := range r.Points {
+		rate := "off"
+		if p.RateHz > 0 {
+			rate = fmt.Sprintf("%.0f Hz", p.RateHz)
+		}
+		rows = append(rows, []string{
+			rate,
+			fmt.Sprintf("%.0f", p.OpsPerSec),
+			fmt.Sprintf("%.2f%%", p.OverheadPc),
+		})
+	}
+	return "PyPerf sampling overhead (§6.6): serialize+compress microbenchmark\n" +
+		table([]string{"sampling rate", "ops/sec", "overhead"}, rows)
+}
+
+// workItem is the "large data structure" the §6.6 microbenchmark
+// repeatedly serializes and compresses.
+type workItem struct {
+	ID      int
+	Name    string
+	Tags    []string
+	Metrics map[string]float64
+	Blob    []byte
+}
+
+func newWorkItem() *workItem {
+	w := &workItem{
+		ID:      42,
+		Name:    "fbdetect-overhead-benchmark",
+		Tags:    make([]string, 64),
+		Metrics: map[string]float64{},
+		Blob:    make([]byte, 16<<10),
+	}
+	for i := range w.Tags {
+		w.Tags[i] = fmt.Sprintf("tag-%04d", i)
+	}
+	for i := 0; i < 64; i++ {
+		w.Metrics[fmt.Sprintf("metric-%03d", i)] = float64(i) * 1.7
+	}
+	for i := range w.Blob {
+		w.Blob[i] = byte(i * 31)
+	}
+	return w
+}
+
+// microBenchOp serializes the item with gob, gzips it, and writes it to
+// io.Discard — the paper's "serializes a large data structure, compresses
+// it, and writes it to a file" workload.
+func microBenchOp(w *workItem, buf *bytes.Buffer) error {
+	buf.Reset()
+	zw := gzip.NewWriter(buf)
+	if err := gob.NewEncoder(zw).Encode(w); err != nil {
+		return err
+	}
+	if err := zw.Close(); err != nil {
+		return err
+	}
+	_, err := io.Copy(io.Discard, buf)
+	return err
+}
+
+// RunOverhead measures microbenchmark throughput for the given duration
+// with sampling off, at 1 Hz (the paper's worst-case production rate),
+// and at two aggressive rates that make the overhead trend visible on a
+// short run.
+func RunOverhead(perPoint time.Duration) OverheadResult {
+	target := func() pyperf.Process {
+		return pyperf.Process{
+			NativeStack: []string{"_start", pyperf.EvalFrameSymbol,
+				pyperf.EvalFrameSymbol, "gzip_compress"},
+			VCSHead: pyperf.BuildVCS("serialize_loop", "compress_payload"),
+		}
+	}
+	measure := func(rateHz float64) float64 {
+		var sampler *pyperf.Sampler
+		if rateHz > 0 {
+			sampler = pyperf.NewSampler(time.Duration(float64(time.Second)/rateHz), target)
+			sampler.Start()
+		}
+		w := newWorkItem()
+		var buf bytes.Buffer
+		ops := 0
+		deadline := time.Now().Add(perPoint)
+		for time.Now().Before(deadline) {
+			if err := microBenchOp(w, &buf); err != nil {
+				panic(err)
+			}
+			ops++
+		}
+		if sampler != nil {
+			sampler.Stop()
+		}
+		return float64(ops) / perPoint.Seconds()
+	}
+
+	res := OverheadResult{}
+	baseline := measure(0)
+	res.Points = append(res.Points, OverheadPoint{RateHz: 0, OpsPerSec: baseline})
+	for _, rate := range []float64{1, 1000, 10000} {
+		ops := measure(rate)
+		res.Points = append(res.Points, OverheadPoint{
+			RateHz:     rate,
+			OpsPerSec:  ops,
+			OverheadPc: (baseline - ops) / baseline * 100,
+		})
+	}
+	return res
+}

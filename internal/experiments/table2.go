@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fbdetect/internal/stacktrace"
+)
+
+// Table2Result reproduces paper Table 2: the gCPU attribution example for
+// a regression in subroutine B caused by a change modifying A and E.
+type Table2Result struct {
+	Rows        [][3]string // trace, gCPU before, gCPU after
+	GCPUBBefore float64
+	GCPUBAfter  float64
+	R           float64 // regression magnitude
+	L           float64 // magnitude through changed subroutines
+	Attribution float64 // L/R, the paper's 80%
+}
+
+func (r Table2Result) String() string {
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{row[0], row[1], row[2]})
+	}
+	rows = append(rows, []string{"Total",
+		fmt.Sprintf("%.2f", r.GCPUBBefore), fmt.Sprintf("%.2f", r.GCPUBAfter)})
+	return "Table 2: gCPU attribution for subroutine B (change modifies A, E)\n" +
+		table([]string{"stack-trace samples", "gCPU before", "gCPU after"}, rows) +
+		fmt.Sprintf("R=%.2f L=%.2f attribution L/R=%.0f%%\n", r.R, r.L, r.Attribution*100)
+}
+
+// RunTable2 reproduces Table 2 exactly using the stacktrace package's gCPU
+// machinery and verifies the 80% attribution.
+func RunTable2() Table2Result {
+	before := stacktrace.NewSampleSet()
+	before.AddTraceString("A->B->C", 0.01)
+	before.AddTraceString("B->E->F", 0.02)
+	before.AddTraceString("D->B->C", 0.02)
+	before.AddTraceString("B->E->D", 0.04)
+	before.AddTraceString("Other", 0.91)
+	after := stacktrace.NewSampleSet()
+	after.AddTraceString("A->B->C", 0.02)
+	after.AddTraceString("B->E->F", 0.03)
+	after.AddTraceString("D->B->C", 0.02)
+	after.AddTraceString("B->E->D", 0.06)
+	after.AddTraceString("G->B->D", 0.01)
+	after.AddTraceString("Other", 0.86)
+
+	res := Table2Result{
+		Rows: [][3]string{
+			{"A->B->C", "0.01", "0.02"},
+			{"B->E->F", "0.02", "0.03"},
+			{"D->B->C", "0.02", "0.02"},
+			{"B->E->D", "0.04", "0.06"},
+			{"G->B->D", "does not exist", "0.01"},
+		},
+	}
+	res.GCPUBBefore = before.GCPU("B")
+	res.GCPUBAfter = after.GCPU("B")
+	res.R = res.GCPUBAfter - res.GCPUBBefore
+	changed := map[string]bool{"A": true, "E": true}
+	res.L = after.GCPUIntersection("B", changed) - before.GCPUIntersection("B", changed)
+	res.Attribution = res.L / res.R
+	return res
+}

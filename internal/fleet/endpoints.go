@@ -1,0 +1,143 @@
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"fbdetect/internal/tracing"
+	"fbdetect/internal/tsdb"
+)
+
+// EndpointSpec declares one user-facing endpoint of a service and the
+// subroutines a request to it executes. Endpoint-level regression
+// detection (paper §3) monitors the aggregate cost per request across all
+// involved subroutines, which may run on different threads.
+type EndpointSpec struct {
+	Name        string
+	Subroutines []string
+	// RPS is the request rate used when generating traces and the
+	// baseline for the per-endpoint throughput series.
+	RPS float64
+	// CostNoise is the relative noise on per-request cost.
+	CostNoise float64
+	// BaseLatency, when positive, enables a per-endpoint latency series
+	// ("endpoint_latency"); latency scales with the endpoint's unit cost,
+	// so subroutine regressions surface in it.
+	BaseLatency float64
+	// BaseErrorRate, when positive, enables a per-endpoint error-rate
+	// series ("endpoint_errors").
+	BaseErrorRate float64
+}
+
+// endpointUnitCost returns the per-request cost of the endpoint under the
+// given tree: the sum of its subroutines' self weights (arbitrary cost
+// units; a code change scaling a subroutine's weight scales the endpoints
+// that use it).
+func endpointUnitCost(tree *Tree, spec EndpointSpec) float64 {
+	var sum float64
+	for _, sub := range spec.Subroutines {
+		if n := tree.Node(sub); n != nil {
+			sum += n.SelfWeight
+		}
+	}
+	return sum
+}
+
+// EmitEndpoints appends per-endpoint mean-cost series ("endpoint_cost")
+// for [from, to) into db, evaluating each endpoint's cost under the call
+// tree in effect at each step. Metric IDs use the endpoint name as the
+// entity.
+func (s *Service) EmitEndpoints(db *tsdb.DB, specs []EndpointSpec, from, to time.Time) error {
+	if db.Step() != s.cfg.Step {
+		return fmt.Errorf("fleet: db step %s != service step %s", db.Step(), s.cfg.Step)
+	}
+	for _, spec := range specs {
+		if len(spec.Subroutines) == 0 {
+			return fmt.Errorf("fleet: endpoint %q has no subroutines", spec.Name)
+		}
+	}
+	for t := from; t.Before(to); t = t.Add(s.cfg.Step) {
+		tree := s.TreeAt(t)
+		season := s.seasonFactor(t)
+		for _, spec := range specs {
+			unitCost := endpointUnitCost(tree, spec)
+			cost := unitCost * season
+			noise := spec.CostNoise
+			if noise <= 0 {
+				noise = 0.01
+			}
+			entity := "endpoint:" + spec.Name
+			jitter := func(base float64) float64 {
+				v := base * (1 + s.rng.NormFloat64()*noise)
+				if v < 0 {
+					v = 0
+				}
+				return v
+			}
+			if err := db.Append(tsdb.ID(s.cfg.Name, entity, "endpoint_cost"), t, jitter(cost)); err != nil {
+				return err
+			}
+			// Per-RPC-endpoint latency, throughput and error rate (paper
+			// §2: "latency, throughput, and error rate per RPC endpoint").
+			if spec.BaseLatency > 0 {
+				// Latency tracks the endpoint's unit cost relative to its
+				// initial value via the cost itself; scale the base by
+				// the (seasonless) unit cost normalized to a 1.0 epoch
+				// using the cost magnitude directly.
+				lat := spec.BaseLatency * unitCost / endpointUnitCost(s.epochs[0].tree, spec)
+				if err := db.Append(tsdb.ID(s.cfg.Name, entity, "endpoint_latency"), t, jitter(lat)); err != nil {
+					return err
+				}
+			}
+			if spec.RPS > 0 {
+				if err := db.Append(tsdb.ID(s.cfg.Name, entity, "endpoint_rps"), t, jitter(spec.RPS*season)); err != nil {
+					return err
+				}
+			}
+			if spec.BaseErrorRate > 0 {
+				if err := db.Append(tsdb.ID(s.cfg.Name, entity, "endpoint_errors"), t, jitter(spec.BaseErrorRate)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// GenerateTraces produces n end-to-end request traces for the endpoint at
+// time at, splitting each request's cost across its subroutines on
+// simulated threads. The tracing.Aggregator consumes these to compute
+// endpoint statistics the same way production end-to-end tracing does.
+func (s *Service) GenerateTraces(rng *rand.Rand, spec EndpointSpec, at time.Time, n int) []*tracing.RequestTrace {
+	tree := s.TreeAt(at)
+	traces := make([]*tracing.RequestTrace, 0, n)
+	for i := 0; i < n; i++ {
+		tr := &tracing.RequestTrace{
+			TraceID:  fmt.Sprintf("%s-%d-%d", spec.Name, at.UnixNano(), i),
+			Endpoint: spec.Name,
+		}
+		for ti, sub := range spec.Subroutines {
+			node := tree.Node(sub)
+			if node == nil {
+				continue
+			}
+			noise := spec.CostNoise
+			if noise <= 0 {
+				noise = 0.01
+			}
+			cost := node.SelfWeight * (1 + rng.NormFloat64()*noise)
+			if cost < 0 {
+				cost = 0
+			}
+			tr.Spans = append(tr.Spans, tracing.TraceSpan{
+				Subroutine: sub,
+				Thread:     ti % 4, // spread work across threads
+				CPU:        time.Duration(cost * float64(time.Millisecond)),
+				Start:      at,
+			})
+		}
+		traces = append(traces, tr)
+	}
+	return traces
+}

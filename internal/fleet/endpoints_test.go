@@ -1,0 +1,171 @@
+package fleet
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"fbdetect/internal/stats"
+	"fbdetect/internal/tracing"
+	"fbdetect/internal/tsdb"
+)
+
+func endpointSpecs() []EndpointSpec {
+	return []EndpointSpec{
+		{Name: "/feed", Subroutines: []string{"render", "fetch"}, RPS: 100, CostNoise: 0.02},
+		{Name: "/cache", Subroutines: []string{"Cache::get"}, RPS: 50, CostNoise: 0.02},
+	}
+}
+
+func TestEmitEndpointsSeries(t *testing.T) {
+	tree := smallTree(t)
+	svc, err := NewService(serviceConfig(t, tree))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := tsdb.New(time.Minute)
+	if err := svc.EmitEndpoints(db, endpointSpecs(), t0, t0.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	s, err := db.Full(tsdb.ID("svc", "endpoint:/feed", "endpoint_cost"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 60 {
+		t.Fatalf("points = %d", s.Len())
+	}
+	// /feed cost = render(10) + fetch(30) = 40 units.
+	if m := stats.Mean(s.Values); m < 38 || m > 42 {
+		t.Errorf("mean endpoint cost = %v, want ~40", m)
+	}
+}
+
+func TestEmitEndpointsReflectsChanges(t *testing.T) {
+	tree := smallTree(t)
+	svc, err := NewService(serviceConfig(t, tree))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.ScheduleChange(ScheduledChange{
+		At:     t0.Add(30 * time.Minute),
+		Effect: func(tr *Tree) error { return tr.ScaleSelfWeight("fetch", 1.5) },
+	})
+	db := tsdb.New(time.Minute)
+	if err := svc.EmitEndpoints(db, endpointSpecs(), t0, t0.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	feed, _ := db.Full(tsdb.ID("svc", "endpoint:/feed", "endpoint_cost"))
+	before := stats.Mean(feed.Values[:30])
+	after := stats.Mean(feed.Values[30:])
+	// fetch 30 -> 45, so /feed cost 40 -> 55.
+	if after-before < 10 {
+		t.Errorf("endpoint cost shift = %v, want ~15", after-before)
+	}
+	// /cache does not use fetch: unchanged.
+	cache, _ := db.Full(tsdb.ID("svc", "endpoint:/cache", "endpoint_cost"))
+	cb := stats.Mean(cache.Values[:30])
+	ca := stats.Mean(cache.Values[30:])
+	if diff := ca - cb; diff > cb*0.05 {
+		t.Errorf("unrelated endpoint moved: %v", diff)
+	}
+}
+
+func TestEmitEndpointsValidation(t *testing.T) {
+	tree := smallTree(t)
+	svc, err := NewService(serviceConfig(t, tree))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := tsdb.New(time.Minute)
+	bad := []EndpointSpec{{Name: "/empty"}}
+	if err := svc.EmitEndpoints(db, bad, t0, t0.Add(time.Minute)); err == nil {
+		t.Error("endpoint without subroutines accepted")
+	}
+	db2 := tsdb.New(time.Hour) // step mismatch
+	if err := svc.EmitEndpoints(db2, endpointSpecs(), t0, t0.Add(time.Minute)); err == nil {
+		t.Error("step mismatch accepted")
+	}
+}
+
+func TestGenerateTracesAggregate(t *testing.T) {
+	tree := smallTree(t)
+	svc, err := NewService(serviceConfig(t, tree))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	spec := endpointSpecs()[0]
+	traces := svc.GenerateTraces(rng, spec, t0, 200)
+	if len(traces) != 200 {
+		t.Fatalf("traces = %d", len(traces))
+	}
+	agg := tracing.NewAggregator()
+	for _, tr := range traces {
+		if err := agg.Record(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := agg.Snapshot()
+	if len(snap) != 1 || snap[0].Endpoint != "/feed" {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	// Mean per-request cost ~40ms (render 10 + fetch 30, in ms units).
+	mean := snap[0].MeanCPU
+	if mean < 38*time.Millisecond || mean > 42*time.Millisecond {
+		t.Errorf("mean cost = %v, want ~40ms", mean)
+	}
+	// Spans are spread across threads.
+	threads := map[int]bool{}
+	for _, sp := range traces[0].Spans {
+		threads[sp.Thread] = true
+	}
+	if len(threads) < 2 {
+		t.Errorf("spans on %d threads, want >= 2", len(threads))
+	}
+}
+
+func TestEmitEndpointsRPCMetrics(t *testing.T) {
+	tree := smallTree(t)
+	svc, err := NewService(serviceConfig(t, tree))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.ScheduleChange(ScheduledChange{
+		At:     t0.Add(30 * time.Minute),
+		Effect: func(tr *Tree) error { return tr.ScaleSelfWeight("fetch", 1.5) },
+	})
+	specs := []EndpointSpec{{
+		Name: "/feed", Subroutines: []string{"render", "fetch"},
+		RPS: 500, CostNoise: 0.01, BaseLatency: 80, BaseErrorRate: 0.002,
+	}}
+	db := tsdb.New(time.Minute)
+	if err := svc.EmitEndpoints(db, specs, t0, t0.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	// Latency follows the cost regression: fetch 30->45 means /feed unit
+	// cost 40->55, so latency 80 -> 110.
+	lat, err := db.Full(tsdb.ID("svc", "endpoint:/feed", "endpoint_latency"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := stats.Mean(lat.Values[:30])
+	la := stats.Mean(lat.Values[30:])
+	if la/lb < 1.2 {
+		t.Errorf("latency did not follow cost: %v -> %v", lb, la)
+	}
+	// RPS and error rate stay at their baselines.
+	rps, err := db.Full(tsdb.ID("svc", "endpoint:/feed", "endpoint_rps"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := stats.Mean(rps.Values); m < 480 || m > 520 {
+		t.Errorf("rps mean = %v", m)
+	}
+	errs, err := db.Full(tsdb.ID("svc", "endpoint:/feed", "endpoint_errors"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := stats.Mean(errs.Values); m < 0.0015 || m > 0.0025 {
+		t.Errorf("error-rate mean = %v", m)
+	}
+}

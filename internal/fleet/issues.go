@@ -1,0 +1,84 @@
+package fleet
+
+import "time"
+
+// IssueType enumerates the transient production issues the paper lists as
+// false-positive sources (§1): "server failures, maintenance operations,
+// load spikes, software rolling updates, canary tests, and traffic shifts,
+// which can last from seconds to hours."
+type IssueType int
+
+// Transient issue types.
+const (
+	ServerFailure IssueType = iota
+	Maintenance
+	LoadSpike
+	RollingUpdate
+	CanaryTest
+	TrafficShift
+)
+
+var issueNames = [...]string{
+	"server-failure", "maintenance", "load-spike",
+	"rolling-update", "canary-test", "traffic-shift",
+}
+
+func (t IssueType) String() string {
+	if int(t) < len(issueNames) {
+		return issueNames[t]
+	}
+	return "unknown"
+}
+
+// Issue is one transient perturbation of a service's metrics over
+// [Start, End). The multipliers scale the affected metrics while the issue
+// is active; metrics return to normal afterwards, which is what makes
+// these regressions "go away" and distinguishes them from true
+// regressions.
+type Issue struct {
+	Type  IssueType
+	Start time.Time
+	End   time.Time
+	// CPUFactor, ThroughputFactor, LatencyFactor, ErrorFactor scale the
+	// respective service metrics during the issue; 1 means unaffected.
+	CPUFactor        float64
+	ThroughputFactor float64
+	LatencyFactor    float64
+	ErrorFactor      float64
+}
+
+// Active reports whether the issue is in effect at t.
+func (is Issue) Active(t time.Time) bool {
+	return !t.Before(is.Start) && t.Before(is.End)
+}
+
+// DefaultIssue returns an issue of the given type with representative
+// impact factors over [start, start+d).
+func DefaultIssue(typ IssueType, start time.Time, d time.Duration) Issue {
+	is := Issue{
+		Type: typ, Start: start, End: start.Add(d),
+		CPUFactor: 1, ThroughputFactor: 1, LatencyFactor: 1, ErrorFactor: 1,
+	}
+	switch typ {
+	case ServerFailure:
+		is.ThroughputFactor = 0.7
+		is.ErrorFactor = 5
+	case Maintenance:
+		is.ThroughputFactor = 0.85
+		is.CPUFactor = 0.9
+	case LoadSpike:
+		is.ThroughputFactor = 1.4
+		is.CPUFactor = 1.3
+		is.LatencyFactor = 1.5
+	case RollingUpdate:
+		is.CPUFactor = 1.1
+		is.LatencyFactor = 1.2
+		is.ThroughputFactor = 0.95
+	case CanaryTest:
+		is.CPUFactor = 1.05
+	case TrafficShift:
+		is.ThroughputFactor = 0.6
+		is.CPUFactor = 0.8
+	}
+	return is
+}

@@ -1,0 +1,37 @@
+package pyperf
+
+import "testing"
+
+func BenchmarkMergeStack(b *testing.B) {
+	p := Process{
+		NativeStack: []string{
+			"_start", "main", "Py_RunMain",
+			EvalFrameSymbol, "call_function", EvalFrameSymbol,
+			"cfunction_call", "C-lib-foo",
+		},
+		VCSHead: BuildVCS("Py-funX", "Py-funZ"),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := MergeStack(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMergeStackDeep(b *testing.B) {
+	const depth = 100
+	native := []string{"_start"}
+	fns := make([]string, depth)
+	for i := range fns {
+		fns[i] = "recurse"
+		native = append(native, EvalFrameSymbol)
+	}
+	p := Process{NativeStack: native, VCSHead: BuildVCS(fns...)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := MergeStack(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+// Package pyperf reproduces the PyPerf stack-trace reconstruction of paper
+// §4 (Figure 5) against a simulated CPython process.
+//
+// The paper's PyPerf is an eBPF kernel probe; the hardware/kernel substrate
+// is not available here, so this package models the interpreter state the
+// probe reads: a system (native) stack whose Python-level activity appears
+// only as _PyEval_EvalFrameDefault frames, and the interpreter's virtual
+// call stack (VCS) — a linked list of frames naming the Python subroutines.
+// The key insight reproduced here is that each _PyEval_EvalFrameDefault
+// call on the system stack maps one-to-one to a VCS frame, letting the
+// merge splice Python names into the native stack while preserving both
+// CPython-internal frames and native C-library frames called from Python.
+package pyperf
+
+import (
+	"errors"
+	"strings"
+)
+
+// EvalFrameSymbol is the CPython interpreter-loop symbol each Python-level
+// call contributes to the native stack.
+const EvalFrameSymbol = "_PyEval_EvalFrameDefault"
+
+// VCSFrame is one frame of CPython's virtual call stack: a linked list
+// from the innermost (current) Python call outward, as stored in the
+// interpreter's thread state.
+type VCSFrame struct {
+	Function string    // Python function name
+	File     string    // source file
+	Line     int       // line number
+	Back     *VCSFrame // next-outer frame (toward main), nil at the root
+}
+
+// Process is a simulated CPython process at the instant of a sample: the
+// native stack (root first, leaf last) and the head of the VCS (the
+// innermost Python frame).
+type Process struct {
+	NativeStack []string
+	VCSHead     *VCSFrame
+}
+
+// Errors returned by MergeStack.
+var (
+	// ErrFrameMismatch indicates the number of eval frames on the native
+	// stack does not match the VCS depth — the probe raced a call/return.
+	ErrFrameMismatch = errors.New("pyperf: eval frame count does not match VCS depth")
+)
+
+// vcsOutermostFirst walks the VCS linked list and returns the frames
+// ordered outermost (main) first, matching the native stack's root-first
+// order.
+func vcsOutermostFirst(head *VCSFrame) []*VCSFrame {
+	var inner []*VCSFrame
+	for f := head; f != nil; f = f.Back {
+		inner = append(inner, f)
+	}
+	out := make([]*VCSFrame, len(inner))
+	for i, f := range inner {
+		out[len(inner)-1-i] = f
+	}
+	return out
+}
+
+// MergeStack reconstructs the end-to-end stack trace of the process
+// (Figure 5): CPython-internal native frames are kept, each
+// _PyEval_EvalFrameDefault frame is replaced by the corresponding Python
+// function from the VCS, and native frames called above the innermost eval
+// frame (C libraries invoked by Python code) are kept as-is.
+func MergeStack(p Process) ([]string, error) {
+	vcs := vcsOutermostFirst(p.VCSHead)
+	evalCount := 0
+	for _, sym := range p.NativeStack {
+		if sym == EvalFrameSymbol {
+			evalCount++
+		}
+	}
+	if evalCount != len(vcs) {
+		return nil, ErrFrameMismatch
+	}
+	merged := make([]string, 0, len(p.NativeStack))
+	vi := 0
+	for _, sym := range p.NativeStack {
+		if sym == EvalFrameSymbol {
+			merged = append(merged, vcs[vi].Function)
+			vi++
+		} else {
+			merged = append(merged, sym)
+		}
+	}
+	return merged, nil
+}
+
+// PythonOnly filters a merged stack down to the Python functions, dropping
+// CPython-internal and native frames. Python frames are identified as the
+// positions that were eval frames; since MergeStack replaced them in
+// order, re-deriving requires the original process, so PythonOnly takes the
+// process and re-merges.
+func PythonOnly(p Process) ([]string, error) {
+	vcs := vcsOutermostFirst(p.VCSHead)
+	evalCount := 0
+	for _, sym := range p.NativeStack {
+		if sym == EvalFrameSymbol {
+			evalCount++
+		}
+	}
+	if evalCount != len(vcs) {
+		return nil, ErrFrameMismatch
+	}
+	out := make([]string, len(vcs))
+	for i, f := range vcs {
+		out[i] = f.Function
+	}
+	return out, nil
+}
+
+// ScaleneApproximation mimics the paper's characterization of
+// Python-level-only profilers (§4, contrasting Scalene): native C-library
+// time cannot be attributed to the exact native frames, only lumped into
+// the calling Python function. It returns the Python stack with any native
+// leaf frames replaced by a single "<native>" marker, demonstrating the
+// information PyPerf preserves that Python-level profilers lose.
+func ScaleneApproximation(p Process) ([]string, error) {
+	py, err := PythonOnly(p)
+	if err != nil {
+		return nil, err
+	}
+	// Does the native stack have frames above the last eval frame?
+	lastEval := -1
+	for i, sym := range p.NativeStack {
+		if sym == EvalFrameSymbol {
+			lastEval = i
+		}
+	}
+	if lastEval >= 0 && lastEval < len(p.NativeStack)-1 {
+		py = append(py, "<native>")
+	}
+	return py, nil
+}
+
+// BuildVCS constructs a VCS from function names ordered outermost first,
+// returning the head (innermost frame). It is a convenience for tests and
+// the fleet simulator.
+func BuildVCS(functions ...string) *VCSFrame {
+	var head *VCSFrame
+	for _, fn := range functions {
+		head = &VCSFrame{Function: fn, Back: head}
+	}
+	return head
+}
+
+// FormatStack renders a merged stack as "a;b;c" (collapsed/folded form,
+// root first), the conventional format for flame-graph tooling.
+func FormatStack(frames []string) string {
+	return strings.Join(frames, ";")
+}

@@ -1,0 +1,208 @@
+package pyperf
+
+import (
+	"testing"
+	"time"
+)
+
+// figure5Process models the exact scenario of paper Figure 5: CPython
+// startup frames, two Python calls (Py-funX ... Py-funZ) appearing as eval
+// frames, and a native C library (C-lib-foo) invoked by the Python code.
+func figure5Process() Process {
+	return Process{
+		NativeStack: []string{
+			"_start", "main", "Py_RunMain",
+			EvalFrameSymbol, // Py-funX
+			"call_function",
+			EvalFrameSymbol, // Py-funZ
+			"cfunction_call",
+			"C-lib-foo", "C-lib-foo-inner",
+		},
+		VCSHead: BuildVCS("Py-funX", "Py-funZ"),
+	}
+}
+
+func TestMergeStackFigure5(t *testing.T) {
+	merged, err := MergeStack(figure5Process())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"_start", "main", "Py_RunMain",
+		"Py-funX", "call_function", "Py-funZ",
+		"cfunction_call", "C-lib-foo", "C-lib-foo-inner",
+	}
+	if len(merged) != len(want) {
+		t.Fatalf("merged = %v", merged)
+	}
+	for i := range want {
+		if merged[i] != want[i] {
+			t.Errorf("merged[%d] = %q, want %q", i, merged[i], want[i])
+		}
+	}
+}
+
+func TestMergeStackFrameMismatch(t *testing.T) {
+	p := figure5Process()
+	p.VCSHead = BuildVCS("only-one")
+	if _, err := MergeStack(p); err != ErrFrameMismatch {
+		t.Errorf("err = %v, want ErrFrameMismatch", err)
+	}
+}
+
+func TestMergeStackNoPython(t *testing.T) {
+	p := Process{NativeStack: []string{"_start", "main", "work"}}
+	merged, err := MergeStack(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != 3 || merged[2] != "work" {
+		t.Errorf("merged = %v", merged)
+	}
+}
+
+func TestMergeStackEmpty(t *testing.T) {
+	merged, err := MergeStack(Process{})
+	if err != nil || len(merged) != 0 {
+		t.Errorf("empty process: %v, %v", merged, err)
+	}
+}
+
+func TestDeepRecursion(t *testing.T) {
+	const depth = 500
+	native := []string{"_start"}
+	fns := make([]string, depth)
+	for i := range fns {
+		fns[i] = "recurse"
+		native = append(native, EvalFrameSymbol)
+	}
+	p := Process{NativeStack: native, VCSHead: BuildVCS(fns...)}
+	merged, err := MergeStack(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != depth+1 {
+		t.Fatalf("len = %d", len(merged))
+	}
+	for _, f := range merged[1:] {
+		if f != "recurse" {
+			t.Fatal("recursion frames wrong")
+		}
+	}
+}
+
+func TestPythonOnly(t *testing.T) {
+	py, err := PythonOnly(figure5Process())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(py) != 2 || py[0] != "Py-funX" || py[1] != "Py-funZ" {
+		t.Errorf("PythonOnly = %v", py)
+	}
+}
+
+func TestScaleneApproximationLosesNativeDetail(t *testing.T) {
+	approx, err := ScaleneApproximation(figure5Process())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scalene-style output lumps C-lib-foo into an opaque native marker.
+	if approx[len(approx)-1] != "<native>" {
+		t.Errorf("approx = %v, want trailing <native>", approx)
+	}
+	for _, f := range approx {
+		if f == "C-lib-foo" {
+			t.Error("approximation should not name native frames")
+		}
+	}
+	// PyPerf's merged stack does name it — that is the contribution.
+	merged, _ := MergeStack(figure5Process())
+	found := false
+	for _, f := range merged {
+		if f == "C-lib-foo" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("merged stack must include native library frames")
+	}
+}
+
+func TestScaleneApproximationPurePython(t *testing.T) {
+	p := Process{
+		NativeStack: []string{"_start", EvalFrameSymbol},
+		VCSHead:     BuildVCS("main_py"),
+	}
+	approx, err := ScaleneApproximation(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(approx) != 1 || approx[0] != "main_py" {
+		t.Errorf("approx = %v", approx)
+	}
+}
+
+func TestBuildVCSOrder(t *testing.T) {
+	head := BuildVCS("outer", "mid", "inner")
+	if head.Function != "inner" || head.Back.Function != "mid" || head.Back.Back.Function != "outer" {
+		t.Error("BuildVCS order wrong")
+	}
+	if head.Back.Back.Back != nil {
+		t.Error("root should have nil Back")
+	}
+	if BuildVCS() != nil {
+		t.Error("empty VCS should be nil")
+	}
+}
+
+func TestFormatStack(t *testing.T) {
+	if got := FormatStack([]string{"a", "b"}); got != "a;b" {
+		t.Errorf("FormatStack = %q", got)
+	}
+}
+
+func TestSamplerCapturesAndStops(t *testing.T) {
+	s := NewSampler(time.Millisecond, figure5Process)
+	s.Start()
+	time.Sleep(50 * time.Millisecond)
+	s.Stop()
+	n := s.Count()
+	if n == 0 {
+		t.Fatal("sampler captured nothing")
+	}
+	stacks := s.Stacks()
+	if int64(len(stacks)) != n {
+		t.Errorf("stacks %d vs count %d", len(stacks), n)
+	}
+	for _, st := range stacks {
+		if st != "_start;main;Py_RunMain;Py-funX;call_function;Py-funZ;cfunction_call;C-lib-foo;C-lib-foo-inner" {
+			t.Fatalf("bad stack: %q", st)
+		}
+	}
+	if s.Dropped() != 0 {
+		t.Errorf("dropped = %d", s.Dropped())
+	}
+	// After Stop, no more samples accumulate.
+	time.Sleep(10 * time.Millisecond)
+	if s.Count() != n {
+		t.Error("sampler kept running after Stop")
+	}
+}
+
+func TestSamplerDropsRacySamples(t *testing.T) {
+	bad := func() Process {
+		p := figure5Process()
+		p.VCSHead = nil // simulate racing the interpreter
+		return p
+	}
+	s := NewSampler(time.Millisecond, bad)
+	s.Start()
+	time.Sleep(30 * time.Millisecond)
+	s.Stop()
+	if s.Dropped() == 0 {
+		t.Error("expected dropped samples")
+	}
+	if s.Count() != 0 {
+		t.Error("no good samples expected")
+	}
+}

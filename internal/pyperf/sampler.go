@@ -1,0 +1,95 @@
+package pyperf
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Sampler periodically captures merged stack traces from a live target,
+// modeling the eBPF probe's periodic sampling. The target callback must
+// return the process state at the instant of the sample; in production this
+// is the kernel reading interpreter memory, here it is the simulated
+// workload exposing its state.
+//
+// The sampler also tracks its own cost so the §6.6 overhead experiment can
+// compare workload throughput with sampling on and off.
+type Sampler struct {
+	interval time.Duration
+	target   func() Process
+
+	mu      sync.Mutex
+	stacks  []string
+	errs    int
+	samples atomic.Int64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewSampler returns a sampler that captures the target every interval.
+func NewSampler(interval time.Duration, target func() Process) *Sampler {
+	return &Sampler{
+		interval: interval,
+		target:   target,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Start begins sampling in a background goroutine.
+func (s *Sampler) Start() {
+	go func() {
+		defer close(s.done)
+		ticker := time.NewTicker(s.interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-ticker.C:
+				s.sampleOnce()
+			}
+		}
+	}()
+}
+
+func (s *Sampler) sampleOnce() {
+	p := s.target()
+	merged, err := MergeStack(p)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil {
+		// A racing call/return between reading the native stack and the
+		// VCS; the production probe drops such samples too.
+		s.errs++
+		return
+	}
+	s.stacks = append(s.stacks, FormatStack(merged))
+	s.samples.Add(1)
+}
+
+// Stop halts sampling and waits for the background goroutine to exit.
+func (s *Sampler) Stop() {
+	close(s.stop)
+	<-s.done
+}
+
+// Stacks returns the folded stacks captured so far.
+func (s *Sampler) Stacks() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, len(s.stacks))
+	copy(out, s.stacks)
+	return out
+}
+
+// Dropped returns the number of samples dropped due to frame mismatches.
+func (s *Sampler) Dropped() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.errs
+}
+
+// Count returns the number of successful samples.
+func (s *Sampler) Count() int64 { return s.samples.Load() }

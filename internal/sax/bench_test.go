@@ -1,0 +1,42 @@
+package sax
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkEncode1k(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	enc, err := NewEncoderForData(xs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc.Encode(xs)
+	}
+}
+
+func BenchmarkInvalidFraction(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	hist := make([]float64, 1000)
+	post := make([]float64, 300)
+	for i := range hist {
+		hist[i] = rng.NormFloat64()
+	}
+	for i := range post {
+		post[i] = rng.NormFloat64() + 3
+	}
+	enc, _ := NewEncoderForData(append(append([]float64{}, hist...), post...))
+	hw := enc.Encode(hist)
+	pw := enc.Encode(post)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pw.InvalidFraction(hw)
+	}
+}

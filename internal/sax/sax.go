@@ -1,0 +1,211 @@
+// Package sax implements Symbolic Aggregate approXimation (SAX), the
+// discretization the went-away detector uses to decide whether two parts of
+// a time series are "very different" (paper §5.2.2).
+//
+// Unlike the original SAX of Lin et al., which buckets by Gaussian
+// breakpoints after z-normalization, FBDetect's variant divides the value
+// range into N equal-width buckets and additionally marks a bucket "valid"
+// only if it holds at least X% of the data points, which makes the symbol
+// alphabet robust to outliers.
+package sax
+
+import (
+	"fmt"
+	"math"
+)
+
+// DefaultBuckets and DefaultValidityPct are the production settings the
+// paper reports as robust (N=20, X=3%).
+const (
+	DefaultBuckets     = 20
+	DefaultValidityPct = 3.0
+)
+
+// Encoder discretizes real values into letter indices over a fixed value
+// range. The zero Encoder is not usable; construct with NewEncoder.
+type Encoder struct {
+	buckets     int
+	validityPct float64
+	lo, hi      float64
+	width       float64
+}
+
+// NewEncoder returns an encoder with n equal-width buckets spanning
+// [lo, hi]. A bucket is valid in an encoded string if it holds at least
+// validityPct percent of the points. Values outside [lo, hi] are clamped to
+// the first or last bucket.
+func NewEncoder(n int, validityPct, lo, hi float64) (*Encoder, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("sax: need at least 2 buckets, got %d", n)
+	}
+	if hi <= lo {
+		return nil, fmt.Errorf("sax: invalid range [%v, %v]", lo, hi)
+	}
+	if validityPct < 0 || validityPct > 100 {
+		return nil, fmt.Errorf("sax: validity percent out of range: %v", validityPct)
+	}
+	return &Encoder{
+		buckets:     n,
+		validityPct: validityPct,
+		lo:          lo,
+		hi:          hi,
+		width:       (hi - lo) / float64(n),
+	}, nil
+}
+
+// NewEncoderForData returns an encoder whose range spans the min/max of the
+// given data with the default production parameters. It returns an error if
+// the data is empty or constant (no range to discretize).
+func NewEncoderForData(data []float64) (*Encoder, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("sax: no data")
+	}
+	lo, hi := data[0], data[0]
+	for _, v := range data[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi == lo {
+		// Give the single value a tiny symmetric range so a constant series
+		// encodes into one bucket rather than failing.
+		eps := math.Abs(lo)*1e-9 + 1e-12
+		lo, hi = lo-eps, hi+eps
+	}
+	return NewEncoder(DefaultBuckets, DefaultValidityPct, lo, hi)
+}
+
+// Buckets returns the number of buckets.
+func (e *Encoder) Buckets() int { return e.buckets }
+
+// Range returns the encoder's [lo, hi] value range.
+func (e *Encoder) Range() (lo, hi float64) { return e.lo, e.hi }
+
+// Letter returns the bucket index (0-based) for v, clamping out-of-range
+// values.
+func (e *Encoder) Letter(v float64) int {
+	if v <= e.lo {
+		return 0
+	}
+	if v >= e.hi {
+		return e.buckets - 1
+	}
+	i := int((v - e.lo) / e.width)
+	if i >= e.buckets {
+		i = e.buckets - 1
+	}
+	return i
+}
+
+// LetterLowerBound returns the inclusive lower edge of bucket i.
+func (e *Encoder) LetterLowerBound(i int) float64 {
+	return e.lo + float64(i)*e.width
+}
+
+// Word is an encoded series: one letter per point plus per-letter counts.
+type Word struct {
+	Letters []int       // bucket index per point
+	Counts  map[int]int // occurrences per letter
+	n       int
+	enc     *Encoder
+}
+
+// Encode discretizes xs into a Word.
+func (e *Encoder) Encode(xs []float64) Word {
+	letters := make([]int, len(xs))
+	counts := make(map[int]int, e.buckets)
+	for i, v := range xs {
+		l := e.Letter(v)
+		letters[i] = l
+		counts[l]++
+	}
+	return Word{Letters: letters, Counts: counts, n: len(xs), enc: e}
+}
+
+// Valid reports whether letter l is valid in the word: it holds at least
+// the encoder's validity percentage of the points.
+func (w Word) Valid(l int) bool {
+	if w.n == 0 {
+		return false
+	}
+	return float64(w.Counts[l])/float64(w.n)*100 >= w.enc.validityPct
+}
+
+// ValidLetters returns the sorted set of valid letters.
+func (w Word) ValidLetters() []int {
+	var out []int
+	for l := 0; l < w.enc.buckets; l++ {
+		if w.Valid(l) {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// MaxValidLetter returns the largest valid letter, or -1 if none is valid.
+func (w Word) MaxValidLetter() int {
+	for l := w.enc.buckets - 1; l >= 0; l-- {
+		if w.Valid(l) {
+			return l
+		}
+	}
+	return -1
+}
+
+// MinValidLetter returns the smallest valid letter, or -1 if none is valid.
+func (w Word) MinValidLetter() int {
+	for l := 0; l < w.enc.buckets; l++ {
+		if w.Valid(l) {
+			return l
+		}
+	}
+	return -1
+}
+
+// MaxLetter returns the largest letter present (valid or not), or -1 for an
+// empty word.
+func (w Word) MaxLetter() int {
+	max := -1
+	for l := range w.Counts {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// InvalidFraction returns the fraction of points whose letter is invalid in
+// word w when validity is judged against reference word ref. The went-away
+// detector uses this to decide whether the post-regression window forms a
+// new pattern unseen in history (paper §5.2.2: "if most letters in the
+// post-regression SAX string are invalid").
+func (w Word) InvalidFraction(ref Word) float64 {
+	if len(w.Letters) == 0 {
+		return 0
+	}
+	invalid := 0
+	for _, l := range w.Letters {
+		if !ref.Valid(l) {
+			invalid++
+		}
+	}
+	return float64(invalid) / float64(len(w.Letters))
+}
+
+// String renders the word using letters 'a'..; buckets beyond 'z' wrap into
+// upper case then digits, which is only for debugging display.
+func (w Word) String() string {
+	const alphabet = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+	buf := make([]byte, len(w.Letters))
+	for i, l := range w.Letters {
+		if l < len(alphabet) {
+			buf[i] = alphabet[l]
+		} else {
+			buf[i] = '?'
+		}
+	}
+	return string(buf)
+}

@@ -1,0 +1,185 @@
+package sax
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEncoderValidation(t *testing.T) {
+	if _, err := NewEncoder(1, 3, 0, 1); err == nil {
+		t.Error("1 bucket should fail")
+	}
+	if _, err := NewEncoder(4, 3, 1, 1); err == nil {
+		t.Error("empty range should fail")
+	}
+	if _, err := NewEncoder(4, -1, 0, 1); err == nil {
+		t.Error("negative validity should fail")
+	}
+	if _, err := NewEncoder(4, 101, 0, 1); err == nil {
+		t.Error("validity > 100 should fail")
+	}
+}
+
+func TestPaperExample(t *testing.T) {
+	// Paper §5.2.2: [1.1, 2.0, 3.1, 4.2, 3.5, 2.3, 1.1] with 4 buckets where
+	// 'a'=[1,2), 'b'=[2,3)... encodes as "abcdcba".
+	enc, err := NewEncoder(4, 0, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := enc.Encode([]float64{1.1, 2.0, 3.1, 4.2, 3.5, 2.3, 1.1})
+	if got := w.String(); got != "abcdcba" {
+		t.Errorf("word = %q, want abcdcba", got)
+	}
+}
+
+func TestLetterClamping(t *testing.T) {
+	enc, _ := NewEncoder(10, 3, 0, 10)
+	if enc.Letter(-5) != 0 {
+		t.Error("below range should clamp to 0")
+	}
+	if enc.Letter(100) != 9 {
+		t.Error("above range should clamp to last bucket")
+	}
+	if enc.Letter(10) != 9 {
+		t.Error("at hi should map to last bucket")
+	}
+}
+
+func TestLetterBounds(t *testing.T) {
+	enc, _ := NewEncoder(5, 3, 0, 10)
+	f := func(v float64) bool {
+		l := enc.Letter(v)
+		return l >= 0 && l < 5
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLetterLowerBound(t *testing.T) {
+	enc, _ := NewEncoder(4, 3, 0, 8)
+	for i, want := range []float64{0, 2, 4, 6} {
+		if got := enc.LetterLowerBound(i); got != want {
+			t.Errorf("LetterLowerBound(%d) = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestValidity(t *testing.T) {
+	enc, _ := NewEncoder(4, 25, 0, 4) // 25% validity
+	// 10 points: 6 in bucket 0, 3 in bucket 1, 1 in bucket 3.
+	xs := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 1.1, 1.2, 1.3, 3.5}
+	w := enc.Encode(xs)
+	if !w.Valid(0) {
+		t.Error("bucket 0 (60%) should be valid")
+	}
+	if !w.Valid(1) {
+		t.Error("bucket 1 (30%) should be valid")
+	}
+	if w.Valid(3) {
+		t.Error("bucket 3 (10%) should be invalid at 25%")
+	}
+	if w.Valid(2) {
+		t.Error("empty bucket should be invalid")
+	}
+	vl := w.ValidLetters()
+	if len(vl) != 2 || vl[0] != 0 || vl[1] != 1 {
+		t.Errorf("ValidLetters = %v", vl)
+	}
+	if w.MaxValidLetter() != 1 || w.MinValidLetter() != 0 {
+		t.Errorf("Max/MinValidLetter = %d/%d", w.MaxValidLetter(), w.MinValidLetter())
+	}
+	if w.MaxLetter() != 3 {
+		t.Errorf("MaxLetter = %d", w.MaxLetter())
+	}
+}
+
+func TestEmptyWord(t *testing.T) {
+	enc, _ := NewEncoder(4, 3, 0, 1)
+	w := enc.Encode(nil)
+	if w.Valid(0) {
+		t.Error("empty word has no valid letters")
+	}
+	if w.MaxValidLetter() != -1 || w.MinValidLetter() != -1 || w.MaxLetter() != -1 {
+		t.Error("empty word extrema should be -1")
+	}
+	if w.InvalidFraction(w) != 0 {
+		t.Error("empty InvalidFraction should be 0")
+	}
+}
+
+func TestInvalidFraction(t *testing.T) {
+	enc, _ := NewEncoder(10, 10, 0, 10)
+	// History concentrated in low buckets.
+	hist := make([]float64, 100)
+	for i := range hist {
+		hist[i] = 1.5
+	}
+	histWord := enc.Encode(hist)
+	// Post-regression values land in a bucket invalid in history.
+	post := enc.Encode([]float64{8.5, 8.6, 8.7})
+	if got := post.InvalidFraction(histWord); got != 1 {
+		t.Errorf("InvalidFraction = %v, want 1", got)
+	}
+	// Same bucket as history: fully valid.
+	same := enc.Encode([]float64{1.4, 1.6})
+	if got := same.InvalidFraction(histWord); got != 0 {
+		t.Errorf("InvalidFraction = %v, want 0", got)
+	}
+}
+
+func TestNewEncoderForData(t *testing.T) {
+	if _, err := NewEncoderForData(nil); err == nil {
+		t.Error("empty data should fail")
+	}
+	enc, err := NewEncoderForData([]float64{5, 5, 5})
+	if err != nil {
+		t.Fatalf("constant data should work: %v", err)
+	}
+	if l := enc.Letter(5); l < 0 || l >= enc.Buckets() {
+		t.Errorf("constant letter out of bounds: %d", l)
+	}
+	enc2, err := NewEncoderForData([]float64{1, 9, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := enc2.Range()
+	if lo != 1 || hi != 9 {
+		t.Errorf("range = [%v, %v]", lo, hi)
+	}
+	if enc2.Buckets() != DefaultBuckets {
+		t.Errorf("buckets = %d", enc2.Buckets())
+	}
+}
+
+func TestOutlierRobustness(t *testing.T) {
+	// A single extreme outlier should not make its bucket valid at 3%.
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = 50 + rng.Float64()
+	}
+	xs[100] = 1000
+	enc, err := NewEncoderForData(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := enc.Encode(xs)
+	outlierBucket := enc.Letter(1000)
+	if w.Valid(outlierBucket) {
+		t.Error("outlier bucket should be invalid")
+	}
+	if w.MaxValidLetter() == outlierBucket {
+		t.Error("MaxValidLetter should ignore outlier")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	enc, _ := NewEncoder(3, 0, 0, 3)
+	w := enc.Encode([]float64{0.5, 1.5, 2.5})
+	if w.String() != "abc" {
+		t.Errorf("String = %q", w.String())
+	}
+}

@@ -1,0 +1,40 @@
+package som
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchVectors(n, dim int) [][]float64 {
+	rng := rand.New(rand.NewSource(1))
+	out := make([][]float64, n)
+	for i := range out {
+		v := make([]float64, dim)
+		center := float64(i % 5)
+		for d := range v {
+			v[d] = center*10 + rng.NormFloat64()
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func BenchmarkCluster100(b *testing.B) {
+	vecs := benchVectors(100, 15)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Cluster(vecs, Options{Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCluster1000(b *testing.B) {
+	vecs := benchVectors(1000, 15)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Cluster(vecs, Options{Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package som
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func blobs(rng *rand.Rand, centers [][]float64, perBlob int, spread float64) ([][]float64, []int) {
+	var vecs [][]float64
+	var labels []int
+	for ci, c := range centers {
+		for i := 0; i < perBlob; i++ {
+			v := make([]float64, len(c))
+			for d := range v {
+				v[d] = c[d] + rng.NormFloat64()*spread
+			}
+			vecs = append(vecs, v)
+			labels = append(labels, ci)
+		}
+	}
+	return vecs, labels
+}
+
+func TestGridSize(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 1}, {1, 1}, {2, 2}, {16, 2}, {17, 3}, {81, 3}, {100, 4}, {10000, 10},
+	}
+	for _, c := range cases {
+		if got := GridSize(c.n); got != c.want {
+			t.Errorf("GridSize(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil, Options{}); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := Train([][]float64{{}}, Options{}); err == nil {
+		t.Error("zero-dim should fail")
+	}
+	if _, err := Train([][]float64{{1, 2}, {1}}, Options{}); err == nil {
+		t.Error("ragged input should fail")
+	}
+}
+
+func TestClusterSeparatesBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	centers := [][]float64{{0, 0}, {10, 10}, {0, 10}}
+	vecs, labels := blobs(rng, centers, 30, 0.2)
+	groups, err := Cluster(vecs, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every group must be label-pure: no group mixes points from different
+	// blobs (groups may split a blob; SOMDedup only needs no false merges).
+	for _, g := range groups {
+		first := labels[g[0]]
+		for _, i := range g[1:] {
+			if labels[i] != first {
+				t.Fatalf("group mixes blobs %d and %d", first, labels[i])
+			}
+		}
+	}
+	// And the clustering must actually reduce: far fewer groups than points.
+	if len(groups) > len(vecs)/2 {
+		t.Errorf("too many groups: %d for %d points", len(groups), len(vecs))
+	}
+}
+
+func TestClusterIdenticalVectors(t *testing.T) {
+	vecs := make([][]float64, 20)
+	for i := range vecs {
+		vecs[i] = []float64{1, 2, 3}
+	}
+	groups, err := Cluster(vecs, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 1 || len(groups[0]) != 20 {
+		t.Errorf("identical vectors should form one group, got %d groups", len(groups))
+	}
+}
+
+func TestClusterSingleVector(t *testing.T) {
+	groups, err := Cluster([][]float64{{5, 5}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 1 || len(groups[0]) != 1 || groups[0][0] != 0 {
+		t.Errorf("groups = %v", groups)
+	}
+}
+
+func TestAssignCoversAllVectors(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	vecs, _ := blobs(rng, [][]float64{{0, 0}, {5, 5}}, 25, 0.5)
+	m, err := Train(vecs, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := m.Assign(vecs)
+	if len(assign) != len(vecs) {
+		t.Fatalf("assign len = %d", len(assign))
+	}
+	units := m.Rows * m.Cols
+	for i, u := range assign {
+		if u < 0 || u >= units {
+			t.Fatalf("assign[%d] = %d out of range", i, u)
+		}
+	}
+}
+
+func TestTrainDeterministicWithSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	vecs, _ := blobs(rng, [][]float64{{0, 0}, {8, 8}}, 20, 0.3)
+	g1, err := Cluster(vecs, Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Cluster(vecs, Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g1) != len(g2) {
+		t.Fatalf("group counts differ: %d vs %d", len(g1), len(g2))
+	}
+	for i := range g1 {
+		if len(g1[i]) != len(g2[i]) {
+			t.Fatalf("group %d sizes differ", i)
+		}
+		for j := range g1[i] {
+			if g1[i][j] != g2[i][j] {
+				t.Fatalf("group %d member %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestExplicitGrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	vecs, _ := blobs(rng, [][]float64{{0, 0}}, 10, 0.1)
+	m, err := Train(vecs, Options{Rows: 2, Cols: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 2 || m.Cols != 3 || len(m.Weights) != 6 {
+		t.Errorf("grid = %dx%d, %d weights", m.Rows, m.Cols, len(m.Weights))
+	}
+}

@@ -1,0 +1,69 @@
+package stacktrace
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func benchSampleSet(traces int) *SampleSet {
+	rng := rand.New(rand.NewSource(1))
+	ss := NewSampleSet()
+	for i := 0; i < traces; i++ {
+		depth := 3 + rng.Intn(8)
+		tr := make(Trace, depth)
+		for d := range tr {
+			tr[d] = NewFrame(fmt.Sprintf("sub_%03d", rng.Intn(300)))
+		}
+		ss.Add(tr, 1+rng.Float64())
+	}
+	return ss
+}
+
+func BenchmarkSampleSetAdd(b *testing.B) {
+	tr := ParseTrace("a->b->c->d->e")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ss := NewSampleSet()
+		for j := 0; j < 100; j++ {
+			ss.Add(tr, 1)
+		}
+	}
+}
+
+func BenchmarkGCPU(b *testing.B) {
+	ss := benchSampleSet(10000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ss.GCPU("sub_100")
+	}
+}
+
+func BenchmarkGCPUAll(b *testing.B) {
+	ss := benchSampleSet(10000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ss.GCPUAll()
+	}
+}
+
+func BenchmarkGCPUGroup(b *testing.B) {
+	ss := benchSampleSet(10000)
+	group := map[string]bool{"sub_001": true, "sub_002": true, "sub_003": true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ss.GCPUGroup(group)
+	}
+}
+
+func BenchmarkSharedSampleFraction(b *testing.B) {
+	ss := benchSampleSet(10000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ss.SharedSampleFraction("sub_001", "sub_002")
+	}
+}

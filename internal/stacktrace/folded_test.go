@@ -1,0 +1,93 @@
+package stacktrace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadFolded(t *testing.T) {
+	input := `
+# comment
+main;render;encode 8
+main;fetch 12
+main;render;layout
+`
+	ss, err := ReadFolded(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.Total() != 21 { // 8 + 12 + 1 (default)
+		t.Errorf("total = %v", ss.Total())
+	}
+	if got := ss.GCPU("render"); !almostEqual(got, 9.0/21, 1e-9) {
+		t.Errorf("gCPU(render) = %v", got)
+	}
+	if got := ss.GCPU("main"); !almostEqual(got, 1, 1e-9) {
+		t.Errorf("gCPU(main) = %v", got)
+	}
+}
+
+func TestReadFoldedErrors(t *testing.T) {
+	cases := []string{
+		"main;render 0",    // zero count
+		"main;render -3",   // negative count
+		"main;;render 2",   // empty frame
+		";leading;empty 1", // empty first frame
+	}
+	for _, in := range cases {
+		if _, err := ReadFolded(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q should fail", in)
+		}
+	}
+}
+
+func TestReadFoldedFrameWithSpaces(t *testing.T) {
+	// A frame containing spaces with no trailing count.
+	ss, err := ReadFolded(strings.NewReader("main;operator new"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ss.GCPU("operator new"); got != 1 {
+		t.Errorf("space-frame gCPU = %v, want 1", got)
+	}
+}
+
+func TestFoldedRoundTrip(t *testing.T) {
+	orig := NewSampleSet()
+	orig.AddTraceString("a->b->c", 5)
+	orig.AddTraceString("a->d", 2.5)
+	var buf bytes.Buffer
+	if err := WriteFolded(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFolded(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Total() != orig.Total() {
+		t.Errorf("total: %v vs %v", back.Total(), orig.Total())
+	}
+	for _, sub := range orig.Subroutines() {
+		if !almostEqual(back.GCPU(sub), orig.GCPU(sub), 1e-9) {
+			t.Errorf("gCPU(%s) changed in round trip", sub)
+		}
+	}
+}
+
+func TestReadFoldedClassExtraction(t *testing.T) {
+	ss, err := ReadFolded(strings.NewReader("main;Cache::get 3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ss.ClassOf("Cache::get"); got != "Cache" {
+		t.Errorf("class = %q", got)
+	}
+}
+
+func TestReadFoldedEmptyInput(t *testing.T) {
+	ss, err := ReadFolded(strings.NewReader(""))
+	if err != nil || ss.Len() != 0 {
+		t.Errorf("empty input: %v, %v", ss, err)
+	}
+}

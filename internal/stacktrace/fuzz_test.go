@@ -1,0 +1,59 @@
+package stacktrace
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseTrace: parsing arbitrary input must not panic, and the
+// round-trip through String must be stable for non-degenerate traces.
+func FuzzParseTrace(f *testing.F) {
+	f.Add("A->B->C")
+	f.Add("")
+	f.Add("->->")
+	f.Add("Cache::get->Cache::put")
+	f.Add(" spaced -> names ")
+	f.Fuzz(func(t *testing.T, s string) {
+		tr := ParseTrace(s)
+		for _, frame := range tr {
+			if frame.Subroutine == "" {
+				t.Fatal("empty subroutine survived parsing")
+			}
+		}
+		// Round-trip stability: parse(String(parse(s))) == parse(s).
+		again := ParseTrace(tr.String())
+		if len(again) != len(tr) {
+			t.Fatalf("round trip changed length: %d vs %d", len(again), len(tr))
+		}
+		for i := range tr {
+			if again[i].Subroutine != tr[i].Subroutine {
+				t.Fatal("round trip changed frames")
+			}
+		}
+	})
+}
+
+// FuzzReadFolded: arbitrary folded input either parses into a consistent
+// sample set or returns an error — never panics, never produces
+// out-of-range gCPU.
+func FuzzReadFolded(f *testing.F) {
+	f.Add("main;render 5\n")
+	f.Add("# comment\n\nmain;a;b\n")
+	f.Add("bad -1\n")
+	f.Add("frame with spaces;leaf 2.5\n")
+	f.Fuzz(func(t *testing.T, s string) {
+		ss, err := ReadFolded(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		for _, sub := range ss.Subroutines() {
+			g := ss.GCPU(sub)
+			if g < 0 || g > 1.0000001 {
+				t.Fatalf("gCPU(%q) = %v out of range", sub, g)
+			}
+		}
+		if ss.Total() < 0 {
+			t.Fatal("negative total")
+		}
+	})
+}

@@ -1,0 +1,77 @@
+package stacktrace
+
+import (
+	"sort"
+	"strings"
+)
+
+// MetadataOf returns the metadata annotation observed on the subroutine's
+// frames, or "" if none. When frames carry differing annotations the
+// first observed one is returned.
+func (ss *SampleSet) MetadataOf(subroutine string) string {
+	for _, i := range ss.bySub[subroutine] {
+		for _, f := range ss.samples[i].Trace {
+			if f.Subroutine == subroutine && f.Metadata != "" {
+				return f.Metadata
+			}
+		}
+	}
+	return ""
+}
+
+// MetadataPrefixMembers returns the subroutines whose frames carry
+// metadata starting with the given prefix, sorted. The cost-shift
+// detector groups these into a metadata cost domain (paper §5.4: "a
+// detector uses user-defined metadata to group subroutines with the same
+// metadata prefix").
+func (ss *SampleSet) MetadataPrefixMembers(prefix string) []string {
+	if prefix == "" {
+		return nil
+	}
+	set := map[string]bool{}
+	for _, s := range ss.samples {
+		for _, f := range s.Trace {
+			if f.Metadata != "" && strings.HasPrefix(f.Metadata, prefix) {
+				set[f.Subroutine] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for sub := range set {
+		out = append(out, sub)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// GCPUMetadata returns the fraction of total sample weight whose traces
+// contain a frame annotated with exactly the given metadata — the
+// metadata-annotated gCPU of paper §3, used to detect regressions that
+// occur only under certain conditions (e.g. requests for one category of
+// users).
+func (ss *SampleSet) GCPUMetadata(metadata string) float64 {
+	if ss.total == 0 || metadata == "" {
+		return 0
+	}
+	var w float64
+	for _, s := range ss.samples {
+		for _, f := range s.Trace {
+			if f.Metadata == metadata {
+				w += s.Weight
+				break
+			}
+		}
+	}
+	return w / ss.total
+}
+
+// MetadataPrefix extracts the grouping prefix of a metadata annotation:
+// the part before the last ':' separator, or the whole annotation when it
+// has no separator. Annotations conventionally look like
+// "category:value", so frames of the same category group together.
+func MetadataPrefix(metadata string) string {
+	if i := strings.LastIndex(metadata, ":"); i > 0 {
+		return metadata[:i]
+	}
+	return metadata
+}

@@ -1,0 +1,75 @@
+package stacktrace
+
+import "testing"
+
+func metaSet() *SampleSet {
+	ss := NewSampleSet()
+	vip := NewFrame("handle_vip")
+	vip.Metadata = "user:vip"
+	free := NewFrame("handle_free")
+	free.Metadata = "user:free"
+	bg := NewFrame("cleanup")
+	bg.Metadata = "batch"
+	ss.Add(Trace{NewFrame("main"), vip}, 3)
+	ss.Add(Trace{NewFrame("main"), free}, 6)
+	ss.Add(Trace{NewFrame("main"), bg}, 1)
+	ss.Add(Trace{NewFrame("main"), NewFrame("plain")}, 10)
+	return ss
+}
+
+func TestMetadataOf(t *testing.T) {
+	ss := metaSet()
+	if got := ss.MetadataOf("handle_vip"); got != "user:vip" {
+		t.Errorf("MetadataOf = %q", got)
+	}
+	if got := ss.MetadataOf("plain"); got != "" {
+		t.Errorf("plain subroutine metadata = %q", got)
+	}
+	if got := ss.MetadataOf("ghost"); got != "" {
+		t.Errorf("unknown subroutine metadata = %q", got)
+	}
+}
+
+func TestMetadataPrefixMembers(t *testing.T) {
+	ss := metaSet()
+	members := ss.MetadataPrefixMembers("user:")
+	if len(members) != 2 || members[0] != "handle_free" || members[1] != "handle_vip" {
+		t.Errorf("members = %v", members)
+	}
+	if got := ss.MetadataPrefixMembers(""); got != nil {
+		t.Errorf("empty prefix = %v", got)
+	}
+	if got := ss.MetadataPrefixMembers("zzz"); len(got) != 0 {
+		t.Errorf("no-match prefix = %v", got)
+	}
+}
+
+func TestGCPUMetadataDirect(t *testing.T) {
+	ss := metaSet() // total weight 20
+	if got := ss.GCPUMetadata("user:vip"); !almostEqual(got, 0.15, 1e-9) {
+		t.Errorf("gCPU(user:vip) = %v, want 0.15", got)
+	}
+	if got := ss.GCPUMetadata("batch"); !almostEqual(got, 0.05, 1e-9) {
+		t.Errorf("gCPU(batch) = %v, want 0.05", got)
+	}
+	if ss.GCPUMetadata("") != 0 || ss.GCPUMetadata("nope") != 0 {
+		t.Error("degenerate metadata should be 0")
+	}
+	if NewSampleSet().GCPUMetadata("x") != 0 {
+		t.Error("empty set should be 0")
+	}
+}
+
+func TestMetadataPrefixFunc(t *testing.T) {
+	cases := map[string]string{
+		"user:vip":      "user",
+		"user:vip:gold": "user:vip",
+		"plain":         "plain",
+		":leading":      ":leading",
+	}
+	for in, want := range cases {
+		if got := MetadataPrefix(in); got != want {
+			t.Errorf("MetadataPrefix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

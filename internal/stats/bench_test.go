@@ -1,0 +1,68 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchData(n int) []float64 {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*5 + float64(i)*0.001
+	}
+	return xs
+}
+
+func BenchmarkMeanVariance1k(b *testing.B) {
+	xs := benchData(1000)
+	for i := 0; i < b.N; i++ {
+		MeanVariance(xs)
+	}
+}
+
+func BenchmarkPercentile1k(b *testing.B) {
+	xs := benchData(1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Percentile(xs, 95)
+	}
+}
+
+func BenchmarkMannKendall500(b *testing.B) {
+	xs := benchData(500)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MannKendall(xs, 0.05)
+	}
+}
+
+func BenchmarkTheilSen500(b *testing.B) {
+	xs := benchData(500)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		TheilSen(xs)
+	}
+}
+
+func BenchmarkTheilSen5kSubsampled(b *testing.B) {
+	xs := benchData(5000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		TheilSen(xs)
+	}
+}
+
+func BenchmarkLikelihoodRatio1k(b *testing.B) {
+	xs := benchData(1000)
+	for i := 0; i < b.N; i++ {
+		LikelihoodRatioTest(xs, 500, 0.01)
+	}
+}
+
+func BenchmarkPearson1k(b *testing.B) {
+	a, c := benchData(1000), benchData(1000)
+	for i := 0; i < b.N; i++ {
+		Pearson(a, c)
+	}
+}

@@ -1,0 +1,103 @@
+package stats
+
+import "math"
+
+// Pearson returns the Pearson correlation coefficient between a and b,
+// computed over the first min(len(a), len(b)) points. It returns 0 when
+// either series is constant or too short.
+func Pearson(a, b []float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	if n < 2 {
+		return 0
+	}
+	ma := Mean(a[:n])
+	mb := Mean(b[:n])
+	var cov, va, vb float64
+	for i := 0; i < n; i++ {
+		da := a[i] - ma
+		db := b[i] - mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}
+
+// Autocorrelation returns the autocorrelation of xs at the given lag, or 0
+// if the series is too short or constant.
+func Autocorrelation(xs []float64, lag int) float64 {
+	n := len(xs)
+	if lag <= 0 || lag >= n {
+		return 0
+	}
+	m := Mean(xs)
+	var num, den float64
+	for i := 0; i < n; i++ {
+		d := xs[i] - m
+		den += d * d
+	}
+	if den == 0 {
+		return 0
+	}
+	for i := 0; i < n-lag; i++ {
+		num += (xs[i] - m) * (xs[i+lag] - m)
+	}
+	return num / den
+}
+
+// DominantSeasonLag scans lags in [minLag, maxLag] and returns the lag with
+// the highest autocorrelation along with that correlation. It returns
+// (0, 0) when no lag reaches any positive correlation. The seasonality
+// detector (paper §5.2.3) treats the series as seasonal when the returned
+// correlation is significant.
+func DominantSeasonLag(xs []float64, minLag, maxLag int) (lag int, corr float64) {
+	if minLag < 1 {
+		minLag = 1
+	}
+	if maxLag >= len(xs)/2 {
+		maxLag = len(xs)/2 - 1
+	}
+	best, bestLag := 0.0, 0
+	for l := minLag; l <= maxLag; l++ {
+		c := Autocorrelation(xs, l)
+		if c > best {
+			best, bestLag = c, l
+		}
+	}
+	return bestLag, best
+}
+
+// AutocorrelationSignificance returns the approximate two-sided 95%
+// significance bound for autocorrelation of a white-noise series of length
+// n: 1.96/sqrt(n). Correlations beyond the bound indicate structure.
+func AutocorrelationSignificance(n int) float64 {
+	if n <= 0 {
+		return math.Inf(1)
+	}
+	return 1.96 / math.Sqrt(float64(n))
+}
+
+// CosineSimilarity returns the cosine of the angle between vectors a and b
+// over their first min(len) components, or 0 if either has zero norm.
+func CosineSimilarity(a, b []float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	var dot, na, nb float64
+	for i := 0; i < n; i++ {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}

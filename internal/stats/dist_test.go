@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalCDFKnownValues(t *testing.T) {
+	cases := []struct {
+		x, mu, sigma, want float64
+	}{
+		{0, 0, 1, 0.5},
+		{1.96, 0, 1, 0.9750021},
+		{-1.96, 0, 1, 0.0249979},
+		{110, 100, 10, 0.8413447},
+	}
+	for _, c := range cases {
+		if got := NormalCDF(c.x, c.mu, c.sigma); !almostEqual(got, c.want, 1e-6) {
+			t.Errorf("NormalCDF(%v,%v,%v) = %v, want %v", c.x, c.mu, c.sigma, got, c.want)
+		}
+	}
+}
+
+func TestNormalCDFDegenerateSigma(t *testing.T) {
+	if NormalCDF(1, 2, 0) != 0 || NormalCDF(3, 2, 0) != 1 {
+		t.Error("degenerate sigma handling wrong")
+	}
+}
+
+func TestNormalQuantileInvertsCDF(t *testing.T) {
+	for p := 0.001; p < 1; p += 0.017 {
+		x := NormalQuantile(p)
+		if got := NormalCDF(x, 0, 1); !almostEqual(got, p, 1e-7) {
+			t.Errorf("CDF(Quantile(%v)) = %v", p, got)
+		}
+	}
+	if !math.IsInf(NormalQuantile(0), -1) || !math.IsInf(NormalQuantile(1), 1) {
+		t.Error("quantile at bounds should be infinite")
+	}
+}
+
+func TestChiSquaredCDFKnownValues(t *testing.T) {
+	// Critical values: chi2(0.99, df=2) = 9.210, chi2(0.95, df=1) = 3.841.
+	if got := ChiSquaredCDF(9.210, 2); !almostEqual(got, 0.99, 1e-3) {
+		t.Errorf("ChiSquaredCDF(9.210, 2) = %v, want 0.99", got)
+	}
+	if got := ChiSquaredCDF(3.841, 1); !almostEqual(got, 0.95, 1e-3) {
+		t.Errorf("ChiSquaredCDF(3.841, 1) = %v, want 0.95", got)
+	}
+	if got := ChiSquaredCDF(0, 3); got != 0 {
+		t.Errorf("ChiSquaredCDF(0, 3) = %v, want 0", got)
+	}
+}
+
+func TestChiSquaredCDFMonotone(t *testing.T) {
+	f := func(a, b float64) bool {
+		a, b = math.Abs(a), math.Abs(b)
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		a, b = math.Mod(a, 100), math.Mod(b, 100)
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		return ChiSquaredCDF(lo, 3) <= ChiSquaredCDF(hi, 3)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStudentTCriticalApprox(t *testing.T) {
+	// Known two-sided critical values.
+	cases := []struct {
+		df    int
+		alpha float64
+		want  float64
+		tol   float64
+	}{
+		{30, 0.05, 2.042, 0.01},
+		{100, 0.05, 1.984, 0.005},
+		{1000, 0.01, 2.581, 0.005},
+		{10, 0.05, 2.228, 0.02},
+	}
+	for _, c := range cases {
+		if got := StudentTCriticalApprox(c.df, c.alpha); !almostEqual(got, c.want, c.tol) {
+			t.Errorf("tcrit(df=%d, alpha=%v) = %v, want %v", c.df, c.alpha, got, c.want)
+		}
+	}
+}
+
+func TestNormalPDFIntegratesToCDF(t *testing.T) {
+	// Trapezoidal integration of the pdf should approximate the cdf.
+	const dx = 0.001
+	sum := 0.0
+	for x := -8.0; x < 1.0; x += dx {
+		sum += dx * (NormalPDF(x, 0, 1) + NormalPDF(x+dx, 0, 1)) / 2
+	}
+	if !almostEqual(sum, NormalCDF(1, 0, 1), 1e-4) {
+		t.Errorf("integral %v vs CDF %v", sum, NormalCDF(1, 0, 1))
+	}
+}

@@ -1,0 +1,150 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func normalSeries(rng *rand.Rand, n int, mu, sigma float64) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*sigma + mu
+	}
+	return xs
+}
+
+func TestWelchTTestDetectsShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	a := normalSeries(rng, 2000, 100, 1)
+	b := normalSeries(rng, 2000, 100.2, 1)
+	res := WelchTTest(a, b)
+	if res.P > 0.01 {
+		t.Errorf("expected significant difference, p = %v", res.P)
+	}
+	if res.T >= 0 {
+		t.Errorf("a has smaller mean; expected negative t, got %v", res.T)
+	}
+}
+
+func TestWelchTTestNoShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	rejections := 0
+	const trials = 100
+	for i := 0; i < trials; i++ {
+		a := normalSeries(rng, 200, 50, 2)
+		b := normalSeries(rng, 200, 50, 2)
+		if WelchTTest(a, b).P < 0.05 {
+			rejections++
+		}
+	}
+	// ~5% expected; allow generous slack.
+	if rejections > 15 {
+		t.Errorf("too many false rejections: %d/%d", rejections, trials)
+	}
+}
+
+func TestWelchTTestDegenerate(t *testing.T) {
+	if res := WelchTTest([]float64{1}, []float64{2}); res.P != 1 {
+		t.Errorf("short input should return p=1, got %v", res.P)
+	}
+	if res := WelchTTest([]float64{3, 3, 3}, []float64{3, 3, 3}); res.P != 1 {
+		t.Errorf("identical constants: p = %v, want 1", res.P)
+	}
+	res := WelchTTest([]float64{3, 3, 3}, []float64{4, 4, 4})
+	if !math.IsInf(res.T, 1) && !math.IsInf(res.T, -1) {
+		t.Errorf("distinct constants: expected infinite t, got %v", res.T)
+	}
+	if res.P != 0 {
+		t.Errorf("distinct constants: p = %v, want 0", res.P)
+	}
+}
+
+func TestLikelihoodRatioDetectsChangePoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	xs := append(normalSeries(rng, 500, 10, 0.5), normalSeries(rng, 500, 11, 0.5)...)
+	res := LikelihoodRatioTest(xs, 500, 0.01)
+	if !res.Reject {
+		t.Errorf("expected rejection of H0, p = %v", res.P)
+	}
+}
+
+func TestLikelihoodRatioNoChangePoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	rejects := 0
+	const trials = 100
+	for i := 0; i < trials; i++ {
+		xs := normalSeries(rng, 300, 10, 1)
+		if LikelihoodRatioTest(xs, 150, 0.01).Reject {
+			rejects++
+		}
+	}
+	if rejects > 8 {
+		t.Errorf("too many false rejections at alpha=0.01: %d/%d", rejects, trials)
+	}
+}
+
+func TestLikelihoodRatioBounds(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6}
+	for _, bad := range []int{0, -1, 6, 10} {
+		if res := LikelihoodRatioTest(xs, bad, 0.01); res.Reject {
+			t.Errorf("t=%d should not reject", bad)
+		}
+	}
+}
+
+func TestMannKendallIncreasing(t *testing.T) {
+	xs := make([]float64, 50)
+	for i := range xs {
+		xs[i] = float64(i) * 0.1
+	}
+	res := MannKendall(xs, 0.05)
+	if res.Trend != TrendIncreasing {
+		t.Errorf("trend = %v, want increasing", res.Trend)
+	}
+}
+
+func TestMannKendallDecreasing(t *testing.T) {
+	xs := make([]float64, 50)
+	for i := range xs {
+		xs[i] = -float64(i)
+	}
+	if res := MannKendall(xs, 0.05); res.Trend != TrendDecreasing {
+		t.Errorf("trend = %v, want decreasing", res.Trend)
+	}
+}
+
+func TestMannKendallNoTrend(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	found := 0
+	const trials = 100
+	for i := 0; i < trials; i++ {
+		if MannKendall(normalSeries(rng, 60, 5, 1), 0.05).Trend != TrendNone {
+			found++
+		}
+	}
+	if found > 15 {
+		t.Errorf("too many spurious trends: %d/%d", found, trials)
+	}
+}
+
+func TestMannKendallConstant(t *testing.T) {
+	xs := []float64{2, 2, 2, 2, 2, 2}
+	if res := MannKendall(xs, 0.05); res.Trend != TrendNone {
+		t.Errorf("constant series: trend = %v, want none", res.Trend)
+	}
+}
+
+func TestMannKendallShort(t *testing.T) {
+	if res := MannKendall([]float64{1, 2}, 0.05); res.Trend != TrendNone || res.P != 1 {
+		t.Errorf("short series should be inconclusive: %+v", res)
+	}
+}
+
+func TestTrendDirectionString(t *testing.T) {
+	if TrendIncreasing.String() != "increasing" ||
+		TrendDecreasing.String() != "decreasing" ||
+		TrendNone.String() != "none" {
+		t.Error("TrendDirection.String mismatch")
+	}
+}

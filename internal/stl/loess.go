@@ -1,0 +1,114 @@
+// Package stl implements Seasonal and Trend decomposition using Loess
+// (Cleveland et al. 1990), which FBDetect's seasonality detector uses to
+// split a series into seasonal, trend, and residual components (paper
+// §5.2.3 and §5.3), plus the moving-average alternative the paper compares
+// against.
+package stl
+
+import "math"
+
+// Loess smooths ys with locally weighted linear regression using the
+// tricube weight over a window of the given span (number of neighbors).
+// Span is clamped to [2, len(ys)]. The returned slice has len(ys) points.
+func Loess(ys []float64, span int) []float64 {
+	n := len(ys)
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	if span > n {
+		span = n
+	}
+	if span < 2 {
+		copy(out, ys)
+		return out
+	}
+	half := span / 2
+	for i := 0; i < n; i++ {
+		lo := i - half
+		hi := lo + span
+		if lo < 0 {
+			lo, hi = 0, span
+		}
+		if hi > n {
+			lo, hi = n-span, n
+		}
+		out[i] = loessPoint(ys, lo, hi, i)
+	}
+	return out
+}
+
+// loessPoint fits a weighted line over indices [lo, hi) and evaluates it at
+// x = i.
+func loessPoint(ys []float64, lo, hi, i int) float64 {
+	maxDist := math.Max(float64(i-lo), float64(hi-1-i))
+	if maxDist == 0 {
+		return ys[i]
+	}
+	var sw, swx, swy, swxx, swxy float64
+	for j := lo; j < hi; j++ {
+		d := math.Abs(float64(j-i)) / maxDist
+		w := tricube(d)
+		x := float64(j)
+		sw += w
+		swx += w * x
+		swy += w * ys[j]
+		swxx += w * x * x
+		swxy += w * x * ys[j]
+	}
+	den := sw*swxx - swx*swx
+	if math.Abs(den) < 1e-12 || sw == 0 {
+		if sw == 0 {
+			return ys[i]
+		}
+		return swy / sw
+	}
+	b := (sw*swxy - swx*swy) / den
+	a := (swy - b*swx) / sw
+	return a + b*float64(i)
+}
+
+func tricube(d float64) float64 {
+	if d >= 1 {
+		// Keep a tiny positive weight at the window edge so degenerate
+		// two-point windows still have mass.
+		return 1e-6
+	}
+	c := 1 - d*d*d
+	return c * c * c
+}
+
+// MovingAverage returns the centered moving average of ys with the given
+// window (clamped to [1, len(ys)]), the alternative seasonality handler the
+// paper evaluated and rejected in favour of STL.
+func MovingAverage(ys []float64, window int) []float64 {
+	n := len(ys)
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	if window < 1 {
+		window = 1
+	}
+	if window > n {
+		window = n
+	}
+	half := window / 2
+	// Prefix sums for O(n).
+	prefix := make([]float64, n+1)
+	for i, y := range ys {
+		prefix[i+1] = prefix[i] + y
+	}
+	for i := 0; i < n; i++ {
+		lo := i - half
+		hi := i + (window - half)
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > n {
+			hi = n
+		}
+		out[i] = (prefix[hi] - prefix[lo]) / float64(hi-lo)
+	}
+	return out
+}

@@ -1,0 +1,179 @@
+package stl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fbdetect/internal/stats"
+)
+
+func seasonalSeries(rng *rand.Rand, n, period int, amp, trendSlope, noise float64) []float64 {
+	ys := make([]float64, n)
+	for i := range ys {
+		ys[i] = 10 + amp*math.Sin(2*math.Pi*float64(i)/float64(period)) +
+			trendSlope*float64(i) + rng.NormFloat64()*noise
+	}
+	return ys
+}
+
+func TestLoessSmoothsNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 200
+	ys := make([]float64, n)
+	for i := range ys {
+		ys[i] = float64(i)*0.1 + rng.NormFloat64()
+	}
+	sm := Loess(ys, 31)
+	// Smoothed residual variance should be much lower than raw.
+	var rawSS, smSS float64
+	for i := range ys {
+		ideal := float64(i) * 0.1
+		rawSS += (ys[i] - ideal) * (ys[i] - ideal)
+		smSS += (sm[i] - ideal) * (sm[i] - ideal)
+	}
+	if smSS > rawSS/2 {
+		t.Errorf("Loess barely smoothed: raw %v, smoothed %v", rawSS, smSS)
+	}
+}
+
+func TestLoessExactOnLine(t *testing.T) {
+	ys := make([]float64, 50)
+	for i := range ys {
+		ys[i] = 2 + 3*float64(i)
+	}
+	sm := Loess(ys, 11)
+	for i := range ys {
+		if math.Abs(sm[i]-ys[i]) > 1e-6 {
+			t.Fatalf("Loess on a line should be exact: i=%d got %v want %v", i, sm[i], ys[i])
+		}
+	}
+}
+
+func TestLoessDegenerate(t *testing.T) {
+	if out := Loess(nil, 5); len(out) != 0 {
+		t.Error("empty input")
+	}
+	out := Loess([]float64{5}, 5)
+	if len(out) != 1 || out[0] != 5 {
+		t.Errorf("single point: %v", out)
+	}
+	// span < 2 copies input
+	ys := []float64{1, 9, 1}
+	out = Loess(ys, 1)
+	for i := range ys {
+		if out[i] != ys[i] {
+			t.Error("span<2 should copy")
+		}
+	}
+}
+
+func TestMovingAverage(t *testing.T) {
+	ys := []float64{1, 2, 3, 4, 5}
+	out := MovingAverage(ys, 3)
+	// centered window: out[2] = mean(2,3,4) = 3
+	if out[2] != 3 {
+		t.Errorf("out[2] = %v, want 3", out[2])
+	}
+	if len(MovingAverage(nil, 3)) != 0 {
+		t.Error("empty input")
+	}
+	// window clamped to n; the centered window shrinks at the edges.
+	out = MovingAverage([]float64{2, 4}, 10)
+	if out[0] != 2 || out[1] != 3 {
+		t.Errorf("clamped window: %v", out)
+	}
+}
+
+func TestDecomposeRecovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	period := 24
+	ys := seasonalSeries(rng, 24*14, period, 2, 0.001, 0.05)
+	d, err := Decompose(ys, period, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Additivity is exact by construction.
+	for i := range ys {
+		sum := d.Seasonal[i] + d.Trend[i] + d.Residual[i]
+		if math.Abs(sum-ys[i]) > 1e-9 {
+			t.Fatalf("decomposition not additive at %d: %v vs %v", i, sum, ys[i])
+		}
+	}
+	// The seasonal component should carry the oscillation: its correlation
+	// with the true seasonal signal should be high (away from edges).
+	truth := make([]float64, len(ys))
+	for i := range truth {
+		truth[i] = 2 * math.Sin(2*math.Pi*float64(i)/float64(period))
+	}
+	core := d.Seasonal[period : len(ys)-period]
+	coreTruth := truth[period : len(ys)-period]
+	if c := stats.Pearson(core, coreTruth); c < 0.95 {
+		t.Errorf("seasonal correlation = %v, want > 0.95", c)
+	}
+	// Residual should be small relative to the seasonal amplitude.
+	if sd := stats.StdDev(d.Residual[period : len(ys)-period]); sd > 0.5 {
+		t.Errorf("residual sd = %v, want < 0.5", sd)
+	}
+}
+
+func TestDecomposePreservesLevelShiftInTrend(t *testing.T) {
+	// A step regression must survive deseasonalization — this is the whole
+	// point of running detection on trend+residual (paper §5.2.3).
+	rng := rand.New(rand.NewSource(3))
+	period := 24
+	n := 24 * 20
+	ys := seasonalSeries(rng, n, period, 1, 0, 0.05)
+	for i := n / 2; i < n; i++ {
+		ys[i] += 0.8 // regression
+	}
+	d, err := Decompose(ys, period, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	des := d.Deseasonalized()
+	before := stats.Mean(des[period : n/2-period])
+	after := stats.Mean(des[n/2+period : n-period])
+	if diff := after - before; diff < 0.6 || diff > 1.0 {
+		t.Errorf("level shift in deseasonalized series = %v, want ~0.8", diff)
+	}
+}
+
+func TestDecomposeErrors(t *testing.T) {
+	if _, err := Decompose([]float64{1, 2, 3}, 1, Options{}); err == nil {
+		t.Error("period < 2 should fail")
+	}
+	if _, err := Decompose(make([]float64, 10), 24, Options{}); err == nil {
+		t.Error("insufficient data should fail")
+	}
+}
+
+func TestDetectPeriod(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ys := seasonalSeries(rng, 24*10, 24, 3, 0, 0.1)
+	period, ok := DetectPeriod(ys, 2, 100, 3)
+	if !ok {
+		t.Fatal("seasonality not detected")
+	}
+	if period%24 != 0 {
+		t.Errorf("period = %d, want multiple of 24", period)
+	}
+	// White noise: no seasonality.
+	noise := make([]float64, 500)
+	for i := range noise {
+		noise[i] = rng.NormFloat64()
+	}
+	if _, ok := DetectPeriod(noise, 2, 200, 3); ok {
+		t.Error("white noise should not be seasonal")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults(24)
+	if o.InnerIterations != 2 || o.SeasonalSpan != 7 {
+		t.Errorf("defaults: %+v", o)
+	}
+	if o.TrendSpan%2 == 0 || o.TrendSpan < 24 {
+		t.Errorf("trend span should be odd and >= period: %d", o.TrendSpan)
+	}
+}

@@ -1,0 +1,38 @@
+package tao
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkObjectOps(b *testing.B) {
+	s := NewStore()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		id := ObjectID(i % 10000)
+		s.ObjectPut(&Object{ID: id, Type: "user"})
+		s.ObjectGet(id, "user")
+	}
+}
+
+func BenchmarkAssocRange(b *testing.B) {
+	s := NewStore()
+	for i := 0; i < 1000; i++ {
+		s.AssocAdd(Assoc{ID1: 1, ID2: ObjectID(i), Type: "friend",
+			Time: t0.Add(time.Duration(i) * time.Second)})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.AssocRange(1, "friend", 0, 50)
+	}
+}
+
+func BenchmarkAssocAdd(b *testing.B) {
+	s := NewStore()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.AssocAdd(Assoc{ID1: ObjectID(i % 1000), ID2: ObjectID(i),
+			Type: "like", Time: t0.Add(time.Duration(i) * time.Second)})
+	}
+}

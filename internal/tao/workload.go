@@ -1,0 +1,170 @@
+package tao
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"fbdetect/internal/tsdb"
+)
+
+// TypeMix is the request mix for one data type: how many operations of
+// each kind a workload issues per step for this type.
+type TypeMix struct {
+	DataType string
+	// ReadsPerStep and WritesPerStep are the baseline operation counts
+	// per emission step.
+	ReadsPerStep  float64
+	WritesPerStep float64
+}
+
+// MixEvent scales one data type's request rates from At onward; a client
+// code change that starts issuing more I/O for a data type is exactly the
+// per-data-type I/O regression FBDetect detects for TAO (paper §3).
+type MixEvent struct {
+	At          time.Time
+	DataType    string
+	ReadFactor  float64
+	WriteFactor float64
+}
+
+// WorkloadConfig drives a synthetic client against a Store.
+type WorkloadConfig struct {
+	Service string // service name used in emitted metric IDs
+	Step    time.Duration
+	Mixes   []TypeMix
+	// RateNoise is the relative noise on per-step operation counts.
+	RateNoise float64
+	// Objects is the keyspace size per data type.
+	Objects int
+	Seed    int64
+}
+
+// Workload issues real operations against a Store step by step and emits
+// per-data-type I/O series plus an overall query-throughput series.
+type Workload struct {
+	cfg    WorkloadConfig
+	store  *Store
+	rng    *rand.Rand
+	events []MixEvent
+}
+
+// NewWorkload validates the config and returns a workload over store.
+func NewWorkload(cfg WorkloadConfig, store *Store) (*Workload, error) {
+	if cfg.Service == "" {
+		return nil, fmt.Errorf("tao: service name required")
+	}
+	if cfg.Step <= 0 {
+		return nil, fmt.Errorf("tao: step must be positive")
+	}
+	if len(cfg.Mixes) == 0 {
+		return nil, fmt.Errorf("tao: at least one type mix required")
+	}
+	if store == nil {
+		return nil, fmt.Errorf("tao: nil store")
+	}
+	if cfg.Objects <= 0 {
+		cfg.Objects = 1000
+	}
+	return &Workload{cfg: cfg, store: store, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+}
+
+// ScheduleMixEvent registers a rate change.
+func (w *Workload) ScheduleMixEvent(e MixEvent) {
+	w.events = append(w.events, e)
+	sort.SliceStable(w.events, func(i, j int) bool { return w.events[i].At.Before(w.events[j].At) })
+}
+
+// ratesAt returns the effective (reads, writes) per step for a mix at t.
+func (w *Workload) ratesAt(mix TypeMix, t time.Time) (reads, writes float64) {
+	reads, writes = mix.ReadsPerStep, mix.WritesPerStep
+	for _, e := range w.events {
+		if e.At.After(t) {
+			break
+		}
+		if e.DataType != mix.DataType {
+			continue
+		}
+		if e.ReadFactor > 0 {
+			reads *= e.ReadFactor
+		}
+		if e.WriteFactor > 0 {
+			writes *= e.WriteFactor
+		}
+	}
+	return reads, writes
+}
+
+// Run drives the workload for [from, to), executing real store operations
+// and emitting, per data type, "reads_per_step" and "writes_per_step"
+// series, plus a service-level "throughput" series, into db.
+func (w *Workload) Run(db *tsdb.DB, from, to time.Time) error {
+	if db.Step() != w.cfg.Step {
+		return fmt.Errorf("tao: db step %s != workload step %s", db.Step(), w.cfg.Step)
+	}
+	for t := from; t.Before(to); t = t.Add(w.cfg.Step) {
+		var total float64
+		for _, mix := range w.cfg.Mixes {
+			reads, writes := w.ratesAt(mix, t)
+			nReads := w.jitterCount(reads)
+			nWrites := w.jitterCount(writes)
+			w.issueOps(mix.DataType, nReads, nWrites, t)
+			total += float64(nReads + nWrites)
+			if err := db.Append(tsdb.ID(w.cfg.Service, "type:"+mix.DataType, "reads_per_step"),
+				t, float64(nReads)); err != nil {
+				return err
+			}
+			if err := db.Append(tsdb.ID(w.cfg.Service, "type:"+mix.DataType, "writes_per_step"),
+				t, float64(nWrites)); err != nil {
+				return err
+			}
+		}
+		if err := db.Append(tsdb.ID(w.cfg.Service, "", "throughput"), t, total); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w *Workload) jitterCount(rate float64) int {
+	noise := w.cfg.RateNoise
+	if noise <= 0 {
+		noise = 0.01
+	}
+	n := rate * (1 + w.rng.NormFloat64()*noise)
+	if n < 0 {
+		n = 0
+	}
+	return int(n)
+}
+
+// issueOps executes real operations against the store: a read mix of
+// object gets, assoc ranges and counts; writes split between object puts
+// and assoc adds.
+func (w *Workload) issueOps(dataType string, reads, writes int, t time.Time) {
+	keyspace := ObjectID(w.cfg.Objects)
+	for i := 0; i < writes; i++ {
+		id := ObjectID(w.rng.Intn(int(keyspace)))
+		if i%2 == 0 {
+			w.store.ObjectPut(&Object{ID: id, Type: dataType,
+				Data: map[string]string{"v": "1"}})
+		} else {
+			w.store.AssocAdd(Assoc{
+				ID1: id, ID2: ObjectID(w.rng.Intn(int(keyspace))),
+				Type: dataType, Time: t,
+			})
+		}
+	}
+	for i := 0; i < reads; i++ {
+		id := ObjectID(w.rng.Intn(int(keyspace)))
+		switch i % 3 {
+		case 0:
+			w.store.ObjectGet(id, dataType)
+		case 1:
+			w.store.AssocRange(id, dataType, 0, 10)
+		case 2:
+			w.store.AssocCount(id, dataType)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package textsim
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchCorpus() *Corpus {
+	c := NewCorpus()
+	for i := 0; i < 200; i++ {
+		c.Add(fmt.Sprintf("svc%02d.Module%02d.subroutine_%04d.gcpu", i%10, i%20, i))
+	}
+	return c
+}
+
+func BenchmarkCorpusVector(b *testing.B) {
+	c := benchCorpus()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Vector("svc03.Module07.subroutine_0042.gcpu")
+	}
+}
+
+func BenchmarkCosineSparse(b *testing.B) {
+	c := benchCorpus()
+	v1 := c.Vector("svc03.Module07.subroutine_0042.gcpu")
+	v2 := c.Vector("svc03.Module07.subroutine_0043.gcpu")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Cosine(v1, v2)
+	}
+}
+
+func BenchmarkTokenSimilarity(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		TokenSimilarity(
+			"regression in subroutine serialize_response gcpu stack trace",
+			"switch serialize_response to the new encoder rollout")
+	}
+}
+
+func BenchmarkHash(b *testing.B) {
+	c := benchCorpus()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Hash("svc03.Module07.subroutine_0042.gcpu")
+	}
+}

@@ -1,0 +1,174 @@
+// Package textsim provides the text-similarity machinery FBDetect uses for
+// deduplication and root-cause analysis: tokenization, character n-grams,
+// TF-IDF weighting, and cosine similarity over sparse vectors (paper §5.5
+// and §5.6).
+package textsim
+
+import (
+	"math"
+	"strings"
+	"unicode"
+)
+
+// Tokenize splits text into lower-case word tokens on any non-alphanumeric
+// boundary. CamelCase identifiers are split into their parts, so
+// "ProcessRequest" yields ["process", "request"]; this makes subroutine
+// names comparable with change descriptions.
+func Tokenize(text string) []string {
+	var tokens []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			tokens = append(tokens, strings.ToLower(cur.String()))
+			cur.Reset()
+		}
+	}
+	prevLower := false
+	for _, r := range text {
+		switch {
+		case unicode.IsLetter(r):
+			if unicode.IsUpper(r) && prevLower {
+				flush()
+			}
+			cur.WriteRune(r)
+			prevLower = unicode.IsLower(r)
+		case unicode.IsDigit(r):
+			cur.WriteRune(r)
+			prevLower = false
+		default:
+			flush()
+			prevLower = false
+		}
+	}
+	flush()
+	return tokens
+}
+
+// NGrams returns the character n-grams of s for each n in ns. FBDetect
+// converts metric IDs into features using 2- and 3-grams (paper §5.5.1).
+func NGrams(s string, ns ...int) []string {
+	var out []string
+	runes := []rune(strings.ToLower(s))
+	for _, n := range ns {
+		if n <= 0 || n > len(runes) {
+			continue
+		}
+		for i := 0; i+n <= len(runes); i++ {
+			out = append(out, string(runes[i:i+n]))
+		}
+	}
+	return out
+}
+
+// SparseVector is a sparse feature vector keyed by term.
+type SparseVector map[string]float64
+
+// Cosine returns the cosine similarity between two sparse vectors, or 0 if
+// either has zero norm.
+func Cosine(a, b SparseVector) float64 {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	var dot float64
+	for term, av := range a {
+		if bv, ok := b[term]; ok {
+			dot += av * bv
+		}
+	}
+	na, nb := norm(a), norm(b)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (na * nb)
+}
+
+func norm(v SparseVector) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Corpus builds TF-IDF vectors over a set of documents. Add all documents
+// first, then call Vector; IDF weights reflect the documents added so far.
+type Corpus struct {
+	docFreq map[string]int
+	numDocs int
+	grams   []int
+}
+
+// NewCorpus returns a corpus using character n-grams of the given lengths
+// as terms; with no lengths it uses the paper's 2- and 3-grams.
+func NewCorpus(gramLens ...int) *Corpus {
+	if len(gramLens) == 0 {
+		gramLens = []int{2, 3}
+	}
+	return &Corpus{docFreq: map[string]int{}, grams: gramLens}
+}
+
+// Add registers a document's terms for IDF computation.
+func (c *Corpus) Add(doc string) {
+	c.numDocs++
+	seen := map[string]bool{}
+	for _, g := range NGrams(doc, c.grams...) {
+		if !seen[g] {
+			seen[g] = true
+			c.docFreq[g]++
+		}
+	}
+}
+
+// Vector returns the TF-IDF vector of doc against the corpus. Terms absent
+// from the corpus receive the maximum IDF (log(numDocs+1)).
+func (c *Corpus) Vector(doc string) SparseVector {
+	tf := SparseVector{}
+	grams := NGrams(doc, c.grams...)
+	for _, g := range grams {
+		tf[g]++
+	}
+	n := float64(len(grams))
+	if n == 0 {
+		return tf
+	}
+	for g := range tf {
+		idf := math.Log(float64(c.numDocs+1) / float64(c.docFreq[g]+1))
+		tf[g] = tf[g] / n * idf
+	}
+	return tf
+}
+
+// Hash returns a deterministic 32-bit FNV-1a style hash of the TF-IDF
+// weighted terms, mapping a metric ID to an integer feature as SOMDedup
+// requires ("we convert metric IDs into integers using TF-IDF").
+func (c *Corpus) Hash(doc string) uint32 {
+	v := c.Vector(doc)
+	// Combine term hashes weighted by their quantized TF-IDF so similar
+	// documents land near each other more often than random.
+	var h uint32 = 2166136261
+	for _, g := range NGrams(doc, c.grams...) {
+		w := uint32(v[g]*1000) + 1
+		for i := 0; i < len(g); i++ {
+			h ^= uint32(g[i])
+			h *= 16777619
+		}
+		h = h*31 + w
+	}
+	return h
+}
+
+// TokenVector returns a TF vector over word tokens of text; used for
+// comparing regression contexts with change descriptions (paper §5.6).
+func TokenVector(text string) SparseVector {
+	v := SparseVector{}
+	for _, tok := range Tokenize(text) {
+		v[tok]++
+	}
+	return v
+}
+
+// TokenSimilarity is the cosine similarity between the word-token vectors
+// of two texts.
+func TokenSimilarity(a, b string) float64 {
+	return Cosine(TokenVector(a), TokenVector(b))
+}

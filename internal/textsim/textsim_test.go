@@ -1,0 +1,142 @@
+package textsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"ProcessRequest", []string{"process", "request"}},
+		{"foo_bar-baz.qux", []string{"foo", "bar", "baz", "qux"}},
+		{"HTTPServer", []string{"httpserver"}}, // consecutive caps stay together
+		{"loosening constraints for foo", []string{"loosening", "constraints", "for", "foo"}},
+		{"", nil},
+		{"...", nil},
+		{"abc123def", []string{"abc123def"}},
+	}
+	for _, c := range cases {
+		got := Tokenize(c.in)
+		if len(got) != len(c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("Tokenize(%q)[%d] = %q, want %q", c.in, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+func TestNGrams(t *testing.T) {
+	got := NGrams("abc", 2)
+	want := []string{"ab", "bc"}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("NGrams = %v", got)
+	}
+	if got := NGrams("ab", 3); got != nil {
+		t.Errorf("too-short string: %v", got)
+	}
+	got = NGrams("abc", 2, 3)
+	if len(got) != 3 { // ab, bc, abc
+		t.Errorf("2+3 grams: %v", got)
+	}
+	if got := NGrams("AbC", 2); got[0] != "ab" {
+		t.Errorf("case folding: %v", got)
+	}
+}
+
+func TestCosineIdenticalAndDisjoint(t *testing.T) {
+	a := SparseVector{"x": 1, "y": 2}
+	if got := Cosine(a, a); got < 0.999 {
+		t.Errorf("self-similarity = %v", got)
+	}
+	b := SparseVector{"z": 3}
+	if got := Cosine(a, b); got != 0 {
+		t.Errorf("disjoint = %v", got)
+	}
+	if got := Cosine(a, SparseVector{}); got != 0 {
+		t.Errorf("empty = %v", got)
+	}
+}
+
+func TestCosineSymmetricAndBounded(t *testing.T) {
+	f := func(k1, k2 []byte, v1, v2 uint8) bool {
+		a := SparseVector{string(k1): float64(v1) + 1, "shared": 2}
+		b := SparseVector{string(k2): float64(v2) + 1, "shared": 3}
+		ab, ba := Cosine(a, b), Cosine(b, a)
+		if ab != ba {
+			return false
+		}
+		return ab >= 0 && ab <= 1.0000001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCorpusSimilarityOrdering(t *testing.T) {
+	c := NewCorpus()
+	docs := []string{
+		"WWW.Feed.Render.gcpu",
+		"WWW.Feed.Fetch.gcpu",
+		"Ads.Score.Predict.latency",
+	}
+	for _, d := range docs {
+		c.Add(d)
+	}
+	feedRender := c.Vector(docs[0])
+	feedFetch := c.Vector(docs[1])
+	adsScore := c.Vector(docs[2])
+	simFeed := Cosine(feedRender, feedFetch)
+	simCross := Cosine(feedRender, adsScore)
+	if simFeed <= simCross {
+		t.Errorf("related metric IDs should score higher: %v vs %v", simFeed, simCross)
+	}
+	if self := Cosine(feedRender, feedRender); self < 0.999 {
+		t.Errorf("self similarity = %v", self)
+	}
+}
+
+func TestCorpusEmptyDoc(t *testing.T) {
+	c := NewCorpus()
+	c.Add("hello")
+	v := c.Vector("")
+	if len(v) != 0 {
+		t.Errorf("empty doc vector = %v", v)
+	}
+}
+
+func TestHashDeterministic(t *testing.T) {
+	c := NewCorpus()
+	c.Add("WWW.Feed.Render.gcpu")
+	h1 := c.Hash("WWW.Feed.Render.gcpu")
+	h2 := c.Hash("WWW.Feed.Render.gcpu")
+	if h1 != h2 {
+		t.Error("hash not deterministic")
+	}
+	if c.Hash("Ads.Other.metric") == h1 {
+		t.Error("distinct docs should (almost surely) hash differently")
+	}
+}
+
+func TestTokenSimilarity(t *testing.T) {
+	// Paper §5.6 example: change description mentioning a subroutine should
+	// score above an unrelated description.
+	regression := "regression in subroutine foo gcpu stack trace www feed"
+	related := "loosening constraints for foo"
+	unrelated := "update dashboard colors"
+	if TokenSimilarity(regression, related) <= TokenSimilarity(regression, unrelated) {
+		t.Error("related change should score higher")
+	}
+	if got := TokenSimilarity("a b c", "a b c"); got < 0.999 {
+		t.Errorf("identical text similarity = %v", got)
+	}
+	if got := TokenSimilarity("", "anything"); got != 0 {
+		t.Errorf("empty text = %v", got)
+	}
+}

@@ -1,0 +1,44 @@
+package tsdb
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkAppend(b *testing.B) {
+	db := New(time.Minute)
+	id := ID("svc", "sub", "gcpu")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		db.Append(id, t0.Add(time.Duration(i)*time.Minute), float64(i))
+	}
+}
+
+func BenchmarkQueryWindow(b *testing.B) {
+	db := New(time.Minute)
+	id := ID("svc", "sub", "gcpu")
+	for i := 0; i < 100000; i++ {
+		db.Append(id, t0.Add(time.Duration(i)*time.Minute), float64(i))
+	}
+	from := t0.Add(50000 * time.Minute)
+	to := from.Add(1000 * time.Minute)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(id, from, to); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMetricsListing(b *testing.B) {
+	db := New(time.Minute)
+	for i := 0; i < 1000; i++ {
+		db.Append(ID("svc", string(rune('a'+i%26))+string(rune('a'+i/26%26))+string(rune('a'+i/676)), "m"), t0, 1)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.Metrics("svc")
+	}
+}

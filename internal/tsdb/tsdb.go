@@ -1,0 +1,170 @@
+// Package tsdb is the in-memory time-series store FBDetect scans. It
+// substitutes for Meta's production monitoring store: the pipeline only
+// needs windowed range queries over named metrics, which this package
+// provides with concurrent-safe ingestion.
+//
+// Metric identity follows the paper's "metric ID" convention: a metric ID
+// concatenates the entity (service, subroutine, or endpoint) and the metric
+// name, e.g. "frontfaas/feed_render/gcpu" (paper §5.5.1).
+package tsdb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"fbdetect/internal/timeseries"
+)
+
+// MetricID identifies one time series.
+type MetricID string
+
+// ID builds a MetricID from service, entity (subroutine/endpoint, may be
+// empty for service-level metrics), and metric name.
+func ID(service, entity, metric string) MetricID {
+	if entity == "" {
+		return MetricID(service + "//" + metric)
+	}
+	return MetricID(service + "/" + entity + "/" + metric)
+}
+
+// Parts splits a MetricID into service, entity, and metric name: the
+// service is everything before the first '/', the metric everything after
+// the last '/', and the entity the middle — so entities may themselves
+// contain slashes (endpoint names like "endpoint:/feed/home"). Malformed
+// IDs return the whole ID as the metric with empty service and entity.
+func (id MetricID) Parts() (service, entity, metric string) {
+	s := string(id)
+	i := strings.IndexByte(s, '/')
+	if i < 0 {
+		return "", "", s
+	}
+	rest := s[i+1:]
+	j := strings.LastIndexByte(rest, '/')
+	if j < 0 {
+		return s[:i], "", rest
+	}
+	return s[:i], rest[:j], rest[j+1:]
+}
+
+// DB is an in-memory time-series database. The zero value is not usable;
+// construct with New.
+type DB struct {
+	step time.Duration
+
+	mu     sync.RWMutex
+	series map[MetricID]*timeseries.Series
+}
+
+// New returns a DB whose series all share the given step (one point per
+// step).
+func New(step time.Duration) *DB {
+	return &DB{step: step, series: map[MetricID]*timeseries.Series{}}
+}
+
+// Step returns the database's sample step.
+func (db *DB) Step() time.Duration { return db.step }
+
+// Append adds one point to the metric's series at time t. Points must be
+// appended in order; a point earlier than the series end is rejected. Gaps
+// are filled by repeating the last value so windows stay regularly spaced
+// (production systems interpolate similarly for scan alignment).
+func (db *DB) Append(id MetricID, t time.Time, v float64) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	s, ok := db.series[id]
+	if !ok {
+		s = timeseries.New(t.Truncate(db.step), db.step, nil)
+		db.series[id] = s
+	}
+	// Compute the raw slot without IndexOf's clamping so gaps are visible.
+	slot := int(t.Sub(s.Start) / db.step)
+	switch {
+	case slot < s.Len():
+		return fmt.Errorf("tsdb: out-of-order append to %s at %s", id, t)
+	case slot == s.Len():
+		s.Append(v)
+	default:
+		last := v
+		if s.Len() > 0 {
+			last = s.Values[s.Len()-1]
+		}
+		for s.Len() < slot {
+			s.Append(last)
+		}
+		s.Append(v)
+	}
+	return nil
+}
+
+// Query returns a copy of the metric's series restricted to [from, to), or
+// an error if the metric is unknown.
+func (db *DB) Query(id MetricID, from, to time.Time) (*timeseries.Series, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	s, ok := db.series[id]
+	if !ok {
+		return nil, fmt.Errorf("tsdb: unknown metric %q", id)
+	}
+	return s.Slice(from, to).Clone(), nil
+}
+
+// Full returns a copy of the metric's complete series.
+func (db *DB) Full(id MetricID) (*timeseries.Series, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	s, ok := db.series[id]
+	if !ok {
+		return nil, fmt.Errorf("tsdb: unknown metric %q", id)
+	}
+	return s.Clone(), nil
+}
+
+// Metrics returns all metric IDs, sorted, optionally filtered to one
+// service ("" matches all).
+func (db *DB) Metrics(service string) []MetricID {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]MetricID, 0, len(db.series))
+	for id := range db.series {
+		if service != "" {
+			svc, _, _ := id.Parts()
+			if svc != service {
+				continue
+			}
+		}
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Len returns the number of stored series.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.series)
+}
+
+// Drop removes a metric's series.
+func (db *DB) Drop(id MetricID) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	delete(db.series, id)
+}
+
+// Prune discards points older than the retention horizon for every series,
+// bounding memory for long simulations.
+func (db *DB) Prune(before time.Time) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for id, s := range db.series {
+		if !s.Start.Before(before) {
+			continue
+		}
+		trimmed := s.Slice(before, s.End()).Clone()
+		db.series[id] = trimmed
+	}
+}

@@ -1,0 +1,129 @@
+// Package xenon simulates an in-runtime stack-trace profiler in the style
+// of HHVM's Xenon (which FBDetect uses for its PHP serverless platform,
+// paper §3-4) or the JVM's built-in stack dumping. Unlike PyPerf's
+// kernel-side reconstruction, a runtime profiler arms a timer inside the
+// language VM; when it fires, every worker currently executing a request
+// records its own language-level stack.
+//
+// The simulated runtime executes requests on worker threads; a request is
+// a weighted sequence of call-stack phases, and at snapshot time each busy
+// worker contributes the stack of the phase it is in, chosen proportional
+// to phase duration — exactly the time-in-stack semantics a wall-clock
+// timer yields.
+package xenon
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fbdetect/internal/stacktrace"
+)
+
+// Phase is one stretch of a request's execution: the full call stack the
+// worker has during the phase and the relative wall time spent in it.
+type Phase struct {
+	Stack  stacktrace.Trace
+	Weight float64
+}
+
+// RequestType is a kind of request the runtime serves: its phases and its
+// share of traffic.
+type RequestType struct {
+	Name         string
+	Phases       []Phase
+	TrafficShare float64
+}
+
+func (rt RequestType) totalWeight() float64 {
+	var sum float64
+	for _, p := range rt.Phases {
+		sum += p.Weight
+	}
+	return sum
+}
+
+// Runtime is a simulated language VM serving a request mix on a pool of
+// workers.
+type Runtime struct {
+	workers     int
+	utilization float64 // probability a worker is busy at snapshot time
+	types       []RequestType
+	totalShare  float64
+}
+
+// NewRuntime validates the request mix and returns a runtime.
+func NewRuntime(workers int, utilization float64, types []RequestType) (*Runtime, error) {
+	if workers <= 0 {
+		return nil, fmt.Errorf("xenon: workers must be positive")
+	}
+	if utilization < 0 || utilization > 1 {
+		return nil, fmt.Errorf("xenon: utilization out of [0,1]: %v", utilization)
+	}
+	if len(types) == 0 {
+		return nil, fmt.Errorf("xenon: request mix required")
+	}
+	var share float64
+	for _, rt := range types {
+		if rt.TrafficShare <= 0 {
+			return nil, fmt.Errorf("xenon: request type %q has non-positive share", rt.Name)
+		}
+		if len(rt.Phases) == 0 {
+			return nil, fmt.Errorf("xenon: request type %q has no phases", rt.Name)
+		}
+		if rt.totalWeight() <= 0 {
+			return nil, fmt.Errorf("xenon: request type %q has zero total weight", rt.Name)
+		}
+		share += rt.TrafficShare
+	}
+	return &Runtime{workers: workers, utilization: utilization, types: types, totalShare: share}, nil
+}
+
+// Snapshot simulates one timer fire: every busy worker reports the stack
+// of its current phase. The returned traces are appended to ss with unit
+// weight; the number of contributing workers is returned.
+func (r *Runtime) Snapshot(rng *rand.Rand, ss *stacktrace.SampleSet) int {
+	contributed := 0
+	for w := 0; w < r.workers; w++ {
+		if rng.Float64() >= r.utilization {
+			continue // idle worker: nothing on the request stack
+		}
+		ss.Add(r.drawStack(rng), 1)
+		contributed++
+	}
+	return contributed
+}
+
+// drawStack picks a request type by traffic share and a phase within it by
+// duration weight.
+func (r *Runtime) drawStack(rng *rand.Rand) stacktrace.Trace {
+	x := rng.Float64() * r.totalShare
+	var rt RequestType
+	for _, cand := range r.types {
+		if x < cand.TrafficShare {
+			rt = cand
+			break
+		}
+		x -= cand.TrafficShare
+	}
+	if rt.Name == "" {
+		rt = r.types[len(r.types)-1]
+	}
+	y := rng.Float64() * rt.totalWeight()
+	for _, p := range rt.Phases {
+		if y < p.Weight {
+			return p.Stack
+		}
+		y -= p.Weight
+	}
+	return rt.Phases[len(rt.Phases)-1].Stack
+}
+
+// Profile runs n snapshots and returns the accumulated sample set — the
+// per-collection-interval output the fleet pipeline ingests.
+func (r *Runtime) Profile(rng *rand.Rand, n int) *stacktrace.SampleSet {
+	ss := stacktrace.NewSampleSet()
+	for i := 0; i < n; i++ {
+		r.Snapshot(rng, ss)
+	}
+	return ss
+}

@@ -1,0 +1,108 @@
+package xenon
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fbdetect/internal/stacktrace"
+)
+
+func phpMix() []RequestType {
+	return []RequestType{
+		{
+			Name:         "feed",
+			TrafficShare: 0.7,
+			Phases: []Phase{
+				{Stack: stacktrace.ParseTrace("main->feed->rank"), Weight: 3},
+				{Stack: stacktrace.ParseTrace("main->feed->render"), Weight: 7},
+			},
+		},
+		{
+			Name:         "profile",
+			TrafficShare: 0.3,
+			Phases: []Phase{
+				{Stack: stacktrace.ParseTrace("main->profile->load"), Weight: 10},
+			},
+		},
+	}
+}
+
+func TestNewRuntimeValidation(t *testing.T) {
+	mix := phpMix()
+	cases := []struct {
+		workers int
+		util    float64
+		types   []RequestType
+	}{
+		{0, 0.5, mix},
+		{4, -0.1, mix},
+		{4, 1.5, mix},
+		{4, 0.5, nil},
+		{4, 0.5, []RequestType{{Name: "x", TrafficShare: 0}}},
+		{4, 0.5, []RequestType{{Name: "x", TrafficShare: 1}}}, // no phases
+		{4, 0.5, []RequestType{{Name: "x", TrafficShare: 1,
+			Phases: []Phase{{Weight: 0}}}}},
+	}
+	for i, c := range cases {
+		if _, err := NewRuntime(c.workers, c.util, c.types); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if _, err := NewRuntime(8, 0.5, mix); err != nil {
+		t.Errorf("valid runtime rejected: %v", err)
+	}
+}
+
+func TestProfileMatchesTimeDistribution(t *testing.T) {
+	r, err := NewRuntime(16, 0.8, phpMix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	ss := r.Profile(rng, 4000)
+	// Expected gCPU: rank = 0.7*0.3 = 0.21; render = 0.7*0.7 = 0.49;
+	// load = 0.3. feed subtree = 0.7; main = 1.
+	checks := map[string]float64{
+		"rank":    0.21,
+		"render":  0.49,
+		"load":    0.30,
+		"feed":    0.70,
+		"profile": 0.30,
+		"main":    1.00,
+	}
+	for sub, want := range checks {
+		if got := ss.GCPU(sub); math.Abs(got-want) > 0.02 {
+			t.Errorf("gCPU(%s) = %v, want ~%v", sub, got, want)
+		}
+	}
+}
+
+func TestSnapshotRespectsUtilization(t *testing.T) {
+	r, err := NewRuntime(100, 0.25, phpMix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	total := 0
+	const snaps = 200
+	for i := 0; i < snaps; i++ {
+		ss := stacktrace.NewSampleSet()
+		total += r.Snapshot(rng, ss)
+	}
+	mean := float64(total) / snaps
+	if mean < 20 || mean > 30 {
+		t.Errorf("busy workers per snapshot = %v, want ~25", mean)
+	}
+}
+
+func TestZeroUtilizationYieldsNoSamples(t *testing.T) {
+	r, err := NewRuntime(10, 0, phpMix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	if ss := r.Profile(rng, 50); ss.Len() != 0 {
+		t.Errorf("idle runtime produced %d samples", ss.Len())
+	}
+}

@@ -1,0 +1,112 @@
+package fbdetect
+
+import (
+	"time"
+
+	"fbdetect/internal/timeseries"
+)
+
+// The preset constructors below reproduce the twelve workload
+// configurations of the paper's Table 1. Thresholds for gCPU metrics are
+// absolute fractions (a "0.005%" detection threshold is 0.00005), and the
+// CT presets use relative thresholds.
+
+func preset(name string, threshold float64, relative bool,
+	rerun, hist, analysis, extended time.Duration) Config {
+	return Config{
+		Name:              name,
+		Threshold:         threshold,
+		RelativeThreshold: relative,
+		RerunInterval:     rerun,
+		Windows: timeseries.WindowConfig{
+			Historic: hist,
+			Analysis: analysis,
+			Extended: extended,
+		},
+	}
+}
+
+const day = 24 * time.Hour
+
+// FrontFaaSLarge detects large (3%) regressions quickly for the PHP
+// serverless platform.
+func FrontFaaSLarge() Config {
+	return preset("FrontFaaS (large)", 0.03, false, 30*time.Minute, 10*day, 3*time.Hour, 0)
+}
+
+// FrontFaaSSmall detects tiny (0.005%) regressions for the PHP serverless
+// platform, waiting longer to collect more data.
+func FrontFaaSSmall() Config {
+	return preset("FrontFaaS (small)", 0.00005, false, 2*time.Hour, 10*day, 4*time.Hour, 6*time.Hour)
+}
+
+// PythonFaaSLarge detects 0.5% regressions for the Python serverless
+// platform.
+func PythonFaaSLarge() Config {
+	return preset("PythonFaaS (large)", 0.005, false, time.Hour, 10*day, 6*time.Hour, 0)
+}
+
+// PythonFaaSSmall detects 0.03% regressions for the Python serverless
+// platform.
+func PythonFaaSSmall() Config {
+	return preset("PythonFaaS (small)", 0.0003, false, 4*time.Hour, 10*day, 6*time.Hour, 6*time.Hour)
+}
+
+// TAOFrontFaaS detects 0.05% regressions in TAO's FrontFaaS traffic.
+func TAOFrontFaaS() Config {
+	return preset("TAO (FrontFaaS)", 0.0005, false, 2*time.Hour, 10*day, 4*time.Hour, day)
+}
+
+// TAONonFrontFaaS detects 0.05% regressions in TAO's other traffic.
+func TAONonFrontFaaS() Config {
+	return preset("TAO (non-FrontFaaS)", 0.0005, false, time.Hour, 10*day, day, 6*time.Hour)
+}
+
+// AdServingShort detects 0.2% regressions for the ads services.
+func AdServingShort() Config {
+	return preset("AdServing (short)", 0.002, false, 6*time.Hour, 10*day, day, 12*time.Hour)
+}
+
+// AdServingLong detects 0.1% regressions over long windows; it favors the
+// long-term detection path.
+func AdServingLong() Config {
+	c := preset("AdServing (long)", 0.001, false, day, 16*day, 9*day, 0)
+	c.LongTerm = true
+	return c
+}
+
+// InvoicerShort detects 0.5% regressions for the 16-server Invoicer
+// service, using long windows and high sampling to accumulate data.
+func InvoicerShort() Config {
+	return preset("Invoicer (short)", 0.005, false, 12*time.Hour, 14*day, day, day)
+}
+
+// CTSupplyShort detects 5% relative drops in Kraken-probed per-server max
+// throughput.
+func CTSupplyShort() Config {
+	return preset("CT-supply (short)", 0.05, true, 12*time.Hour, 7*day, day, day)
+}
+
+// CTSupplyLong is the long-window variant of CT-supply.
+func CTSupplyLong() Config {
+	c := preset("CT-supply (long)", 0.05, true, 12*time.Hour, 10*day, 7*day, day)
+	c.LongTerm = true
+	return c
+}
+
+// CTDemand detects 5% relative increases in total peak demand.
+func CTDemand() Config {
+	return preset("CT-demand", 0.05, true, 12*time.Hour, 7*day, day, 0)
+}
+
+// Presets returns all Table 1 configurations in the paper's row order.
+func Presets() []Config {
+	return []Config{
+		FrontFaaSLarge(), FrontFaaSSmall(),
+		PythonFaaSLarge(), PythonFaaSSmall(),
+		TAOFrontFaaS(), TAONonFrontFaaS(),
+		AdServingShort(), AdServingLong(),
+		InvoicerShort(),
+		CTSupplyShort(), CTSupplyLong(), CTDemand(),
+	}
+}

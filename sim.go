@@ -1,0 +1,154 @@
+package fbdetect
+
+import (
+	"math/rand"
+	"time"
+
+	"fbdetect/internal/fleet"
+	"fbdetect/internal/kraken"
+	"fbdetect/internal/pyperf"
+	"fbdetect/internal/stacktrace"
+	"fbdetect/internal/xenon"
+)
+
+// Fleet simulation types (the reproduction's substitute for a production
+// fleet; see DESIGN.md).
+type (
+	// FleetConfig describes a simulated service: servers, call tree,
+	// noise, seasonality, and profiler sampling rate.
+	FleetConfig = fleet.Config
+	// FleetService simulates one service, emitting metric series into a
+	// DB and answering stack-trace sample queries.
+	FleetService = fleet.Service
+	// Generation describes one server generation in a mixed fleet.
+	Generation = fleet.Generation
+	// CallTree is a service's synthetic call tree; stack samples and gCPU
+	// derive from its self-time weights.
+	CallTree = fleet.Tree
+	// CallNode is one subroutine in a call tree.
+	CallNode = fleet.Node
+	// ScheduledChange applies a code or configuration change to a
+	// service's call tree at a point in simulated time.
+	ScheduledChange = fleet.ScheduledChange
+	// Issue is a transient production issue (failure, maintenance, load
+	// spike, rolling update, canary, traffic shift).
+	Issue = fleet.Issue
+	// IssueType enumerates transient issue types.
+	IssueType = fleet.IssueType
+	// EndpointSpec declares one user-facing endpoint and the subroutines
+	// a request to it executes, for endpoint-level regression detection.
+	EndpointSpec = fleet.EndpointSpec
+)
+
+// Transient issue types (paper §1's false-positive sources).
+const (
+	ServerFailure = fleet.ServerFailure
+	Maintenance   = fleet.Maintenance
+	LoadSpike     = fleet.LoadSpike
+	RollingUpdate = fleet.RollingUpdate
+	CanaryTest    = fleet.CanaryTest
+	TrafficShift  = fleet.TrafficShift
+)
+
+// NewFleetService validates the config and returns a service simulator.
+func NewFleetService(cfg FleetConfig) (*FleetService, error) {
+	return fleet.NewService(cfg)
+}
+
+// NewCallTree builds a call tree from a root node, indexing subroutines by
+// name.
+func NewCallTree(root *CallNode) (*CallTree, error) { return fleet.NewTree(root) }
+
+// GenerateCallTree builds a random call tree with approximately
+// numSubroutines nodes and heavy-tailed self weights, mirroring production
+// gCPU distributions (paper §2).
+func GenerateCallTree(rng *rand.Rand, numSubroutines, maxBranch int) *CallTree {
+	return fleet.Generate(rng, numSubroutines, maxBranch)
+}
+
+// DefaultIssue returns an issue of the given type with representative
+// impact factors over [start, start+d).
+func DefaultIssue(typ IssueType, start time.Time, d time.Duration) Issue {
+	return fleet.DefaultIssue(typ, start, d)
+}
+
+// FleetSamples adapts a FleetService to the SampleProvider interface,
+// drawing budget expected samples per queried window.
+func FleetSamples(svc *FleetService, budget float64) SampleProvider {
+	return fleetSampleProvider{svc: svc, budget: budget}
+}
+
+type fleetSampleProvider struct {
+	svc    *FleetService
+	budget float64
+}
+
+func (p fleetSampleProvider) SamplesBetween(service string, from, to time.Time) *stacktrace.SampleSet {
+	return p.svc.ExpectedSamplesBetween(from, to, p.budget)
+}
+
+// Kraken / Capacity Triage types (paper §3).
+type (
+	// KrakenConfig describes a Capacity Triage target service.
+	KrakenConfig = kraken.Config
+	// KrakenService emits max-throughput (supply) and peak-demand series.
+	KrakenService = kraken.Service
+	// ServerModel is the per-server latency/capacity model the prober
+	// ramps against.
+	ServerModel = kraken.ServerModel
+	// Prober benchmarks per-server max throughput like Kraken's live
+	// load tests.
+	Prober = kraken.Prober
+	// CapacityEvent scales capacity (supply regressions); DemandEvent
+	// scales peak demand (demand regressions).
+	CapacityEvent = kraken.CapacityEvent
+	DemandEvent   = kraken.DemandEvent
+)
+
+// NewKrakenService validates the config and returns a CT simulator.
+func NewKrakenService(cfg KrakenConfig) (*KrakenService, error) { return kraken.New(cfg) }
+
+// PyPerf types and functions (paper §4, Figure 5).
+type (
+	// PyProcess is a simulated CPython process state: native stack plus
+	// the interpreter's virtual call stack.
+	PyProcess = pyperf.Process
+	// PyVCSFrame is one frame of the virtual call stack.
+	PyVCSFrame = pyperf.VCSFrame
+	// PySampler periodically captures merged stacks from a live target.
+	PySampler = pyperf.Sampler
+)
+
+// PyEvalFrameSymbol is the CPython interpreter-loop symbol that marks
+// Python-level calls on the native stack.
+const PyEvalFrameSymbol = pyperf.EvalFrameSymbol
+
+// MergeStack reconstructs the end-to-end Python+native stack trace from a
+// process snapshot, the PyPerf algorithm of Figure 5.
+func MergeStack(p PyProcess) ([]string, error) { return pyperf.MergeStack(p) }
+
+// BuildVCS constructs a virtual call stack from function names ordered
+// outermost first.
+func BuildVCS(functions ...string) *PyVCSFrame { return pyperf.BuildVCS(functions...) }
+
+// NewPySampler returns a sampler capturing the target every interval.
+func NewPySampler(interval time.Duration, target func() PyProcess) *PySampler {
+	return pyperf.NewSampler(interval, target)
+}
+
+// Xenon-style in-runtime profiler (the PHP/JVM counterpart of PyPerf,
+// paper §3-4).
+type (
+	// XenonRuntime is a simulated language VM serving a request mix;
+	// snapshots capture every busy worker's stack.
+	XenonRuntime = xenon.Runtime
+	// XenonRequestType describes one request kind's phases and traffic
+	// share; XenonPhase is one stack/duration stretch.
+	XenonRequestType = xenon.RequestType
+	XenonPhase       = xenon.Phase
+)
+
+// NewXenonRuntime validates the request mix and returns a runtime.
+func NewXenonRuntime(workers int, utilization float64, types []XenonRequestType) (*XenonRuntime, error) {
+	return xenon.NewRuntime(workers, utilization, types)
+}

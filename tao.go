@@ -1,0 +1,112 @@
+package fbdetect
+
+import (
+	"net/http"
+	"time"
+
+	"fbdetect/internal/canary"
+	"fbdetect/internal/core"
+	"fbdetect/internal/distributed"
+	"fbdetect/internal/tao"
+	"fbdetect/internal/tracing"
+)
+
+// TAO graph-store substrate (paper §3: FBDetect detects per-data-type I/O
+// regressions on TAO traffic).
+type (
+	// TAOStore is an in-memory TAO-like graph store with per-data-type
+	// operation accounting.
+	TAOStore = tao.Store
+	// TAOObject is a typed graph node; TAOAssoc a typed directed edge.
+	TAOObject = tao.Object
+	TAOAssoc  = tao.Assoc
+	// TAOWorkload drives synthetic clients against a TAOStore and emits
+	// per-data-type I/O series.
+	TAOWorkload = tao.Workload
+	// TAOWorkloadConfig configures the workload; TAOTypeMix is one data
+	// type's request mix; TAOMixEvent scales a type's rates (an I/O
+	// regression when the factor exceeds 1).
+	TAOWorkloadConfig = tao.WorkloadConfig
+	TAOTypeMix        = tao.TypeMix
+	TAOMixEvent       = tao.MixEvent
+)
+
+// NewTAOStore returns an empty graph store.
+func NewTAOStore() *TAOStore { return tao.NewStore() }
+
+// NewTAOWorkload validates the config and returns a workload over store.
+func NewTAOWorkload(cfg TAOWorkloadConfig, store *TAOStore) (*TAOWorkload, error) {
+	return tao.NewWorkload(cfg, store)
+}
+
+// End-to-end tracing for endpoint-level regressions (paper §3).
+type (
+	// RequestTrace is one end-to-end request with spans across threads;
+	// TraceSpan is one attributed unit of work.
+	RequestTrace = tracing.RequestTrace
+	TraceSpan    = tracing.TraceSpan
+	// TraceAggregator accumulates request traces into per-endpoint cost
+	// statistics.
+	TraceAggregator = tracing.Aggregator
+	// EndpointStats summarizes one endpoint over a bucket.
+	EndpointStats = tracing.EndpointStats
+)
+
+// NewTraceAggregator returns an empty aggregator.
+func NewTraceAggregator() *TraceAggregator { return tracing.NewAggregator() }
+
+// Additional cost-domain detectors (paper §5.4).
+
+// NewMetadataDomains returns the detector grouping subroutines that share
+// a metadata prefix (supports SetFrameMetadata-annotated detection).
+func NewMetadataDomains() DomainDetector { return core.MetadataDomains{} }
+
+// NewCommitDomains returns the detector grouping all subroutines modified
+// by one code commit.
+func NewCommitDomains(log *ChangeLog, lookback time.Duration) DomainDetector {
+	return core.CommitDomains{Log: log, Lookback: lookback}
+}
+
+// CheckEndpointCostShift applies the endpoint-name-prefix cost domain to
+// an endpoint-level regression, reading sibling endpoint series from db.
+func CheckEndpointCostShift(cfg CostShiftConfig, db *DB, r *Regression,
+	windows WindowConfig, scanTime time.Time) core.CostShiftVerdict {
+	return core.CheckEndpointCostShift(cfg, db, r, windows, scanTime)
+}
+
+// Canary analysis (paper §6.2 corroboration; §7's pre-production
+// counterpart of in-production detection).
+type (
+	// CanaryAnalyzer compares canary and control sample groups.
+	CanaryAnalyzer = canary.Analyzer
+	// CanaryResult is one canary comparison's outcome.
+	CanaryResult = canary.Result
+)
+
+// CorroborateWithCanary scores (in [0, 1]) how well a canary result
+// supports an in-production regression report by magnitude and timing
+// agreement.
+func CorroborateWithCanary(r *Regression, c CanaryResult, timingWindow time.Duration) float64 {
+	return canary.Corroborate(r, c, timingWindow)
+}
+
+// Distributed scanning (paper §5.1's serverless fan-out): a ScanWorker
+// serves a local Detector over HTTP; a ScanCoordinator shards services
+// across workers and merges results.
+type (
+	ScanWorker      = distributed.Worker
+	ScanCoordinator = distributed.Coordinator
+	ScanResponse    = distributed.ScanResponse
+	WireRegression  = distributed.WireRegression
+)
+
+// NewScanWorker wraps a detector as an HTTP scan worker (mount it at
+// /scan).
+func NewScanWorker(name string, det *Detector) *ScanWorker {
+	return distributed.NewWorker(name, det)
+}
+
+// NewScanCoordinator returns a coordinator over worker base URLs.
+func NewScanCoordinator(workerURLs []string, client *http.Client) (*ScanCoordinator, error) {
+	return distributed.NewCoordinator(workerURLs, client)
+}

@@ -1,0 +1,188 @@
+package fbdetect
+
+// Tests for the thin public wrappers: each must round-trip to its
+// internal implementation.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTicketForAndWriteScanReport(t *testing.T) {
+	db := NewDB(time.Minute)
+	metric := ID("svc", "sub", "gcpu")
+	start := testStart
+	for i := 0; i < 540; i++ {
+		v := 0.01
+		if i >= 420 {
+			v = 0.012
+		}
+		db.Append(metric, start.Add(time.Duration(i)*time.Minute), v)
+	}
+	det, err := NewDetector(Config{
+		Threshold: 0.0005,
+		Windows: WindowConfig{
+			Historic: 5 * time.Hour, Analysis: 3 * time.Hour, Extended: time.Hour,
+		},
+	}, db, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := det.Scan("svc", start.Add(9*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reported) == 0 {
+		t.Fatal("no report to render")
+	}
+	ticket := TicketFor(res.Reported[0], nil)
+	if !strings.Contains(ticket.Title, "svc/sub") {
+		t.Errorf("ticket title = %q", ticket.Title)
+	}
+	var buf bytes.Buffer
+	if err := WriteScanReport(&buf, res, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "[fbdetect]") {
+		t.Error("scan report missing ticket")
+	}
+}
+
+func TestWriteFoldedPublic(t *testing.T) {
+	ss := NewSampleSet()
+	ss.Add(ParseTrace("a->b"), 2)
+	var buf bytes.Buffer
+	if err := WriteFolded(&buf, ss); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFolded(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.GCPU("b") != 1 {
+		t.Errorf("round trip gCPU = %v", back.GCPU("b"))
+	}
+}
+
+func TestNewPySamplerPublic(t *testing.T) {
+	s := NewPySampler(time.Millisecond, func() PyProcess {
+		return PyProcess{
+			NativeStack: []string{"_start", PyEvalFrameSymbol},
+			VCSHead:     BuildVCS("main_py"),
+		}
+	})
+	s.Start()
+	time.Sleep(20 * time.Millisecond)
+	s.Stop()
+	if s.Count() == 0 {
+		t.Error("sampler captured nothing")
+	}
+}
+
+func TestNewXenonRuntimePublic(t *testing.T) {
+	rt, err := NewXenonRuntime(4, 0.8, []XenonRequestType{{
+		Name: "feed", TrafficShare: 1,
+		Phases: []XenonPhase{{Stack: ParseTrace("main->feed"), Weight: 1}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt == nil {
+		t.Fatal("nil runtime")
+	}
+}
+
+func TestDomainDetectorConstructors(t *testing.T) {
+	if NewMetadataDomains() == nil {
+		t.Error("nil metadata domains")
+	}
+	var log ChangeLog
+	if NewCommitDomains(&log, time.Hour) == nil {
+		t.Error("nil commit domains")
+	}
+}
+
+func TestTraceAggregatorPublic(t *testing.T) {
+	agg := NewTraceAggregator()
+	err := agg.Record(&RequestTrace{
+		TraceID: "t", Endpoint: "/x",
+		Spans: []TraceSpan{{Subroutine: "s", CPU: time.Millisecond}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap := agg.Snapshot(); len(snap) != 1 {
+		t.Errorf("snapshot = %v", snap)
+	}
+}
+
+func TestCheckEndpointCostShiftPublic(t *testing.T) {
+	db := NewDB(time.Minute)
+	r := &Regression{}
+	v := CheckEndpointCostShift(CostShiftConfig{}, db, r,
+		WindowConfig{Historic: time.Hour, Analysis: time.Hour}, testStart)
+	if v.IsCostShift {
+		t.Error("empty inputs flagged")
+	}
+}
+
+func TestCorroborateWithCanaryPublic(t *testing.T) {
+	r := &Regression{Delta: 0.01, Relative: 0.1, ChangePointTime: testStart}
+	r.Metric = ID("s", "e", "gcpu")
+	c := CanaryResult{Regressed: true, Relative: 0.1, At: testStart}
+	if score := CorroborateWithCanary(r, c, time.Hour); score < 0.9 {
+		t.Errorf("score = %v", score)
+	}
+}
+
+func TestCanaryAnalyzerPublic(t *testing.T) {
+	ctrl := []float64{10, 10, 10, 10, 10, 10}
+	can := []float64{12, 12, 12, 12, 12, 12.1}
+	res, err := (CanaryAnalyzer{}).Compare("cpu", testStart, ctrl, can)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Regressed {
+		t.Errorf("canary regression missed: %+v", res)
+	}
+}
+
+func TestLoadConfigFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "job.json")
+	content := `{"threshold": 0.001, "windows": {"historic": "10h", "analysis": "2h"}}`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := LoadConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Threshold != 0.001 {
+		t.Errorf("threshold = %v", cfg.Threshold)
+	}
+}
+
+func TestScanWorkerAndCoordinatorPublic(t *testing.T) {
+	db := NewDB(time.Minute)
+	det, err := NewDetector(Config{
+		Threshold: 0.1,
+		Windows:   WindowConfig{Historic: time.Hour, Analysis: time.Hour},
+	}, db, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if NewScanWorker("w", det) == nil {
+		t.Error("nil worker")
+	}
+	if _, err := NewScanCoordinator(nil, nil); err == nil {
+		t.Error("empty coordinator accepted")
+	}
+	if c, err := NewScanCoordinator([]string{"http://x"}, nil); err != nil || c == nil {
+		t.Errorf("coordinator: %v", err)
+	}
+}
