@@ -1,0 +1,26 @@
+# FBDetect build/verify entry points. `make check` is what CI runs.
+GO ?= go
+
+.PHONY: build test vet race bench-obs check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The obs registry, the scan-trace ring buffer, and the HTTP middleware
+# are all written for concurrent use; keep them honest under the race
+# detector, along with the pipeline and workers that call them.
+race:
+	$(GO) test -race ./internal/obs/... ./internal/distributed/... ./internal/core/...
+
+# Instrumentation-overhead benchmark (paper §6.6 discipline: the
+# detector's own observability must stay under ~5% of scan cost).
+bench-obs:
+	$(GO) test -run - -bench BenchmarkObsOverhead -benchmem ./internal/core/
+
+check: build vet test race

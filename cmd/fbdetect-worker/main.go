@@ -19,18 +19,26 @@ import (
 	"fbdetect"
 	"fbdetect/internal/core"
 	"fbdetect/internal/distributed"
+	"fbdetect/internal/obs"
 	"fbdetect/internal/tsdb"
 )
 
 func main() {
 	var (
-		listen  = flag.String("listen", ":8080", "listen address")
-		service = flag.String("service", "websvc", "simulated service name")
-		hours   = flag.Int("hours", 9, "hours of simulated history")
-		regress = flag.Float64("regress", 1.15, "regression factor injected 2h before the data ends")
-		seed    = flag.Int64("seed", 1, "simulation seed")
+		listen        = flag.String("listen", ":8080", "listen address")
+		metricsListen = flag.String("metrics-listen", "", "extra listen address serving only /metrics, /healthz and /debug/pprof (default: those routes share -listen)")
+		traceBuf      = flag.Int("trace-buffer", 64, "scan traces retained for /debug/traces")
+		service       = flag.String("service", "websvc", "simulated service name")
+		hours         = flag.Int("hours", 9, "hours of simulated history")
+		regress       = flag.Float64("regress", 1.15, "regression factor injected 2h before the data ends")
+		seed          = flag.Int64("seed", 1, "simulation seed")
+		version       = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.VersionString("fbdetect-worker"))
+		return
+	}
 
 	start := time.Date(2024, 8, 1, 0, 0, 0, 0, time.UTC)
 	end := start.Add(time.Duration(*hours) * time.Hour)
@@ -72,12 +80,24 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// Self-observability: stage metrics and scan traces from the
+	// pipeline, request metrics from the middleware, plus the worker's
+	// own scan/error counters — all on /metrics of the same mux (and,
+	// with -metrics-listen, on a separate operator-only address too).
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(*traceBuf)
+	obs.RegisterBuildInfo(reg, "fbdetect-worker")
+	pipe.Instrument(reg, tracer)
 	worker := distributed.NewWorker(*listen, pipe)
-	mux := http.NewServeMux()
-	mux.Handle("/scan", worker)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
+	worker.Instrument(reg)
+	mux := distributed.NewMux(worker, reg, tracer)
+	if *metricsListen != "" {
+		debugMux := http.NewServeMux()
+		obs.RegisterDebug(debugMux, reg, tracer)
+		go func() { log.Fatal(http.ListenAndServe(*metricsListen, debugMux)) }()
+		log.Printf("metrics on %s", *metricsListen)
+	}
 	log.Printf("worker serving %q on %s (data ends %s)", *service, *listen, end.Format(time.RFC3339))
 	log.Fatal(http.ListenAndServe(*listen, mux))
 }

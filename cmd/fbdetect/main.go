@@ -12,6 +12,8 @@ import (
 	"time"
 
 	"fbdetect"
+	"fbdetect/internal/core"
+	"fbdetect/internal/obs"
 )
 
 func main() {
@@ -31,8 +33,14 @@ func main() {
 		inputStep   = flag.Duration("input-step", time.Minute, "sample step of the CSV data")
 		service     = flag.String("service", "", "service to scan in -input mode (default: first service found)")
 		configPath  = flag.String("config", "", "JSON detection-job config (see fbdetect.ParseConfig); required windows")
+		telemetry   = flag.Bool("telemetry", false, "print the scan's stage-latency and funnel table")
+		version     = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.VersionString("fbdetect"))
+		return
+	}
 
 	if *input != "" {
 		runCSV(*input, *inputStep, *service, *configPath, *threshold)
@@ -125,6 +133,12 @@ func main() {
 	}, db, &changes, fbdetect.FleetSamples(svc, 1e6))
 	check(err)
 
+	var reg *obs.Registry
+	if *telemetry {
+		reg = obs.NewRegistry()
+		det.Instrument(reg, nil)
+	}
+
 	if *watch {
 		mon, err := fbdetect.NewMonitor(det, *watchEvery)
 		check(err)
@@ -138,11 +152,13 @@ func main() {
 		funnel, scans := mon.Stats()
 		fmt.Printf("\nmonitor: %d scans, %d change points, %d reported\n",
 			scans, funnel.ChangePoints, len(mon.Reports()))
+		printTelemetry(reg)
 		return
 	}
 
 	res, err := det.Scan("simsvc", end)
 	check(err)
+	printTelemetry(reg)
 
 	if *verbose {
 		f := res.Funnel
@@ -211,6 +227,33 @@ func runCSV(path string, step time.Duration, service, configPath string, thresho
 	fmt.Printf("scanned %q (%d metrics) at %s\n\n", service,
 		len(db.Metrics(service)), end.Format(time.RFC3339))
 	check(fbdetect.WriteScanReport(os.Stdout, res, nil))
+}
+
+// printTelemetry renders the per-stage funnel and latency table the
+// -telemetry flag asks for. reg is nil when the flag is off.
+func printTelemetry(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	rows := core.StageTelemetry(reg)
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Printf("\n%-12s %8s %8s %8s %10s %10s %10s\n",
+		"stage", "in", "out", "calls", "p50", "p95", "total")
+	for _, r := range rows {
+		fmt.Printf("%-12s %8.0f %8.0f %8d %10s %10s %10s\n",
+			r.Stage, r.In, r.Out, r.Calls,
+			fmtSecs(r.P50), fmtSecs(r.P95), fmtSecs(r.TotalSecs))
+	}
+}
+
+// fmtSecs renders a seconds value as a compact duration.
+func fmtSecs(s float64) string {
+	if s != s { // NaN: no observations
+		return "-"
+	}
+	return time.Duration(s * float64(time.Second)).Round(time.Microsecond).String()
 }
 
 func check(err error) {

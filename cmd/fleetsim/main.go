@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"fbdetect"
+	"fbdetect/internal/obs"
 )
 
 func main() {
@@ -25,8 +26,13 @@ func main() {
 		seed        = flag.Int64("seed", 1, "simulation seed")
 		regress     = flag.Float64("regress", 0, "if nonzero, scale a random subroutine's cost by this factor mid-run")
 		spike       = flag.Bool("spike", false, "inject a transient load spike mid-run")
+		version     = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.VersionString("fleetsim"))
+		return
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	tree := fbdetect.GenerateCallTree(rng, *subroutines, 4)

@@ -24,6 +24,7 @@ type Monitor struct {
 	funnel   Funnel
 	scans    int
 	onReport func(*Regression)
+	obs      *monitorObs // nil until Instrument; nil-safe hooks
 }
 
 // NewMonitor wraps a pipeline with periodic scanning at the given
@@ -51,6 +52,9 @@ func (m *Monitor) Watch(service string) {
 		}
 	}
 	m.services = append(m.services, service)
+	if m.obs != nil {
+		m.obs.watched.Set(float64(len(m.services)))
+	}
 }
 
 // OnReport registers a callback invoked for every newly reported
@@ -66,10 +70,15 @@ func (m *Monitor) ScanOnce(scanTime time.Time) error {
 	m.mu.Lock()
 	services := append([]string{}, m.services...)
 	cb := m.onReport
+	mo := m.obs
 	m.mu.Unlock()
+	cycleStart := time.Now()
 	for _, svc := range services {
 		res, err := m.pipeline.Scan(svc, scanTime)
 		if err != nil {
+			if mo != nil {
+				mo.errors.Inc()
+			}
 			return fmt.Errorf("core: scanning %s: %w", svc, err)
 		}
 		m.mu.Lock()
@@ -77,11 +86,19 @@ func (m *Monitor) ScanOnce(scanTime time.Time) error {
 		m.funnel.Add(res.Funnel)
 		m.reports = append(m.reports, res.Reported...)
 		m.mu.Unlock()
+		if mo != nil {
+			mo.reports.Add(float64(len(res.Reported)))
+		}
 		if cb != nil {
 			for _, r := range res.Reported {
 				cb(r)
 			}
 		}
+	}
+	if mo != nil {
+		mo.cycleDur.Observe(time.Since(cycleStart).Seconds())
+		mo.cycles.Inc()
+		mo.lastScan.Set(float64(scanTime.Unix()))
 	}
 	return nil
 }

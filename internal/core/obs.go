@@ -1,0 +1,232 @@
+package core
+
+import (
+	"strconv"
+	"time"
+
+	"fbdetect/internal/obs"
+)
+
+// Pipeline stage names, as they appear in the stage-latency and funnel
+// metrics' stage label. Order matches Figure 6's execution order.
+const (
+	StageChangePoint = "changepoint"
+	StageLongTerm    = "longterm"
+	StageWentAway    = "wentaway"
+	StageSeasonality = "seasonality"
+	StageThreshold   = "threshold"
+	StageSameMerger  = "same_merger"
+	StageSOMDedup    = "som_dedup"
+	StageCostShift   = "costshift"
+	StagePairwise    = "pairwise"
+	StageRootCause   = "rootcause"
+)
+
+// PipelineStages lists every stage in execution order.
+var PipelineStages = []string{
+	StageChangePoint, StageLongTerm, StageWentAway, StageSeasonality,
+	StageThreshold, StageSameMerger, StageSOMDedup, StageCostShift,
+	StagePairwise, StageRootCause,
+}
+
+// Pipeline metric names.
+const (
+	MetricStageDuration  = "fbdetect_stage_duration_seconds"
+	MetricStageIn        = "fbdetect_stage_in_total"
+	MetricStageOut       = "fbdetect_stage_out_total"
+	MetricPipelineScans  = "fbdetect_pipeline_scans_total"
+	MetricMetricsScanned = "fbdetect_pipeline_metrics_scanned_total"
+)
+
+// pipelineObs holds the pre-created metric handles for the pipeline hot
+// path, so a scan never takes the registry lock. A nil *pipelineObs (the
+// uninstrumented default) makes every hook a no-op.
+type pipelineObs struct {
+	tracer   *obs.Tracer
+	stageDur map[string]*obs.Histogram
+	stageIn  map[string]*obs.Counter
+	stageOut map[string]*obs.Counter
+	scans    *obs.Counter
+	scanned  *obs.Counter
+}
+
+func newPipelineObs(reg *obs.Registry, tracer *obs.Tracer) *pipelineObs {
+	po := &pipelineObs{
+		tracer:   tracer,
+		stageDur: make(map[string]*obs.Histogram, len(PipelineStages)),
+		stageIn:  make(map[string]*obs.Counter, len(PipelineStages)),
+		stageOut: make(map[string]*obs.Counter, len(PipelineStages)),
+		scans: reg.NewCounter(MetricPipelineScans,
+			"Pipeline scans performed.", nil),
+		scanned: reg.NewCounter(MetricMetricsScanned,
+			"Time series examined by the per-metric detection fan-out.", nil),
+	}
+	for _, st := range PipelineStages {
+		l := obs.Labels{"stage": st}
+		po.stageDur[st] = reg.NewHistogram(MetricStageDuration,
+			"Latency of each pipeline stage (per metric for the detection stages, per scan otherwise).",
+			nil, l)
+		po.stageIn[st] = reg.NewCounter(MetricStageIn,
+			"Regression candidates entering each pipeline stage (the Table 3 funnel).", l)
+		po.stageOut[st] = reg.NewCounter(MetricStageOut,
+			"Regression candidates surviving each pipeline stage (the Table 3 funnel).", l)
+	}
+	return po
+}
+
+// timed begins a latency observation for one stage; invoke the returned
+// func when the stage completes. Nil-safe, so call sites need no guards.
+func (po *pipelineObs) timed(stage string) func() {
+	if po == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { po.stageDur[stage].Observe(time.Since(start).Seconds()) }
+}
+
+// recordFunnel converts one scan's Funnel — the same struct
+// Monitor.Stats() accumulates — into per-stage in/out counters, rather
+// than re-counting candidates separately and risking drift.
+func (po *pipelineObs) recordFunnel(metricsScanned int, longTerm bool, f Funnel) {
+	if po == nil {
+		return
+	}
+	po.scans.Inc()
+	po.scanned.Add(float64(metricsScanned))
+	type inOut struct {
+		stage   string
+		in, out int
+	}
+	rows := []inOut{
+		{StageChangePoint, metricsScanned, f.ChangePoints},
+		{StageWentAway, f.ChangePoints, f.AfterWentAway},
+		{StageSeasonality, f.AfterWentAway, f.AfterSeasonality},
+		{StageThreshold, f.AfterSeasonality + f.LongTermChangePoints, f.AfterThreshold},
+		{StageSameMerger, f.AfterThreshold, f.AfterSameMerger},
+		{StageSOMDedup, f.AfterSameMerger, f.AfterSOMDedup},
+		{StageCostShift, f.AfterSOMDedup, f.AfterCostShift},
+		{StagePairwise, f.AfterCostShift, f.AfterPairwise},
+		{StageRootCause, f.AfterPairwise, f.AfterPairwise},
+	}
+	if longTerm {
+		rows = append(rows, inOut{StageLongTerm, metricsScanned, f.LongTermChangePoints})
+	}
+	for _, r := range rows {
+		po.stageIn[r.stage].Add(float64(r.in))
+		po.stageOut[r.stage].Add(float64(r.out))
+	}
+}
+
+// Instrument publishes the pipeline's stage-latency histograms and
+// funnel counters to reg and, when tracer is non-nil, records a trace of
+// each scan into its ring buffer. Call before the first Scan; scans are
+// not concurrent with instrumentation.
+func (p *Pipeline) Instrument(reg *obs.Registry, tracer *obs.Tracer) {
+	if reg == nil {
+		return
+	}
+	p.obs = newPipelineObs(reg, tracer)
+}
+
+// Monitor metric names.
+const (
+	MetricScanCycleDuration = "fbdetect_scan_cycle_duration_seconds"
+	MetricScanCycles        = "fbdetect_scan_cycles_total"
+	MetricMonitorReports    = "fbdetect_monitor_reports_total"
+	MetricMonitorScanErrors = "fbdetect_monitor_scan_errors_total"
+	MetricLastScanTimestamp = "fbdetect_last_scan_timestamp_seconds"
+	MetricWatchedServices   = "fbdetect_monitor_watched_services"
+)
+
+// monitorObs carries the monitor's operational metrics.
+type monitorObs struct {
+	cycleDur *obs.Histogram
+	cycles   *obs.Counter
+	reports  *obs.Counter
+	errors   *obs.Counter
+	lastScan *obs.Gauge
+	watched  *obs.Gauge
+}
+
+func newMonitorObs(reg *obs.Registry) *monitorObs {
+	return &monitorObs{
+		cycleDur: reg.NewHistogram(MetricScanCycleDuration,
+			"Wall time of one full scan cycle across every watched service.", nil, nil),
+		cycles: reg.NewCounter(MetricScanCycles,
+			"Scan cycles completed (one per re-run interval).", nil),
+		reports: reg.NewCounter(MetricMonitorReports,
+			"Regressions reported by the monitor.", nil),
+		errors: reg.NewCounter(MetricMonitorScanErrors,
+			"Per-service scan failures observed by the monitor.", nil),
+		lastScan: reg.NewGauge(MetricLastScanTimestamp,
+			"Scan time of the most recent completed cycle, unix seconds.", nil),
+		watched: reg.NewGauge(MetricWatchedServices,
+			"Services currently watched by the monitor.", nil),
+	}
+}
+
+// Instrument publishes the monitor's scan-cycle metrics to reg. It does
+// not instrument the wrapped pipeline; call Pipeline.Instrument for the
+// stage-level view.
+func (m *Monitor) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.obs = newMonitorObs(reg)
+	m.obs.watched.Set(float64(len(m.services)))
+}
+
+// TelemetrySnapshot is one stage's row of the -telemetry table: funnel
+// in/out plus latency aggregates pulled back out of a Registry.
+type TelemetrySnapshot struct {
+	Stage     string
+	In, Out   float64
+	Calls     uint64
+	P50, P95  float64
+	TotalSecs float64
+}
+
+// StageTelemetry extracts the per-stage funnel and latency table from a
+// registry previously attached with Pipeline.Instrument — what
+// `fbdetect -telemetry` prints after a run.
+func StageTelemetry(reg *obs.Registry) []TelemetrySnapshot {
+	byStage := make(map[string]*TelemetrySnapshot, len(PipelineStages))
+	rows := make([]TelemetrySnapshot, 0, len(PipelineStages))
+	for _, m := range reg.Snapshot() {
+		switch m.Name {
+		case MetricStageDuration, MetricStageIn, MetricStageOut:
+		default:
+			continue
+		}
+		for _, s := range m.Series {
+			st := s.Labels["stage"]
+			row := byStage[st]
+			if row == nil {
+				byStage[st] = &TelemetrySnapshot{Stage: st}
+				row = byStage[st]
+			}
+			switch m.Name {
+			case MetricStageIn:
+				row.In = s.Value
+			case MetricStageOut:
+				row.Out = s.Value
+			case MetricStageDuration:
+				row.Calls = s.Histogram.Count
+				row.P50 = s.Histogram.Quantile(0.5)
+				row.P95 = s.Histogram.Quantile(0.95)
+				row.TotalSecs = s.Histogram.Sum
+			}
+		}
+	}
+	for _, st := range PipelineStages {
+		if row, ok := byStage[st]; ok {
+			rows = append(rows, *row)
+		}
+	}
+	return rows
+}
+
+// attr formats an int span attribute.
+func attr(n int) string { return strconv.Itoa(n) }

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"fbdetect/internal/changelog"
+	"fbdetect/internal/fleet"
+	"fbdetect/internal/obs"
+	"fbdetect/internal/tsdb"
+)
+
+// instrumentedFixture simulates a service with an injected regression and
+// returns an instrumented pipeline plus the scan time.
+func instrumentedFixture(t *testing.T, reg *obs.Registry, tracer *obs.Tracer) (*Pipeline, time.Time) {
+	t.Helper()
+	tree := pipelineTree(t)
+	svc := pipelineService(t, tree, 11)
+	db := tsdb.New(time.Minute)
+	var log changelog.Log
+	svc.ScheduleChange(fleet.ScheduledChange{
+		At:     t0.Add(7 * time.Hour),
+		Effect: func(tr *fleet.Tree) error { return tr.ScaleSelfWeight("decode", 1.2) },
+		Record: &changelog.Change{ID: "D100", Subroutines: []string{"decode"}},
+	})
+	end := t0.Add(9 * time.Hour)
+	if err := svc.Run(db, &log, t0, end); err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPipeline(pipelineConfig(), db, &log, fleetSamples{svc, 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Instrument(reg, tracer)
+	return p, end
+}
+
+func counterValue(reg *obs.Registry, name string, labels obs.Labels) float64 {
+	return reg.NewCounter(name, "", labels).Value()
+}
+
+func TestPipelineInstrumentationMatchesFunnel(t *testing.T) {
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(4)
+	p, end := instrumentedFixture(t, reg, tracer)
+
+	res, err := p.Scan("websvc", end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Funnel.ChangePoints == 0 || len(res.Reported) == 0 {
+		t.Fatalf("fixture lost its regression; funnel %+v", res.Funnel)
+	}
+
+	f := res.Funnel
+	metrics := len(p.db.Metrics("websvc"))
+	for _, tc := range []struct {
+		stage   string
+		in, out int
+	}{
+		{StageChangePoint, metrics, f.ChangePoints},
+		{StageWentAway, f.ChangePoints, f.AfterWentAway},
+		{StageSeasonality, f.AfterWentAway, f.AfterSeasonality},
+		{StageThreshold, f.AfterSeasonality + f.LongTermChangePoints, f.AfterThreshold},
+		{StageSameMerger, f.AfterThreshold, f.AfterSameMerger},
+		{StageSOMDedup, f.AfterSameMerger, f.AfterSOMDedup},
+		{StageCostShift, f.AfterSOMDedup, f.AfterCostShift},
+		{StagePairwise, f.AfterCostShift, f.AfterPairwise},
+		{StageLongTerm, metrics, f.LongTermChangePoints},
+	} {
+		l := obs.Labels{"stage": tc.stage}
+		if got := counterValue(reg, MetricStageIn, l); got != float64(tc.in) {
+			t.Errorf("%s in = %v, want %d", tc.stage, got, tc.in)
+		}
+		if got := counterValue(reg, MetricStageOut, l); got != float64(tc.out) {
+			t.Errorf("%s out = %v, want %d", tc.stage, got, tc.out)
+		}
+	}
+
+	// Per-metric detection latency: one observation per scanned metric.
+	h := reg.NewHistogram(MetricStageDuration, "", nil, obs.Labels{"stage": StageChangePoint})
+	if got := h.Snapshot().Count; got != uint64(metrics) {
+		t.Errorf("changepoint latency observations = %d, want %d", got, metrics)
+	}
+	// Scan-level stages observe once per scan.
+	for _, st := range []string{StageThreshold, StageSameMerger, StageSOMDedup, StageCostShift, StagePairwise, StageRootCause} {
+		h := reg.NewHistogram(MetricStageDuration, "", nil, obs.Labels{"stage": st})
+		if got := h.Snapshot().Count; got != 1 {
+			t.Errorf("%s latency observations = %d, want 1", st, got)
+		}
+	}
+	if got := counterValue(reg, MetricPipelineScans, nil); got != 1 {
+		t.Errorf("scans = %v, want 1", got)
+	}
+	if got := counterValue(reg, MetricMetricsScanned, nil); got != float64(metrics) {
+		t.Errorf("metrics scanned = %v, want %d", got, metrics)
+	}
+
+	// The scan left a trace with the stage spans and result attrs.
+	traces := tracer.Recent(1)
+	if len(traces) != 1 {
+		t.Fatalf("traces = %d, want 1", len(traces))
+	}
+	tr := traces[0]
+	if tr.Attrs["service"] != "websvc" {
+		t.Errorf("trace attrs = %+v", tr.Attrs)
+	}
+	spanNames := make(map[string]bool)
+	for _, s := range tr.Spans {
+		spanNames[s.Name] = true
+	}
+	for _, want := range []string{"scan", "detect", StageThreshold, StageSameMerger, StageSOMDedup, StageCostShift, StagePairwise, StageRootCause} {
+		if !spanNames[want] {
+			t.Errorf("trace missing span %q (have %v)", want, spanNames)
+		}
+	}
+
+	// StageTelemetry rebuilds the funnel table from the registry.
+	rows := StageTelemetry(reg)
+	if len(rows) == 0 {
+		t.Fatal("no telemetry rows")
+	}
+	byStage := make(map[string]TelemetrySnapshot)
+	for _, r := range rows {
+		byStage[r.Stage] = r
+	}
+	if row := byStage[StageChangePoint]; row.In != float64(metrics) || row.Out != float64(f.ChangePoints) {
+		t.Errorf("telemetry changepoint row = %+v", row)
+	}
+	if row := byStage[StagePairwise]; row.Out != float64(f.AfterPairwise) {
+		t.Errorf("telemetry pairwise row = %+v", row)
+	}
+}
+
+func TestMonitorInstrumentation(t *testing.T) {
+	reg := obs.NewRegistry()
+	p, end := instrumentedFixture(t, reg, nil)
+	mon, err := NewMonitor(p, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon.Instrument(reg)
+	mon.Watch("websvc")
+	if got := reg.NewGauge(MetricWatchedServices, "", nil).Value(); got != 1 {
+		t.Errorf("watched = %v, want 1", got)
+	}
+	if err := mon.ScanOnce(end); err != nil {
+		t.Fatal(err)
+	}
+	if got := counterValue(reg, MetricScanCycles, nil); got != 1 {
+		t.Errorf("cycles = %v, want 1", got)
+	}
+	if got := counterValue(reg, MetricMonitorReports, nil); got != float64(len(mon.Reports())) {
+		t.Errorf("reports metric = %v, want %d", got, len(mon.Reports()))
+	}
+	if got := reg.NewGauge(MetricLastScanTimestamp, "", nil).Value(); got != float64(end.Unix()) {
+		t.Errorf("last scan = %v, want %d", got, end.Unix())
+	}
+	if got := reg.NewHistogram(MetricScanCycleDuration, "", nil, nil).Snapshot().Count; got != 1 {
+		t.Errorf("cycle duration observations = %d, want 1", got)
+	}
+}
+
+func TestUninstrumentedPipelineUnchanged(t *testing.T) {
+	// A pipeline without Instrument must behave identically (nil-safe
+	// hooks) — this guards the hot path against accidental hard
+	// dependencies on the registry.
+	regged := obs.NewRegistry()
+	pi, end := instrumentedFixture(t, regged, nil)
+	plain, _ := instrumentedFixture(t, nil, nil) // Instrument(nil, nil) is a no-op
+	ri, err := pi.Scan("websvc", end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := plain.Scan("websvc", end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri.Funnel != rp.Funnel {
+		t.Errorf("instrumentation changed results: %+v vs %+v", ri.Funnel, rp.Funnel)
+	}
+	if len(ri.Reported) != len(rp.Reported) {
+		t.Errorf("reported %d vs %d", len(ri.Reported), len(rp.Reported))
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"fbdetect/internal/changelog"
+	"fbdetect/internal/obs"
 	"fbdetect/internal/stacktrace"
 	"fbdetect/internal/tsdb"
 )
@@ -81,6 +82,7 @@ type Pipeline struct {
 	merger   *SameRegressionMerger
 	pairwise *PairwiseDeduper
 	planned  *PlannedChangeRegistry
+	obs      *pipelineObs // nil until Instrument; nil-safe hooks
 }
 
 // NewPipeline builds a pipeline. log and samples may be nil, disabling
@@ -138,11 +140,20 @@ func (p *Pipeline) scanMetric(metric tsdb.MetricID, from, scanTime time.Time) me
 	if err != nil {
 		return m // insufficient data for this metric
 	}
-	if r := DetectShortTerm(p.cfg, metric, ws, scanTime); r != nil {
+	done := p.obs.timed(StageChangePoint)
+	r := DetectShortTerm(p.cfg, metric, ws, scanTime)
+	done()
+	if r != nil {
 		m.changePoints++
-		if CheckWentAway(p.cfg.WentAway, r).Keep {
+		done = p.obs.timed(StageWentAway)
+		keep := CheckWentAway(p.cfg.WentAway, r).Keep
+		done()
+		if keep {
 			m.afterWentAway++
-			if CheckSeasonality(p.cfg.Seasonality, r).Keep {
+			done = p.obs.timed(StageSeasonality)
+			keep = CheckSeasonality(p.cfg.Seasonality, r).Keep
+			done()
+			if keep {
 				m.afterSeasonality++
 				m.candidates = append(m.candidates, r)
 			}
@@ -151,7 +162,10 @@ func (p *Pipeline) scanMetric(metric tsdb.MetricID, from, scanTime time.Time) me
 	// Long-term path: seasonality first (inside DetectLongTerm), no
 	// went-away stage.
 	if p.cfg.LongTerm {
-		if r := DetectLongTerm(p.cfg, metric, ws, scanTime); r != nil {
+		done = p.obs.timed(StageLongTerm)
+		r := DetectLongTerm(p.cfg, metric, ws, scanTime)
+		done()
+		if r != nil {
 			m.longTerm++
 			m.candidates = append(m.candidates, r)
 		}
@@ -166,14 +180,35 @@ func (p *Pipeline) scanMetric(metric tsdb.MetricID, from, scanTime time.Time) me
 // data are skipped silently (new services warm up).
 func (p *Pipeline) Scan(service string, scanTime time.Time) (*ScanResult, error) {
 	res := &ScanResult{}
+	metrics := p.db.Metrics(service)
+
+	// When instrumented, every scan leaves a trace in the ring buffer and
+	// feeds the stage-latency histograms and funnel counters; the funnel
+	// counters are derived from res.Funnel itself so the metrics can never
+	// drift from Monitor.Stats().
+	var trace *obs.Trace
+	var root *obs.Span
+	if p.obs != nil {
+		trace = p.obs.tracer.StartTrace("scan " + service)
+		trace.Annotate("service", service)
+		trace.Annotate("scan_time", scanTime.Format(time.RFC3339))
+		root = trace.StartSpan("scan", nil)
+		root.Annotate("metrics", attr(len(metrics)))
+		defer func() {
+			root.Annotate("reported", attr(len(res.Reported)))
+			root.Finish()
+			trace.Finish()
+			p.obs.recordFunnel(len(metrics), p.cfg.LongTerm, res.Funnel)
+		}()
+	}
 
 	// Stages 1-3 are independent per metric; scan them concurrently, as
 	// the production system fans series out across a serverless platform
 	// (paper §5.1: "scanning different time series in parallel"). Results
 	// are collected per metric index so the downstream order — and thus
 	// deduplication and reporting — stays deterministic.
-	metrics := p.db.Metrics(service)
 	from := scanTime.Add(-p.cfg.Windows.Total())
+	detectSpan := trace.StartSpan("detect", root)
 	perMetric := make([]metricScan, len(metrics))
 	workers := p.cfg.ScanConcurrency
 	if workers <= 0 {
@@ -213,9 +248,12 @@ func (p *Pipeline) Scan(service string, scanTime time.Time) (*ScanResult, error)
 		res.Funnel.LongTermChangePoints += m.longTerm
 		candidates = append(candidates, m.candidates...)
 	}
+	detectSpan.Annotate("candidates", attr(len(candidates)))
+	detectSpan.Finish()
 
 	// Stage 4: threshold filtering (long-term already thresholds itself,
 	// but re-checking is harmless and keeps the funnel uniform).
+	endStage := p.stageStart(trace, root, StageThreshold)
 	var passed []*Regression
 	for _, r := range candidates {
 		if PassesThreshold(p.cfg, r) {
@@ -223,6 +261,7 @@ func (p *Pipeline) Scan(service string, scanTime time.Time) (*ScanResult, error)
 		}
 	}
 	res.Funnel.AfterThreshold = len(passed)
+	endStage()
 
 	// Planned-change suppression (§8 future work): a regression whose
 	// change point lands inside a registered planned window is expected
@@ -238,6 +277,7 @@ func (p *Pipeline) Scan(service string, scanTime time.Time) (*ScanResult, error)
 	}
 
 	// Stage 5: SameRegressionMerger.
+	endStage = p.stageStart(trace, root, StageSameMerger)
 	var fresh []*Regression
 	for _, r := range passed {
 		if !p.merger.IsDuplicate(r) {
@@ -245,12 +285,14 @@ func (p *Pipeline) Scan(service string, scanTime time.Time) (*ScanResult, error)
 		}
 	}
 	res.Funnel.AfterSameMerger = len(fresh)
+	endStage()
 	if len(fresh) == 0 {
 		return res, nil
 	}
 
 	// Gather sample sets around the median change point once per scan;
 	// SOM features, cost shift, and root cause all use them.
+	samplesSpan := trace.StartSpan("samples", root)
 	var before, after *stacktrace.SampleSet
 	var popularity map[string]float64
 	if p.samples != nil {
@@ -279,18 +321,22 @@ func (p *Pipeline) Scan(service string, scanTime time.Time) (*ScanResult, error)
 			}
 		}
 	}
+	samplesSpan.Finish()
 
 	// Stage 6: SOMDedup.
+	endStage = p.stageStart(trace, root, StageSOMDedup)
 	somRes := SOMDedup(p.cfg.Dedup, fresh, popularity)
 	var reps []*Regression
 	for _, ri := range somRes.Representatives {
 		reps = append(reps, fresh[ri])
 	}
 	res.Funnel.AfterSOMDedup = len(reps)
+	endStage()
 
 	// Stage 7: cost-shift analysis on representatives — stack-sample
 	// domains for gCPU regressions, the endpoint-prefix domain for
 	// endpoint regressions.
+	endStage = p.stageStart(trace, root, StageCostShift)
 	var surviving []*Regression
 	for _, r := range reps {
 		if r.Name == "gcpu" && before != nil && after != nil {
@@ -306,8 +352,10 @@ func (p *Pipeline) Scan(service string, scanTime time.Time) (*ScanResult, error)
 		surviving = append(surviving, r)
 	}
 	res.Funnel.AfterCostShift = len(surviving)
+	endStage()
 
 	// Stage 8: PairwiseDedup across metrics and windows.
+	endStage = p.stageStart(trace, root, StagePairwise)
 	p.pairwise.samples = after
 	var reported []*Regression
 	for _, r := range surviving {
@@ -316,12 +364,33 @@ func (p *Pipeline) Scan(service string, scanTime time.Time) (*ScanResult, error)
 		}
 	}
 	res.Funnel.AfterPairwise = len(reported)
+	endStage()
 
 	// Stage 9: root-cause analysis on newly reported regressions.
+	endStage = p.stageStart(trace, root, StageRootCause)
 	for _, r := range reported {
 		r.RootCauses = nil // replace the prefill with scored candidates
 		AnalyzeRootCause(p.cfg.RootCause, p.log, r, before, after)
 	}
+	endStage()
 	res.Reported = reported
 	return res, nil
+}
+
+// stageStart opens one scan-level stage: a child span on the scan trace
+// plus a stage-latency observation. The returned func closes both. Every
+// hook is nil-safe, so uninstrumented pipelines pay only a closure.
+func (p *Pipeline) stageStart(trace *obs.Trace, root *obs.Span, stage string) func() {
+	span := trace.StartSpan(stage, root)
+	done := p.obs.timed(stage)
+	return func() {
+		done()
+		span.Finish()
+	}
+}
+
+// HasService reports whether the pipeline's store holds any metric for
+// the service — what a scan worker checks before accepting a request.
+func (p *Pipeline) HasService(service string) bool {
+	return len(p.db.Metrics(service)) > 0
 }

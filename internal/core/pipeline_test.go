@@ -22,7 +22,7 @@ func (p fleetSamples) SamplesBetween(service string, from, to time.Time) *stackt
 }
 
 // pipelineTree builds a service tree with a distinctive subroutine mix.
-func pipelineTree(t *testing.T) *fleet.Tree {
+func pipelineTree(t testing.TB) *fleet.Tree {
 	t.Helper()
 	root := &fleet.Node{Name: "main", SelfWeight: 1, Children: []*fleet.Node{
 		{Name: "render", SelfWeight: 10, Children: []*fleet.Node{
@@ -41,7 +41,7 @@ func pipelineTree(t *testing.T) *fleet.Tree {
 	return tree
 }
 
-func pipelineService(t *testing.T, tree *fleet.Tree, seed int64) *fleet.Service {
+func pipelineService(t testing.TB, tree *fleet.Tree, seed int64) *fleet.Service {
 	t.Helper()
 	svc, err := fleet.NewService(fleet.Config{
 		Name:            "websvc",

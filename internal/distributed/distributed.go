@@ -13,14 +13,17 @@ package distributed
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 
 	"fbdetect/internal/core"
+	"fbdetect/internal/obs"
 )
 
 // ScanRequest asks a worker to scan one service at a scan time.
@@ -45,18 +48,43 @@ type WireRegression struct {
 	RootCauses      []core.RootCauseCandidate `json:"root_causes,omitempty"`
 }
 
-// ScanResponse is a worker's reply.
+// ScanResponse is a worker's reply (or a coordinator's merged sweep, in
+// which case Failed lists the services whose scans errored).
 type ScanResponse struct {
 	Reported []WireRegression `json:"reported"`
 	Funnel   core.Funnel      `json:"funnel"`
 	Worker   string           `json:"worker"`
+	Failed   []string         `json:"failed,omitempty"`
 }
+
+// Worker scan-error reasons, the reason label of MetricWorkerScanErrors.
+const (
+	ErrReasonBadMethod      = "bad_method"
+	ErrReasonBadJSON        = "bad_json"
+	ErrReasonMissingFields  = "missing_fields"
+	ErrReasonUnknownService = "unknown_service"
+	ErrReasonScanFailed     = "scan_failed"
+)
+
+// Worker and coordinator metric names.
+const (
+	MetricWorkerScans       = "fbdetect_worker_scans_total"
+	MetricWorkerScanErrors  = "fbdetect_worker_scan_errors_total"
+	MetricWorkerScanSeconds = "fbdetect_worker_scan_duration_seconds"
+	MetricCoordScans        = "fbdetect_coordinator_scans_total"
+	MetricCoordFailures     = "fbdetect_coordinator_scan_failures_total"
+	MetricCoordScanSeconds  = "fbdetect_coordinator_scan_duration_seconds"
+)
 
 // Worker serves scan requests against a local pipeline.
 type Worker struct {
 	Name     string
 	pipeline *core.Pipeline
 	mu       sync.Mutex // serializes scans: the pipeline is not concurrent-safe
+
+	reg      *obs.Registry // nil when uninstrumented
+	scans    *obs.Counter
+	duration *obs.Histogram
 }
 
 // NewWorker wraps a pipeline.
@@ -64,28 +92,68 @@ func NewWorker(name string, p *core.Pipeline) *Worker {
 	return &Worker{Name: name, pipeline: p}
 }
 
+// Instrument publishes the worker's scan count, scan latency, and
+// per-reason error counters to reg. Call before serving.
+func (w *Worker) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	w.reg = reg
+	w.scans = reg.NewCounter(MetricWorkerScans,
+		"Scan requests served successfully.", nil)
+	w.duration = reg.NewHistogram(MetricWorkerScanSeconds,
+		"Wall time of one worker-local pipeline scan.", nil, nil)
+	// Pre-register every error reason so the funnel of failures is
+	// visible (as zeros) before the first failure happens.
+	for _, reason := range []string{
+		ErrReasonBadMethod, ErrReasonBadJSON, ErrReasonMissingFields,
+		ErrReasonUnknownService, ErrReasonScanFailed,
+	} {
+		w.errCounter(reason)
+	}
+}
+
+// errCounter returns the error counter for one rejection reason
+// (nil-safe when uninstrumented).
+func (w *Worker) errCounter(reason string) *obs.Counter {
+	return w.reg.NewCounter(MetricWorkerScanErrors,
+		"Scan requests rejected or failed, by reason.", obs.Labels{"reason": reason})
+}
+
 // ServeHTTP implements the worker's /scan endpoint.
 func (w *Worker) ServeHTTP(rw http.ResponseWriter, req *http.Request) {
 	if req.Method != http.MethodPost {
+		w.errCounter(ErrReasonBadMethod).Inc()
 		http.Error(rw, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
 	var sr ScanRequest
 	if err := json.NewDecoder(io.LimitReader(req.Body, 1<<20)).Decode(&sr); err != nil {
+		w.errCounter(ErrReasonBadJSON).Inc()
 		http.Error(rw, "bad request: "+err.Error(), http.StatusBadRequest)
 		return
 	}
 	if sr.Service == "" || sr.ScanTime.IsZero() {
+		w.errCounter(ErrReasonMissingFields).Inc()
 		http.Error(rw, "service and scan_time required", http.StatusBadRequest)
 		return
 	}
+	if !w.pipeline.HasService(sr.Service) {
+		w.errCounter(ErrReasonUnknownService).Inc()
+		http.Error(rw, "unknown service: "+sr.Service, http.StatusNotFound)
+		return
+	}
+	scanStart := time.Now()
 	w.mu.Lock()
 	res, err := w.pipeline.Scan(sr.Service, sr.ScanTime)
 	w.mu.Unlock()
 	if err != nil {
+		w.errCounter(ErrReasonScanFailed).Inc()
 		http.Error(rw, "scan failed: "+err.Error(), http.StatusInternalServerError)
 		return
 	}
+	w.duration.Observe(time.Since(scanStart).Seconds())
+	w.scans.Inc()
 	resp := ScanResponse{Funnel: res.Funnel, Worker: w.Name}
 	for _, r := range res.Reported {
 		resp.Reported = append(resp.Reported, WireRegression{
@@ -111,6 +179,23 @@ func (w *Worker) ServeHTTP(rw http.ResponseWriter, req *http.Request) {
 type Coordinator struct {
 	workers []string // worker base URLs
 	client  *http.Client
+
+	scans    *obs.Counter // nil when uninstrumented
+	failures *obs.Counter
+	duration *obs.Histogram
+}
+
+// Instrument publishes the coordinator's fan-out metrics to reg.
+func (c *Coordinator) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	c.scans = reg.NewCounter(MetricCoordScans,
+		"Per-service scans dispatched to workers.", nil)
+	c.failures = reg.NewCounter(MetricCoordFailures,
+		"Per-service scans that failed (worker unreachable or non-200).", nil)
+	c.duration = reg.NewHistogram(MetricCoordScanSeconds,
+		"Round-trip time of one dispatched scan.", nil, nil)
 }
 
 // NewCoordinator returns a coordinator over the given worker base URLs
@@ -136,6 +221,17 @@ func (c *Coordinator) WorkerFor(service string) string {
 
 // Scan sends one service's scan to its owning worker.
 func (c *Coordinator) Scan(service string, scanTime time.Time) (*ScanResponse, error) {
+	c.scans.Inc()
+	start := time.Now()
+	sr, err := c.scan(service, scanTime)
+	c.duration.Observe(time.Since(start).Seconds())
+	if err != nil {
+		c.failures.Inc()
+	}
+	return sr, err
+}
+
+func (c *Coordinator) scan(service string, scanTime time.Time) (*ScanResponse, error) {
 	body, err := json.Marshal(ScanRequest{Service: service, ScanTime: scanTime})
 	if err != nil {
 		return nil, err
@@ -158,13 +254,15 @@ func (c *Coordinator) Scan(service string, scanTime time.Time) (*ScanResponse, e
 }
 
 // ScanAll fans a scan of every service out concurrently and merges the
-// responses. Per-service errors are collected rather than aborting the
-// sweep; the merged result and the first error (if any) are returned.
+// responses. Per-service errors never abort the sweep: every failing
+// service is recorded in the merged response's Failed list (sorted) and
+// in the joined error, which wraps each per-service failure — so one
+// dead worker costs its own services, not the whole fleet's scan.
 func (c *Coordinator) ScanAll(services []string, scanTime time.Time) (*ScanResponse, error) {
 	merged := &ScanResponse{Worker: "coordinator"}
 	var mu sync.Mutex
 	var wg sync.WaitGroup
-	var firstErr error
+	var scanErrs []error
 	for _, svc := range services {
 		wg.Add(1)
 		go func(svc string) {
@@ -173,9 +271,8 @@ func (c *Coordinator) ScanAll(services []string, scanTime time.Time) (*ScanRespo
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
-				if firstErr == nil {
-					firstErr = err
-				}
+				merged.Failed = append(merged.Failed, svc)
+				scanErrs = append(scanErrs, fmt.Errorf("service %s: %w", svc, err))
 				return
 			}
 			merged.Funnel.Add(resp.Funnel)
@@ -183,5 +280,9 @@ func (c *Coordinator) ScanAll(services []string, scanTime time.Time) (*ScanRespo
 		}(svc)
 	}
 	wg.Wait()
-	return merged, firstErr
+	// Fan-out completion order is nondeterministic; sort so Failed and
+	// the joined error read stably.
+	sort.Strings(merged.Failed)
+	sort.Slice(scanErrs, func(i, j int) bool { return scanErrs[i].Error() < scanErrs[j].Error() })
+	return merged, errors.Join(scanErrs...)
 }

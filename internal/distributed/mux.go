@@ -1,0 +1,26 @@
+package distributed
+
+import (
+	"net/http"
+
+	"fbdetect/internal/obs"
+)
+
+// NewMux builds the full serving surface of a scan worker binary:
+//
+//	/scan           the Worker, wrapped in the standard HTTP middleware
+//	/metrics        Prometheus text format
+//	/metrics.json   JSON snapshot with quantiles
+//	/healthz        liveness probe
+//	/debug/traces   recent scan traces (when tracer != nil)
+//	/debug/pprof/*  live CPU/heap profiles of the worker itself
+//
+// reg may be nil, which degrades to an uninstrumented /scan plus an
+// empty /metrics — the routes always exist so operators can probe any
+// worker uniformly.
+func NewMux(w *Worker, reg *obs.Registry, tracer *obs.Tracer) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/scan", obs.Middleware(reg, "/scan", w))
+	obs.RegisterDebug(mux, reg, tracer)
+	return mux
+}

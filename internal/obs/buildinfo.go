@@ -1,0 +1,30 @@
+package obs
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// Version identifies the build. Overridable at link time:
+//
+//	go build -ldflags "-X fbdetect/internal/obs.Version=v1.2.3" ./cmd/...
+var Version = "0.1.0-dev"
+
+// VersionString renders the -version flag output for a binary.
+func VersionString(component string) string {
+	return fmt.Sprintf("%s %s (%s, %s/%s)",
+		component, Version, runtime.Version(), runtime.GOOS, runtime.GOARCH)
+}
+
+// RegisterBuildInfo publishes the conventional constant-1 info gauge
+// carrying build metadata as labels, so dashboards can join metrics
+// against the running version.
+func RegisterBuildInfo(r *Registry, component string) {
+	r.NewGauge("fbdetect_build_info",
+		"Constant 1, labeled with the running build's version.",
+		Labels{
+			"component":  component,
+			"version":    Version,
+			"go_version": runtime.Version(),
+		}).Set(1)
+}

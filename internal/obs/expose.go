@@ -1,0 +1,225 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+)
+
+// SeriesSnapshot is one labeled series within a MetricSnapshot. Value is
+// set for counters and gauges, Histogram for histograms.
+type SeriesSnapshot struct {
+	Labels    Labels             `json:"labels,omitempty"`
+	Value     float64            `json:"value,omitempty"`
+	Histogram *HistogramSnapshot `json:"histogram,omitempty"`
+}
+
+// MetricSnapshot is a point-in-time copy of one metric family.
+type MetricSnapshot struct {
+	Name   string           `json:"name"`
+	Type   string           `json:"type"`
+	Help   string           `json:"help,omitempty"`
+	Series []SeriesSnapshot `json:"series"`
+}
+
+// Snapshot copies every family, sorted by name with series sorted by
+// label key — the deterministic order both exposition formats use.
+func (r *Registry) Snapshot() []MetricSnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	out := make([]MetricSnapshot, 0, len(fams))
+	for _, f := range fams {
+		r.mu.RLock()
+		ss := make([]*series, 0, len(f.series))
+		for _, s := range f.series {
+			ss = append(ss, s)
+		}
+		r.mu.RUnlock()
+		sort.Slice(ss, func(i, j int) bool { return ss[i].key < ss[j].key })
+		m := MetricSnapshot{Name: f.name, Type: f.kind.String(), Help: f.help}
+		for _, s := range ss {
+			snap := SeriesSnapshot{Labels: s.labels.clone()}
+			switch f.kind {
+			case kindCounter:
+				snap.Value = s.c.Value()
+			case kindGauge:
+				snap.Value = s.g.Value()
+			case kindHistogram:
+				h := s.h.Snapshot()
+				snap.Histogram = &h
+			}
+			m.Series = append(m.Series, snap)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4). Histograms emit the standard _bucket/_sum/
+// _count triple with cumulative le-labeled buckets.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, m := range r.Snapshot() {
+		if m.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.Name, strings.ReplaceAll(m.Help, "\n", " ")); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, m.Type); err != nil {
+			return err
+		}
+		for _, s := range m.Series {
+			if s.Histogram == nil {
+				if _, err := fmt.Fprintf(w, "%s%s %s\n", m.Name, promLabels(s.Labels, "", 0), promFloat(s.Value)); err != nil {
+					return err
+				}
+				continue
+			}
+			for _, b := range s.Histogram.Buckets {
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.Name, promLabels(s.Labels, "le", b.UpperBound), b.Count); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", m.Name, promLabels(s.Labels, "", 0), promFloat(s.Histogram.Sum)); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", m.Name, promLabels(s.Labels, "", 0), s.Histogram.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// promLabels renders a label set, optionally with an extra le bucket
+// label appended (extraKey == "le").
+func promLabels(l Labels, extraKey string, le float64) string {
+	base := l.key()
+	if extraKey != "" {
+		extra := fmt.Sprintf("%s=%q", extraKey, promFloat(le))
+		if base != "" {
+			base += "," + extra
+		} else {
+			base = extra
+		}
+	}
+	if base == "" {
+		return ""
+	}
+	return "{" + base + "}"
+}
+
+// promFloat formats a value the way Prometheus expects (+Inf, not +inf).
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return formatFloat(v)
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// Handler serves the Prometheus text format at the mounted route.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// JSONHandler serves the registry snapshot — including histogram
+// quantiles — as JSON, for humans and tooling that don't speak the
+// Prometheus format.
+func (r *Registry) JSONHandler() http.Handler {
+	type jsonSeries struct {
+		SeriesSnapshot
+		Quantiles map[string]float64 `json:"quantiles,omitempty"`
+	}
+	type jsonMetric struct {
+		Name   string       `json:"name"`
+		Type   string       `json:"type"`
+		Help   string       `json:"help,omitempty"`
+		Series []jsonSeries `json:"series"`
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		var out []jsonMetric
+		for _, m := range r.Snapshot() {
+			jm := jsonMetric{Name: m.Name, Type: m.Type, Help: m.Help}
+			for _, s := range m.Series {
+				js := jsonSeries{SeriesSnapshot: s}
+				if s.Histogram != nil && s.Histogram.Count > 0 {
+					js.Quantiles = map[string]float64{
+						"0.5":  s.Histogram.Quantile(0.5),
+						"0.9":  s.Histogram.Quantile(0.9),
+						"0.99": s.Histogram.Quantile(0.99),
+					}
+				}
+				jm.Series = append(jm.Series, js)
+			}
+			out = append(out, jm)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(map[string]any{"metrics": out})
+	})
+}
+
+// TracesHandler serves the tracer's recent traces as JSON, newest first.
+func TracesHandler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(map[string]any{"traces": t.Recent(0)})
+	})
+}
+
+// RegisterDebug mounts the full self-observability surface on mux:
+//
+//	/metrics        Prometheus text format
+//	/metrics.json   JSON snapshot with quantiles
+//	/healthz        liveness probe
+//	/debug/traces   recent scan traces (when tr != nil)
+//	/debug/pprof/*  the standard net/http/pprof profile handlers
+//
+// This is what every FBDetect binary should serve: the paper's system is
+// operated in production, and before/after CPU profiles of the detector
+// itself must be fetchable over HTTP.
+func RegisterDebug(mux *http.ServeMux, reg *Registry, tr *Tracer) {
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/metrics.json", reg.JSONHandler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	if tr != nil {
+		mux.Handle("/debug/traces", TracesHandler(tr))
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

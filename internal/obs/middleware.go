@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// HTTP metric names shared by every instrumented binary.
+const (
+	MetricHTTPRequests = "fbdetect_http_requests_total"
+	MetricHTTPDuration = "fbdetect_http_request_duration_seconds"
+	MetricHTTPInFlight = "fbdetect_http_in_flight"
+	MetricHTTPErrors   = "fbdetect_http_errors_total"
+)
+
+// Middleware instruments an HTTP handler with the standard server
+// metrics, labeled by route: request count (by status code), latency
+// histogram, in-flight gauge, and error count (status >= 400). A nil
+// registry returns next unchanged.
+func Middleware(reg *Registry, route string, next http.Handler) http.Handler {
+	if reg == nil {
+		return next
+	}
+	duration := reg.NewHistogram(MetricHTTPDuration,
+		"HTTP request latency by route.", nil, Labels{"route": route})
+	inflight := reg.NewGauge(MetricHTTPInFlight,
+		"Requests currently being served, by route.", Labels{"route": route})
+	errs := reg.NewCounter(MetricHTTPErrors,
+		"Requests that returned a 4xx/5xx status, by route.", Labels{"route": route})
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		inflight.Inc()
+		defer inflight.Dec()
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		duration.Observe(time.Since(start).Seconds())
+		reg.NewCounter(MetricHTTPRequests,
+			"HTTP requests served, by route and status code.",
+			Labels{"route": route, "code": strconv.Itoa(sw.code)}).Inc()
+		if sw.code >= 400 {
+			errs.Inc()
+		}
+	})
+}
+
+// statusWriter captures the status code written by the wrapped handler.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.code = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}

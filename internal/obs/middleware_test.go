@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestMiddlewareRecordsRequests(t *testing.T) {
+	reg := NewRegistry()
+	var sawInFlight float64
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sawInFlight = reg.NewGauge(MetricHTTPInFlight, "", Labels{"route": "/scan"}).Value()
+		if r.URL.Query().Get("fail") != "" {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte("ok"))
+	})
+	h := Middleware(reg, "/scan", inner)
+
+	for i := 0; i < 3; i++ {
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest("GET", "/scan", nil))
+		if rr.Code != http.StatusOK {
+			t.Fatalf("status = %d", rr.Code)
+		}
+	}
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/scan?fail=1", nil))
+	if rr.Code != http.StatusInternalServerError {
+		t.Fatalf("fail status = %d", rr.Code)
+	}
+
+	if sawInFlight != 1 {
+		t.Errorf("in-flight during request = %v, want 1", sawInFlight)
+	}
+	if got := reg.NewGauge(MetricHTTPInFlight, "", Labels{"route": "/scan"}).Value(); got != 0 {
+		t.Errorf("in-flight after requests = %v, want 0", got)
+	}
+	if got := reg.NewCounter(MetricHTTPRequests, "", Labels{"route": "/scan", "code": "200"}).Value(); got != 3 {
+		t.Errorf("200s = %v, want 3", got)
+	}
+	if got := reg.NewCounter(MetricHTTPRequests, "", Labels{"route": "/scan", "code": "500"}).Value(); got != 1 {
+		t.Errorf("500s = %v, want 1", got)
+	}
+	if got := reg.NewCounter(MetricHTTPErrors, "", Labels{"route": "/scan"}).Value(); got != 1 {
+		t.Errorf("errors = %v, want 1", got)
+	}
+	if got := reg.NewHistogram(MetricHTTPDuration, "", nil, Labels{"route": "/scan"}).Snapshot().Count; got != 4 {
+		t.Errorf("duration observations = %d, want 4", got)
+	}
+}
+
+func TestMiddlewareNilRegistryPassThrough(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { w.WriteHeader(204) })
+	rr := httptest.NewRecorder()
+	Middleware(nil, "/x", inner).ServeHTTP(rr, httptest.NewRequest("GET", "/x", nil))
+	if rr.Code != 204 {
+		t.Errorf("status = %d", rr.Code)
+	}
+}
+
+func TestRegisterDebugEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewCounter("c_total", "", nil).Inc()
+	tr := NewTracer(2)
+	tr.StartTrace("scan").Finish()
+	mux := http.NewServeMux()
+	RegisterDebug(mux, reg, tr)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	for path, want := range map[string]string{
+		"/metrics":      "c_total 1",
+		"/metrics.json": `"c_total"`,
+		"/healthz":      "ok",
+		"/debug/traces": `"scan"`,
+		"/debug/pprof/": "profiles",
+	} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		body := make([]byte, 1<<16)
+		n, _ := resp.Body.Read(body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s status = %d", path, resp.StatusCode)
+		}
+		if !strings.Contains(string(body[:n]), want) {
+			t.Errorf("%s missing %q in %q", path, want, string(body[:n]))
+		}
+	}
+}

@@ -1,0 +1,265 @@
+// Package obs is FBDetect's self-observability layer: a dependency-free,
+// concurrency-safe metrics registry (counters, gauges, histograms with
+// quantile snapshots) plus a lightweight span tracer for scan-level
+// tracing. The production system the paper describes is itself a service
+// operated at scale (Table 1's re-run intervals, §5.1's serverless
+// fan-out); this package gives the reproduction the same operability —
+// every binary exposes its own metrics rather than being a black box.
+//
+// Metric handles are cheap to use on hot paths: creation (NewCounter and
+// friends) takes a registry lock once, after which Add/Set/Observe are
+// lock-free atomics. All metric methods are nil-receiver safe, so
+// instrumentation can be optional without branching at every call site.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Labels attaches dimensions to a metric series (e.g. stage="costshift").
+type Labels map[string]string
+
+// key renders labels in sorted-key Prometheus form, which doubles as the
+// series' identity within a family.
+func (l Labels) key() string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, escapeLabel(l[k]))
+	}
+	return b.String()
+}
+
+// escapeLabel applies the Prometheus text-format label escapes.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// clone copies the label set so callers can't mutate registered series.
+func (l Labels) clone() Labels {
+	if l == nil {
+		return nil
+	}
+	out := make(Labels, len(l))
+	for k, v := range l {
+		out[k] = v
+	}
+	return out
+}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+// series is one labeled instance within a family: exactly one of the
+// typed fields is non-nil, matching the family's kind.
+type series struct {
+	labels Labels
+	key    string
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family groups the series of one metric name.
+type family struct {
+	name    string
+	help    string
+	kind    metricKind
+	buckets []float64 // histogram families only
+	series  map[string]*series
+}
+
+// Registry is a concurrency-safe collection of metric families. The zero
+// value is not usable; call NewRegistry. A nil *Registry is safe to
+// instrument against: constructors return nil handles whose methods
+// no-op.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// lookup returns the family and series for (name, labels), creating both
+// as needed. Registering the same name with a different kind or bucket
+// layout panics: that is a programming error, not an operational state.
+func (r *Registry) lookup(name, help string, kind metricKind, buckets []float64, labels Labels) *series {
+	key := labels.key()
+	r.mu.RLock()
+	if f, ok := r.families[name]; ok {
+		if s, ok := f.series[key]; ok && f.kind == kind {
+			r.mu.RUnlock()
+			return s
+		}
+	}
+	r.mu.RUnlock()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, buckets: buckets,
+			series: make(map[string]*series)}
+		r.families[name] = f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.kind, kind))
+	}
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labels: labels.clone(), key: key}
+		switch kind {
+		case kindCounter:
+			s.c = &Counter{}
+		case kindGauge:
+			s.g = &Gauge{}
+		case kindHistogram:
+			s.h = newHistogram(f.buckets)
+		}
+		f.series[key] = s
+	}
+	return s
+}
+
+// NewCounter returns the counter for (name, labels), creating it on first
+// use. help is recorded on first creation of the family.
+func (r *Registry) NewCounter(name, help string, labels Labels) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, kindCounter, nil, labels).c
+}
+
+// NewGauge returns the gauge for (name, labels).
+func (r *Registry) NewGauge(name, help string, labels Labels) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, kindGauge, nil, labels).g
+}
+
+// NewHistogram returns the histogram for (name, labels). buckets are
+// ascending upper bounds (a +Inf bucket is implicit); nil selects
+// DefBuckets. The first creation of a family fixes its bucket layout.
+func (r *Registry) NewHistogram(name, help string, buckets []float64, labels Labels) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	return r.lookup(name, help, kindHistogram, buckets, labels).h
+}
+
+// atomicFloat is a lock-free float64 cell.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (a *atomicFloat) Add(d float64) {
+	for {
+		old := a.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if a.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (a *atomicFloat) Store(v float64) { a.bits.Store(math.Float64bits(v)) }
+func (a *atomicFloat) Load() float64   { return math.Float64frombits(a.bits.Load()) }
+
+// Counter is a monotonically increasing value. All methods are safe on a
+// nil receiver (they no-op), so uninstrumented code paths cost nothing.
+type Counter struct{ v atomicFloat }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter. Negative deltas are ignored: counters only
+// go up.
+func (c *Counter) Add(d float64) {
+	if c == nil || d < 0 {
+		return
+	}
+	c.v.Add(d)
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ v atomicFloat }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add shifts the gauge by d.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(d)
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}

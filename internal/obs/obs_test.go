@@ -1,0 +1,235 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGaugeBasics(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.NewCounter("jobs_total", "Jobs.", nil)
+	c.Inc()
+	c.Add(2)
+	c.Add(-5) // ignored: counters are monotonic
+	if got := c.Value(); got != 3 {
+		t.Errorf("counter = %v, want 3", got)
+	}
+	// Same (name, labels) returns the same handle.
+	if reg.NewCounter("jobs_total", "Jobs.", nil) != c {
+		t.Error("counter handle not shared")
+	}
+	// Different labels are distinct series.
+	c2 := reg.NewCounter("jobs_total", "Jobs.", Labels{"kind": "scan"})
+	if c2 == c {
+		t.Error("labeled series not distinct")
+	}
+
+	g := reg.NewGauge("depth", "Depth.", nil)
+	g.Set(10)
+	g.Add(5)
+	g.Dec()
+	if got := g.Value(); got != 14 {
+		t.Errorf("gauge = %v, want 14", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var reg *Registry
+	c := reg.NewCounter("x", "", nil)
+	c.Inc()
+	g := reg.NewGauge("y", "", nil)
+	g.Set(1)
+	h := reg.NewHistogram("z", "", nil, nil)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Snapshot().Count != 0 {
+		t.Error("nil handles should be inert")
+	}
+	if reg.Snapshot() != nil {
+		t.Error("nil registry snapshot should be nil")
+	}
+
+	var tr *Tracer
+	trace := tr.StartTrace("scan")
+	span := trace.StartSpan("stage", nil)
+	span.Annotate("k", "v")
+	span.Finish()
+	trace.Annotate("k", "v")
+	trace.Finish()
+	if tr.Recent(1) != nil {
+		t.Error("nil tracer should yield nothing")
+	}
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewCounter("m", "", nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("registering a counter name as a gauge should panic")
+		}
+	}()
+	reg.NewGauge("m", "", nil)
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	reg := NewRegistry()
+	const workers, perWorker = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				reg.NewCounter("ops_total", "", Labels{"shard": string(rune('a' + w%4))}).Inc()
+				reg.NewHistogram("lat", "", []float64{0.5, 1}, nil).Observe(float64(i%3) / 2)
+				reg.NewGauge("g", "", nil).Set(float64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total float64
+	for _, m := range reg.Snapshot() {
+		if m.Name != "ops_total" {
+			continue
+		}
+		for _, s := range m.Series {
+			total += s.Value
+		}
+	}
+	if total != workers*perWorker {
+		t.Errorf("ops_total = %v, want %d", total, workers*perWorker)
+	}
+	h := reg.NewHistogram("lat", "", []float64{0.5, 1}, nil)
+	if got := h.Snapshot().Count; got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 0.5, 1.5, 1.5, 3, 3, 3, 10} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 8 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if want := 0.5 + 0.5 + 1.5 + 1.5 + 3 + 3 + 3 + 10; math.Abs(s.Sum-want) > 1e-9 {
+		t.Errorf("sum = %v, want %v", s.Sum, want)
+	}
+	// Cumulative buckets: ≤1: 2, ≤2: 4, ≤4: 7, +Inf: 8.
+	wantCum := []uint64{2, 4, 7, 8}
+	for i, b := range s.Buckets {
+		if b.Count != wantCum[i] {
+			t.Errorf("bucket[%d] = %d, want %d", i, b.Count, wantCum[i])
+		}
+	}
+	// Median lands in the (1,2] bucket: rank 4 == its cumulative count, so
+	// interpolation reaches the upper bound.
+	if q := s.Quantile(0.5); math.Abs(q-2) > 1e-9 {
+		t.Errorf("p50 = %v, want 2", q)
+	}
+	// p99 lands in the +Inf bucket and clamps to the largest finite bound.
+	if q := s.Quantile(0.99); q != 4 {
+		t.Errorf("p99 = %v, want 4 (clamped)", q)
+	}
+	if !math.IsNaN(HistogramSnapshot{}.Quantile(0.5)) {
+		t.Error("empty histogram quantile should be NaN")
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewCounter("fbdetect_scans_total", "Scans.", Labels{"service": "web"}).Add(3)
+	reg.NewGauge("fbdetect_up", "Up.", nil).Set(1)
+	h := reg.NewHistogram("fbdetect_latency_seconds", "Latency.", []float64{0.1, 1}, nil)
+	h.Observe(0.05)
+	h.Observe(0.5)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE fbdetect_scans_total counter",
+		`fbdetect_scans_total{service="web"} 3`,
+		"# TYPE fbdetect_up gauge",
+		"fbdetect_up 1",
+		"# TYPE fbdetect_latency_seconds histogram",
+		`fbdetect_latency_seconds_bucket{le="0.1"} 1`,
+		`fbdetect_latency_seconds_bucket{le="1"} 2`,
+		`fbdetect_latency_seconds_bucket{le="+Inf"} 2`,
+		"fbdetect_latency_seconds_count 2",
+		"# HELP fbdetect_scans_total Scans.",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestJSONHandler(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewCounter("c_total", "C.", nil).Add(2)
+	h := reg.NewHistogram("h_seconds", "H.", []float64{1, 2}, nil)
+	h.Observe(0.5)
+	h.Observe(1.5)
+
+	rr := httptest.NewRecorder()
+	reg.JSONHandler().ServeHTTP(rr, httptest.NewRequest("GET", "/metrics.json", nil))
+	if ct := rr.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q", ct)
+	}
+	var body struct {
+		Metrics []struct {
+			Name   string `json:"name"`
+			Type   string `json:"type"`
+			Series []struct {
+				Value     float64            `json:"value"`
+				Quantiles map[string]float64 `json:"quantiles"`
+			} `json:"series"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &body); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	found := 0
+	for _, m := range body.Metrics {
+		switch m.Name {
+		case "c_total":
+			found++
+			if m.Series[0].Value != 2 {
+				t.Errorf("c_total = %v", m.Series[0].Value)
+			}
+		case "h_seconds":
+			found++
+			if len(m.Series[0].Quantiles) == 0 {
+				t.Error("histogram quantiles missing")
+			}
+		}
+	}
+	if found != 2 {
+		t.Errorf("found %d of 2 metrics", found)
+	}
+}
+
+func TestVersionInfo(t *testing.T) {
+	reg := NewRegistry()
+	RegisterBuildInfo(reg, "fbdetect-test")
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	out := b.String()
+	if !strings.Contains(out, "fbdetect_build_info") ||
+		!strings.Contains(out, `component="fbdetect-test"`) ||
+		!strings.Contains(out, `version="`+Version+`"`) {
+		t.Errorf("build info gauge malformed:\n%s", out)
+	}
+	if s := VersionString("fbdetect"); !strings.Contains(s, Version) {
+		t.Errorf("VersionString = %q", s)
+	}
+}

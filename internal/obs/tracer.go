@@ -1,0 +1,243 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer records scan traces into a fixed-size ring buffer: enough to
+// answer "what did the last few scans spend their time on" from a live
+// process without any external collector. All methods — including those
+// of the Trace and Span handles it yields — are nil-receiver safe, so
+// tracing is optional at every call site.
+type Tracer struct {
+	ids atomic.Uint64
+
+	mu     sync.Mutex
+	ring   []*TraceSnapshot
+	next   int
+	filled bool
+}
+
+// DefaultTraceCapacity bounds the ring when NewTracer is given a
+// non-positive capacity.
+const DefaultTraceCapacity = 64
+
+// NewTracer returns a tracer retaining the most recent capacity traces.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{ring: make([]*TraceSnapshot, capacity)}
+}
+
+// StartTrace opens a new trace. Call Finish on the returned trace to
+// commit it to the ring buffer. Safe on a nil tracer (returns nil).
+func (t *Tracer) StartTrace(name string) *Trace {
+	if t == nil {
+		return nil
+	}
+	return &Trace{
+		tracer: t,
+		id:     t.ids.Add(1),
+		name:   name,
+		start:  time.Now(),
+	}
+}
+
+// push commits a finished trace.
+func (t *Tracer) push(s *TraceSnapshot) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ring[t.next] = s
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.filled = true
+	}
+}
+
+// Recent returns up to n finished traces, newest first. n <= 0 means all
+// retained traces.
+func (t *Tracer) Recent(n int) []*TraceSnapshot {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	size := t.next
+	if t.filled {
+		size = len(t.ring)
+	}
+	if n <= 0 || n > size {
+		n = size
+	}
+	out := make([]*TraceSnapshot, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, t.ring[(t.next-i+len(t.ring))%len(t.ring)])
+	}
+	return out
+}
+
+// Trace is an in-progress trace: a named root interval plus child spans,
+// possibly started from multiple goroutines (the pipeline's per-metric
+// fan-out).
+type Trace struct {
+	tracer *Tracer
+	id     uint64
+	name   string
+	start  time.Time
+
+	mu    sync.Mutex
+	spans []*Span
+	attrs map[string]string
+}
+
+// Annotate attaches a key/value attribute to the trace itself.
+func (t *Trace) Annotate(k, v string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.attrs == nil {
+		t.attrs = make(map[string]string)
+	}
+	t.attrs[k] = v
+}
+
+// StartSpan opens a child span. parent may be nil (a root-level span) or
+// another span of the same trace. Safe on a nil trace (returns nil).
+func (t *Trace) StartSpan(name string, parent *Span) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{
+		trace: t,
+		id:    t.tracer.ids.Add(1),
+		name:  name,
+		start: time.Now(),
+	}
+	if parent != nil {
+		s.parent = parent.id
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+	return s
+}
+
+// Finish closes the trace and commits an immutable snapshot to the
+// tracer's ring buffer. Unfinished spans are snapshotted as ending with
+// the trace.
+func (t *Trace) Finish() {
+	if t == nil {
+		return
+	}
+	end := time.Now()
+	t.mu.Lock()
+	snap := &TraceSnapshot{
+		ID:    t.id,
+		Name:  t.name,
+		Start: t.start,
+		End:   end,
+		Attrs: copyAttrs(t.attrs),
+		Spans: make([]SpanSnapshot, len(t.spans)),
+	}
+	for i, s := range t.spans {
+		snap.Spans[i] = s.snapshot(end)
+	}
+	t.mu.Unlock()
+	t.tracer.push(snap)
+}
+
+// Span is one timed unit of work within a trace.
+type Span struct {
+	trace  *Trace
+	id     uint64
+	parent uint64 // 0 = root-level
+	name   string
+	start  time.Time
+
+	mu    sync.Mutex
+	end   time.Time
+	attrs map[string]string
+}
+
+// Annotate attaches a key/value attribute to the span.
+func (s *Span) Annotate(k, v string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]string)
+	}
+	s.attrs[k] = v
+}
+
+// Finish closes the span.
+func (s *Span) Finish() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.end = time.Now()
+	s.mu.Unlock()
+}
+
+func (s *Span) snapshot(traceEnd time.Time) SpanSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	end := s.end
+	if end.IsZero() {
+		end = traceEnd
+	}
+	return SpanSnapshot{
+		ID:     s.id,
+		Parent: s.parent,
+		Name:   s.name,
+		Start:  s.start,
+		End:    end,
+		Attrs:  copyAttrs(s.attrs),
+	}
+}
+
+func copyAttrs(m map[string]string) map[string]string {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// TraceSnapshot is an immutable finished trace.
+type TraceSnapshot struct {
+	ID    uint64            `json:"id"`
+	Name  string            `json:"name"`
+	Start time.Time         `json:"start"`
+	End   time.Time         `json:"end"`
+	Attrs map[string]string `json:"attrs,omitempty"`
+	Spans []SpanSnapshot    `json:"spans"`
+}
+
+// Duration is the trace's wall time.
+func (t *TraceSnapshot) Duration() time.Duration { return t.End.Sub(t.Start) }
+
+// SpanSnapshot is an immutable finished span.
+type SpanSnapshot struct {
+	ID     uint64            `json:"id"`
+	Parent uint64            `json:"parent,omitempty"`
+	Name   string            `json:"name"`
+	Start  time.Time         `json:"start"`
+	End    time.Time         `json:"end"`
+	Attrs  map[string]string `json:"attrs,omitempty"`
+}
+
+// Duration is the span's wall time.
+func (s SpanSnapshot) Duration() time.Duration { return s.End.Sub(s.Start) }

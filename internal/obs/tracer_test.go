@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestTracerSpansAndAttrs(t *testing.T) {
+	tr := NewTracer(8)
+	trace := tr.StartTrace("scan websvc")
+	trace.Annotate("service", "websvc")
+	root := trace.StartSpan("scan", nil)
+	child := trace.StartSpan("detect", root)
+	child.Annotate("metrics", "42")
+	child.Finish()
+	root.Finish()
+	trace.Finish()
+
+	recent := tr.Recent(1)
+	if len(recent) != 1 {
+		t.Fatalf("recent = %d traces", len(recent))
+	}
+	snap := recent[0]
+	if snap.Name != "scan websvc" || snap.Attrs["service"] != "websvc" {
+		t.Errorf("trace snapshot = %+v", snap)
+	}
+	if len(snap.Spans) != 2 {
+		t.Fatalf("spans = %d", len(snap.Spans))
+	}
+	if snap.Spans[1].Parent != snap.Spans[0].ID {
+		t.Errorf("parent link broken: %+v", snap.Spans)
+	}
+	if snap.Spans[1].Attrs["metrics"] != "42" {
+		t.Errorf("span attrs = %+v", snap.Spans[1].Attrs)
+	}
+	if snap.Duration() < 0 || snap.Spans[0].Duration() < 0 {
+		t.Error("negative durations")
+	}
+}
+
+func TestTracerRingEviction(t *testing.T) {
+	tr := NewTracer(3)
+	for i := 0; i < 5; i++ {
+		tr.StartTrace(string(rune('a' + i))).Finish()
+	}
+	recent := tr.Recent(0)
+	if len(recent) != 3 {
+		t.Fatalf("ring holds %d, want 3", len(recent))
+	}
+	// Newest first: e, d, c.
+	for i, want := range []string{"e", "d", "c"} {
+		if recent[i].Name != want {
+			t.Errorf("recent[%d] = %q, want %q", i, recent[i].Name, want)
+		}
+	}
+	if got := tr.Recent(2); len(got) != 2 || got[0].Name != "e" {
+		t.Errorf("Recent(2) = %+v", got)
+	}
+}
+
+func TestTracerUnfinishedSpanClosedByTrace(t *testing.T) {
+	tr := NewTracer(1)
+	trace := tr.StartTrace("scan")
+	trace.StartSpan("never-finished", nil)
+	trace.Finish()
+	snap := tr.Recent(1)[0]
+	if snap.Spans[0].End.IsZero() {
+		t.Error("unfinished span should inherit trace end")
+	}
+}
+
+func TestTracerConcurrentSpans(t *testing.T) {
+	tr := NewTracer(4)
+	trace := tr.StartTrace("scan")
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := trace.StartSpan("metric", nil)
+			s.Annotate("i", "x")
+			s.Finish()
+		}()
+	}
+	wg.Wait()
+	trace.Finish()
+	if got := len(tr.Recent(1)[0].Spans); got != 32 {
+		t.Errorf("spans = %d, want 32", got)
+	}
+}
