@@ -1,7 +1,10 @@
 # FBDetect build/verify entry points. `make check` is what CI runs.
 GO ?= go
+FUZZTIME ?= 10s
+# Packages that define Fuzz* targets (go can only fuzz one package at a time).
+FUZZ_PKGS = . ./internal/stacktrace
 
-.PHONY: build test vet race bench-obs check
+.PHONY: build test vet race lint fuzz-smoke bench-obs bench check
 
 build:
 	$(GO) build ./...
@@ -12,15 +15,46 @@ test:
 vet:
 	$(GO) vet ./...
 
-# The obs registry, the scan-trace ring buffer, and the HTTP middleware
-# are all written for concurrent use; keep them honest under the race
-# detector, along with the pipeline and workers that call them.
+# The obs registry, the scan-trace ring buffer, the HTTP middleware, and
+# the resilience layer (retry/breaker/hedge and their fake clock) are all
+# written for concurrent use; keep them honest under the race detector,
+# along with the pipeline and workers that call them.
 race:
-	$(GO) test -race ./internal/obs/... ./internal/distributed/... ./internal/core/...
+	$(GO) test -race ./internal/obs/... ./internal/distributed/... ./internal/core/... ./internal/resilience/...
+
+# Static analysis. The tools are not vendored; when missing locally the
+# target degrades to a notice (CI installs and enforces them).
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed; skipping (CI installs it)"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "lint: govulncheck not installed; skipping (CI installs it)"; \
+	fi
+
+# Run every fuzz target briefly: the seeded corpus plus $(FUZZTIME) of
+# randomized exploration each, so parser regressions surface in CI
+# without a long dedicated fuzzing run.
+fuzz-smoke:
+	@for pkg in $(FUZZ_PKGS); do \
+		for f in $$($(GO) test -list '^Fuzz' $$pkg | grep '^Fuzz'); do \
+			echo "fuzz $$pkg $$f"; \
+			$(GO) test -run '^$$' -fuzz "^$$f$$" -fuzztime $(FUZZTIME) $$pkg || exit 1; \
+		done; \
+	done
 
 # Instrumentation-overhead benchmark (paper §6.6 discipline: the
 # detector's own observability must stay under ~5% of scan cost).
 bench-obs:
 	$(GO) test -run - -bench BenchmarkObsOverhead -benchmem ./internal/core/
 
-check: build vet test race
+# CI bench job: the overhead microbenchmark plus the full evaluation
+# report, written to BENCH_report.json for artifact upload.
+bench: bench-obs
+	$(GO) run ./cmd/benchreport -skip-slow -overhead-ms 500 -json BENCH_report.json
+
+check: build vet lint test race

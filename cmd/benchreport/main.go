@@ -8,25 +8,57 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strings"
 	"time"
 
 	"fbdetect/internal/experiments"
 )
 
+// jsonSection is one report section in the -json artifact.
+type jsonSection struct {
+	Name string `json:"name"`
+	Note string `json:"note,omitempty"`
+	Text string `json:"text"`
+}
+
+// jsonReport is the machine-readable form of the whole run, uploaded as
+// a CI artifact so evaluation numbers are diffable across commits.
+type jsonReport struct {
+	GeneratedAt time.Time     `json:"generated_at"`
+	GoVersion   string        `json:"go_version"`
+	Seed        int64         `json:"seed"`
+	SkipSlow    bool          `json:"skip_slow"`
+	Sections    []jsonSection `json:"sections"`
+}
+
 func main() {
 	seed := flag.Int64("seed", 1, "experiment seed")
 	skipSlow := flag.Bool("skip-slow", false, "skip the multi-second Table 3 simulation")
 	overheadMs := flag.Int("overhead-ms", 2000, "wall time per overhead measurement point")
+	jsonPath := flag.String("json", "", "also write the report sections as JSON to this file")
 	flag.Parse()
 
+	var sections []jsonSection
 	section := func(note string, body fmt.Stringer) {
-		fmt.Println(body.String())
+		text := body.String()
+		fmt.Println(text)
 		if note != "" {
 			fmt.Printf("note: %s\n", note)
 		}
 		fmt.Println()
+		name := text
+		if i := strings.IndexByte(name, '\n'); i >= 0 {
+			name = name[:i]
+		}
+		sections = append(sections, jsonSection{
+			Name: strings.TrimSpace(name), Note: note, Text: text,
+		})
 	}
 
 	fmt.Println("FBDetect reproduction — evaluation report")
@@ -87,4 +119,22 @@ func main() {
 	section("", experiments.RunAblationSeasonality(*seed))
 	section("", experiments.RunAblationWentAway(*seed))
 	section("", experiments.RunAblationStageOrder(*seed))
+
+	if *jsonPath != "" {
+		report := jsonReport{
+			GeneratedAt: time.Now().UTC(),
+			GoVersion:   runtime.Version(),
+			Seed:        *seed,
+			SkipSlow:    *skipSlow,
+			Sections:    sections,
+		}
+		b, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonPath, append(b, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d sections)\n", *jsonPath, len(sections))
+	}
 }

@@ -14,6 +14,7 @@ import (
 	"log"
 	"math/rand"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"fbdetect"
@@ -32,6 +33,7 @@ func main() {
 		hours         = flag.Int("hours", 9, "hours of simulated history")
 		regress       = flag.Float64("regress", 1.15, "regression factor injected 2h before the data ends")
 		seed          = flag.Int64("seed", 1, "simulation seed")
+		failFirst     = flag.Int("fail-first", 0, "chaos: answer this many initial /scan requests with 500, to demo coordinator retry and failover")
 		version       = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -91,7 +93,22 @@ func main() {
 	pipe.Instrument(reg, tracer)
 	worker := distributed.NewWorker(*listen, pipe)
 	worker.Instrument(reg)
-	mux := distributed.NewMux(worker, reg, tracer)
+	var handler http.Handler = distributed.NewMux(worker, reg, tracer)
+	if *failFirst > 0 {
+		// Chaos middleware: the first -fail-first scan requests are
+		// rejected so a coordinator pointed here exercises its retry,
+		// breaker, and failover paths against a real worker.
+		inner := handler
+		var served atomic.Int64
+		handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/scan" && served.Add(1) <= int64(*failFirst) {
+				http.Error(w, "chaos: injected failure", http.StatusInternalServerError)
+				return
+			}
+			inner.ServeHTTP(w, r)
+		})
+		log.Printf("chaos: failing the first %d /scan requests", *failFirst)
+	}
 	if *metricsListen != "" {
 		debugMux := http.NewServeMux()
 		obs.RegisterDebug(debugMux, reg, tracer)
@@ -99,7 +116,7 @@ func main() {
 		log.Printf("metrics on %s", *metricsListen)
 	}
 	log.Printf("worker serving %q on %s (data ends %s)", *service, *listen, end.Format(time.RFC3339))
-	log.Fatal(http.ListenAndServe(*listen, mux))
+	log.Fatal(http.ListenAndServe(*listen, handler))
 }
 
 type fbdetectSamples struct{ svc *fbdetect.FleetService }

@@ -9,6 +9,7 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"strings"
 	"time"
 
 	"fbdetect"
@@ -35,6 +36,19 @@ func main() {
 		configPath  = flag.String("config", "", "JSON detection-job config (see fbdetect.ParseConfig); required windows")
 		telemetry   = flag.Bool("telemetry", false, "print the scan's stage-latency and funnel table")
 		version     = flag.Bool("version", false, "print version and exit")
+
+		// Coordinator mode: fan a sweep out over fbdetect-worker processes
+		// through the resilience layer instead of scanning locally.
+		workers        = flag.String("workers", "", "comma-separated worker base URLs; runs a distributed sweep instead of a local scan")
+		services       = flag.String("services", "websvc", "comma-separated services to sweep in -workers mode")
+		scanTimeFlag   = flag.String("scan-time", "", "RFC3339 scan time in -workers mode (default: simulated start + -hours)")
+		retryAttempts  = flag.Int("retry-attempts", 3, "per-worker scan attempts in -workers mode")
+		retryBase      = flag.Duration("retry-base", 50*time.Millisecond, "base retry backoff in -workers mode")
+		hedgeDelay     = flag.Duration("hedge-delay", 0, "duplicate a scan request not answered within this delay (0 = off)")
+		breakerTrip    = flag.Int("breaker-threshold", 5, "consecutive failures that trip a worker's circuit breaker")
+		breakerCool    = flag.Duration("breaker-cooldown", 30*time.Second, "how long a tripped breaker stays open")
+		requestTimeout = flag.Duration("request-timeout", 60*time.Second, "per-attempt scan request deadline")
+		maxFailover    = flag.Int("max-failover", 0, "distinct workers tried per service (0 = all)")
 	)
 	flag.Parse()
 	if *version {
@@ -42,6 +56,22 @@ func main() {
 		return
 	}
 
+	if *workers != "" {
+		runCoordinator(*workers, *services, *scanTimeFlag, *hours, fbdetect.ScanOptions{
+			Retry: fbdetect.ScanRetryPolicy{
+				MaxAttempts: *retryAttempts, BaseDelay: *retryBase,
+			},
+			HedgeDelay:     *hedgeDelay,
+			RequestTimeout: *requestTimeout,
+			MaxFailover:    *maxFailover,
+			Pool: fbdetect.ScanPoolConfig{
+				Breaker: fbdetect.ScanBreakerConfig{
+					FailureThreshold: *breakerTrip, Cooldown: *breakerCool,
+				},
+			},
+		})
+		return
+	}
 	if *input != "" {
 		runCSV(*input, *inputStep, *service, *configPath, *threshold)
 		return
@@ -168,6 +198,65 @@ func main() {
 	}
 	fmt.Printf("\n%d regression(s) reported:\n\n", len(res.Reported))
 	check(fbdetect.WriteScanReport(os.Stdout, res, &changes))
+}
+
+// runCoordinator sweeps services across remote fbdetect-worker processes
+// with retries, breaker-gated failover, and optional hedging, then
+// prints the merged report. Partial failures do not abort the sweep;
+// services that stayed failed after every avenue are listed.
+func runCoordinator(workerList, serviceList, scanTimeStr string, hours int, opts fbdetect.ScanOptions) {
+	urls := splitNonEmpty(workerList)
+	services := splitNonEmpty(serviceList)
+	if len(urls) == 0 || len(services) == 0 {
+		fmt.Fprintln(os.Stderr, "-workers mode needs at least one worker URL and one service")
+		os.Exit(2)
+	}
+	scanTime := time.Date(2024, 8, 1, 0, 0, 0, 0, time.UTC).Add(time.Duration(hours) * time.Hour)
+	if scanTimeStr != "" {
+		var err error
+		scanTime, err = time.Parse(time.RFC3339, scanTimeStr)
+		check(err)
+	}
+
+	coord, err := fbdetect.NewScanCoordinatorWithOptions(urls, nil, opts)
+	check(err)
+	fmt.Printf("sweeping %d service(s) over %d worker(s) at %s ...\n",
+		len(services), len(urls), scanTime.Format(time.RFC3339))
+	merged, err := coord.ScanAll(services, scanTime)
+
+	fmt.Printf("\nscanned %d/%d service(s)", len(merged.Scanned), len(services))
+	if len(merged.Failed) > 0 {
+		fmt.Printf("; FAILED: %s", strings.Join(merged.Failed, ", "))
+	}
+	fmt.Println()
+	f := merged.Funnel
+	fmt.Printf("funnel: change-points=%d went-away=%d seasonality=%d threshold=%d same=%d som=%d costshift=%d reported=%d\n",
+		f.ChangePoints, f.AfterWentAway, f.AfterSeasonality, f.AfterThreshold,
+		f.AfterSameMerger, f.AfterSOMDedup, f.AfterCostShift, f.AfterPairwise)
+	fmt.Printf("\n%d regression(s) reported:\n\n", len(merged.Reported))
+	for _, r := range merged.Reported {
+		fmt.Printf("  [%s] %s %s (%s): %+.4f (%+.1f%%) at %s\n",
+			r.Service, r.Metric, r.Entity, r.Path,
+			r.Delta, 100*r.Relative, r.ChangePointTime.Format(time.RFC3339))
+		for _, rc := range r.RootCauses {
+			fmt.Printf("      cause? %s (score %.2f)\n", rc.ChangeID, rc.Score)
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "\nsweep errors:\n%v\n", err)
+		os.Exit(1)
+	}
+}
+
+// splitNonEmpty splits a comma list, dropping empty elements.
+func splitNonEmpty(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // runCSV scans user-provided telemetry: ingest the CSV, derive or load a

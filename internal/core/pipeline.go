@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -179,6 +180,17 @@ func (p *Pipeline) scanMetric(metric tsdb.MetricID, from, scanTime time.Time) me
 // cost-shift, PairwiseDedup, root-cause analysis. Metrics without enough
 // data are skipped silently (new services warm up).
 func (p *Pipeline) Scan(service string, scanTime time.Time) (*ScanResult, error) {
+	return p.ScanContext(context.Background(), service, scanTime)
+}
+
+// ScanContext is Scan with a caller-controlled context, checked at
+// stage boundaries: when a coordinator cancels a scan (its hedged twin
+// won, or the whole sweep was aborted) the worker stops burning CPU on
+// an answer nobody will read.
+func (p *Pipeline) ScanContext(ctx context.Context, service string, scanTime time.Time) (*ScanResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	res := &ScanResult{}
 	metrics := p.db.Metrics(service)
 
@@ -229,15 +241,27 @@ func (p *Pipeline) Scan(service string, scanTime time.Time) (*ScanResult, error)
 				}
 			}()
 		}
+	dispatch:
 		for i := range metrics {
-			jobs <- i
+			select {
+			case jobs <- i:
+			case <-ctx.Done():
+				break dispatch
+			}
 		}
 		close(jobs)
 		wg.Wait()
 	} else {
 		for i := range metrics {
+			if ctx.Err() != nil {
+				break
+			}
 			perMetric[i] = p.scanMetric(metrics[i], from, scanTime)
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		detectSpan.Finish()
+		return nil, err
 	}
 
 	var candidates []*Regression
@@ -288,6 +312,9 @@ func (p *Pipeline) Scan(service string, scanTime time.Time) (*ScanResult, error)
 	endStage()
 	if len(fresh) == 0 {
 		return res, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	// Gather sample sets around the median change point once per scan;

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"testing"
 	"time"
 
@@ -334,5 +336,33 @@ func TestScanConcurrencyDeterministic(t *testing.T) {
 			t.Errorf("report %d differs: %s vs %s", i,
 				serial.Reported[i].Metric, parallel.Reported[i].Metric)
 		}
+	}
+}
+
+func TestScanContextCanceled(t *testing.T) {
+	// A canceled context stops the scan instead of producing results: the
+	// distributed worker relies on this to abandon work when a hedged twin
+	// already answered.
+	tree := pipelineTree(t)
+	svc := pipelineService(t, tree, 23)
+	db := tsdb.New(time.Minute)
+	var log changelog.Log
+	end := t0.Add(9 * time.Hour)
+	if err := svc.Run(db, &log, t0, end); err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPipeline(pipelineConfig(), db, &log, fleetSamples{svc, 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := p.ScanContext(ctx, "websvc", end)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled scan = (%v, %v), want context.Canceled", res, err)
+	}
+	// The same pipeline still scans fine with a live context.
+	if _, err := p.ScanContext(context.Background(), "websvc", end); err != nil {
+		t.Fatalf("live-context scan after cancellation = %v", err)
 	}
 }

@@ -12,18 +12,21 @@ package distributed
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
 	"net/http"
+	"slices"
 	"sort"
 	"sync"
 	"time"
 
 	"fbdetect/internal/core"
 	"fbdetect/internal/obs"
+	"fbdetect/internal/resilience"
 )
 
 // ScanRequest asks a worker to scan one service at a scan time.
@@ -49,12 +52,14 @@ type WireRegression struct {
 }
 
 // ScanResponse is a worker's reply (or a coordinator's merged sweep, in
-// which case Failed lists the services whose scans errored).
+// which case Failed lists the services whose scans errored and Scanned
+// the services that completed).
 type ScanResponse struct {
 	Reported []WireRegression `json:"reported"`
 	Funnel   core.Funnel      `json:"funnel"`
 	Worker   string           `json:"worker"`
 	Failed   []string         `json:"failed,omitempty"`
+	Scanned  []string         `json:"scanned,omitempty"`
 }
 
 // Worker scan-error reasons, the reason label of MetricWorkerScanErrors.
@@ -64,6 +69,7 @@ const (
 	ErrReasonMissingFields  = "missing_fields"
 	ErrReasonUnknownService = "unknown_service"
 	ErrReasonScanFailed     = "scan_failed"
+	ErrReasonCanceled       = "canceled"
 )
 
 // Worker and coordinator metric names.
@@ -74,6 +80,11 @@ const (
 	MetricCoordScans        = "fbdetect_coordinator_scans_total"
 	MetricCoordFailures     = "fbdetect_coordinator_scan_failures_total"
 	MetricCoordScanSeconds  = "fbdetect_coordinator_scan_duration_seconds"
+	MetricCoordRetries      = "fbdetect_coordinator_retries_total"
+	MetricCoordFailovers    = "fbdetect_coordinator_failovers_total"
+	MetricCoordHedges       = "fbdetect_coordinator_hedges_total"
+	MetricCoordHedgeWins    = "fbdetect_coordinator_hedge_wins_total"
+	MetricCoordBreakerSkips = "fbdetect_coordinator_breaker_skips_total"
 )
 
 // Worker serves scan requests against a local pipeline.
@@ -107,7 +118,7 @@ func (w *Worker) Instrument(reg *obs.Registry) {
 	// visible (as zeros) before the first failure happens.
 	for _, reason := range []string{
 		ErrReasonBadMethod, ErrReasonBadJSON, ErrReasonMissingFields,
-		ErrReasonUnknownService, ErrReasonScanFailed,
+		ErrReasonUnknownService, ErrReasonScanFailed, ErrReasonCanceled,
 	} {
 		w.errCounter(reason)
 	}
@@ -145,9 +156,17 @@ func (w *Worker) ServeHTTP(rw http.ResponseWriter, req *http.Request) {
 	}
 	scanStart := time.Now()
 	w.mu.Lock()
-	res, err := w.pipeline.Scan(sr.Service, sr.ScanTime)
+	// The request context flows into the pipeline: when the coordinator
+	// cancels (a hedged twin won, or the sweep was aborted) the scan
+	// stops at the next stage boundary instead of finishing unread.
+	res, err := w.pipeline.ScanContext(req.Context(), sr.Service, sr.ScanTime)
 	w.mu.Unlock()
 	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			w.errCounter(ErrReasonCanceled).Inc()
+			http.Error(rw, "scan canceled: "+err.Error(), http.StatusServiceUnavailable)
+			return
+		}
 		w.errCounter(ErrReasonScanFailed).Inc()
 		http.Error(rw, "scan failed: "+err.Error(), http.StatusInternalServerError)
 		return
@@ -174,40 +193,171 @@ func (w *Worker) ServeHTTP(rw http.ResponseWriter, req *http.Request) {
 	json.NewEncoder(rw).Encode(resp)
 }
 
+// Options tunes the coordinator's resilience layer. The zero value
+// means "defaults" (see DefaultOptions); individual zero fields are
+// likewise filled with defaults.
+type Options struct {
+	// Retry is the per-worker retry budget for transient failures
+	// (network errors, 5xx, 429).
+	Retry resilience.Policy
+	// HedgeDelay, when positive, launches a duplicate request against
+	// the same worker if the first hasn't answered within the delay —
+	// the tail-latency defense for slow shards. 0 disables hedging.
+	HedgeDelay time.Duration
+	// RequestTimeout bounds each individual scan attempt (default 60s;
+	// a worker-local scan of a big service is seconds of work).
+	RequestTimeout time.Duration
+	// MaxFailover caps how many distinct workers are tried per service
+	// (0 = every worker in the pool).
+	MaxFailover int
+	// MaxConcurrent caps ScanAll's fan-out (default 16).
+	MaxConcurrent int
+	// Pool configures health probing and the per-worker breakers.
+	Pool PoolConfig
+	// Clock drives backoff, hedging, and breaker cooldowns; tests pass
+	// a resilience.FakeClock so nothing really sleeps.
+	Clock resilience.Clock
+	// Seed feeds the jitter rng, so backoff schedules are reproducible.
+	Seed int64
+}
+
+// DefaultOptions is the coordinator's production posture: three
+// attempts with jittered 50ms-base backoff, failover across the whole
+// pool, hedging off, 16-way fan-out.
+func DefaultOptions() Options {
+	return Options{
+		Retry:          resilience.DefaultPolicy(),
+		RequestTimeout: 60 * time.Second,
+		MaxConcurrent:  16,
+		Clock:          resilience.RealClock(),
+		Seed:           1,
+	}
+}
+
+// withDefaults fills zero fields.
+func (o Options) withDefaults() Options {
+	if o.Retry.MaxAttempts == 0 {
+		o.Retry = resilience.DefaultPolicy()
+	}
+	if o.RequestTimeout == 0 {
+		o.RequestTimeout = 60 * time.Second
+	}
+	if o.MaxConcurrent <= 0 {
+		o.MaxConcurrent = 16
+	}
+	if o.Clock == nil {
+		o.Clock = resilience.RealClock()
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
 // Coordinator assigns services to workers by consistent hash and fans
-// scans out over HTTP.
+// scans out over HTTP through a resilience layer: retry with backoff
+// and jitter for transient failures, a health-checked worker pool with
+// per-worker circuit breakers, failover to peers, and optional hedged
+// requests — a service only lands in Failed once every avenue is spent.
 type Coordinator struct {
 	workers []string // worker base URLs
 	client  *http.Client
+	opts    Options
 
-	scans    *obs.Counter // nil when uninstrumented
-	failures *obs.Counter
-	duration *obs.Histogram
+	mu    sync.Mutex // guards lazy initialization
+	pool  *WorkerPool
+	retry *resilience.Retryer
+
+	reg          *obs.Registry // nil when uninstrumented
+	scans        *obs.Counter
+	failures     *obs.Counter
+	duration     *obs.Histogram
+	retries      *obs.Counter
+	failovers    *obs.Counter
+	hedges       *obs.Counter
+	hedgeWins    *obs.Counter
+	breakerSkips *obs.Counter
 }
 
-// Instrument publishes the coordinator's fan-out metrics to reg.
+// Instrument publishes the coordinator's fan-out and resilience metrics
+// to reg (and the pool's, once it exists).
 func (c *Coordinator) Instrument(reg *obs.Registry) {
 	if reg == nil {
 		return
 	}
+	c.reg = reg
 	c.scans = reg.NewCounter(MetricCoordScans,
 		"Per-service scans dispatched to workers.", nil)
 	c.failures = reg.NewCounter(MetricCoordFailures,
-		"Per-service scans that failed (worker unreachable or non-200).", nil)
+		"Per-service scans that failed after retries and failover.", nil)
 	c.duration = reg.NewHistogram(MetricCoordScanSeconds,
-		"Round-trip time of one dispatched scan.", nil, nil)
+		"Round-trip time of one dispatched scan, including retries.", nil, nil)
+	c.retries = reg.NewCounter(MetricCoordRetries,
+		"Scan attempts retried after a transient failure.", nil)
+	c.failovers = reg.NewCounter(MetricCoordFailovers,
+		"Scans that succeeded on a worker other than the hash-owned primary.", nil)
+	c.hedges = reg.NewCounter(MetricCoordHedges,
+		"Hedged (duplicate) requests launched against slow workers.", nil)
+	c.hedgeWins = reg.NewCounter(MetricCoordHedgeWins,
+		"Hedged requests that answered before the original.", nil)
+	c.breakerSkips = reg.NewCounter(MetricCoordBreakerSkips,
+		"Worker attempts skipped because the circuit breaker was open.", nil)
+	c.mu.Lock()
+	if c.pool != nil {
+		c.pool.Instrument(reg)
+	}
+	c.mu.Unlock()
 }
 
 // NewCoordinator returns a coordinator over the given worker base URLs
-// (e.g. "http://10.0.0.1:8080"). client may be nil (http.DefaultClient).
+// (e.g. "http://10.0.0.1:8080") with DefaultOptions. client may be nil
+// (http.DefaultClient).
 func NewCoordinator(workerURLs []string, client *http.Client) (*Coordinator, error) {
+	return NewCoordinatorWithOptions(workerURLs, client, Options{})
+}
+
+// NewCoordinatorWithOptions returns a coordinator with explicit
+// resilience options (zero fields take defaults).
+func NewCoordinatorWithOptions(workerURLs []string, client *http.Client, opts Options) (*Coordinator, error) {
 	if len(workerURLs) == 0 {
 		return nil, fmt.Errorf("distributed: at least one worker required")
 	}
 	if client == nil {
 		client = http.DefaultClient
 	}
-	return &Coordinator{workers: workerURLs, client: client}, nil
+	return &Coordinator{workers: workerURLs, client: client, opts: opts}, nil
+}
+
+// ensure lazily builds the pool and retryer, rebuilding if the worker
+// list was swapped (tests construct Coordinator literals and mutate
+// workers before scanning).
+func (c *Coordinator) ensure() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.pool != nil && slices.Equal(c.pool.URLs(), c.workers) {
+		return
+	}
+	c.opts = c.opts.withDefaults()
+	c.pool = NewWorkerPool(c.workers, c.client, c.opts.Pool, c.opts.Clock)
+	if c.reg != nil {
+		c.pool.Instrument(c.reg)
+	}
+	c.retry = resilience.NewRetryer(c.opts.Retry, c.opts.Clock, c.opts.Seed)
+	c.retry.OnRetry = func(int, time.Duration, error) { c.retries.Inc() }
+}
+
+// Pool exposes the health-checked worker pool (built on first use) so
+// operators can run periodic probes: go coord.Pool().Start(ctx).
+func (c *Coordinator) Pool() *WorkerPool {
+	c.ensure()
+	return c.pool
+}
+
+// StartHealthChecks probes workers now and every Pool.ProbeInterval
+// until ctx is done. Run in a goroutine next to a long-lived
+// coordinator.
+func (c *Coordinator) StartHealthChecks(ctx context.Context) {
+	c.Pool().Start(ctx)
 }
 
 // WorkerFor returns the worker URL owning a service. Assignment is stable
@@ -219,11 +369,18 @@ func (c *Coordinator) WorkerFor(service string) string {
 	return c.workers[int(h.Sum32())%len(c.workers)]
 }
 
-// Scan sends one service's scan to its owning worker.
+// Scan sends one service's scan to its owning worker, with retries,
+// breaker gating, and failover to healthy peers.
 func (c *Coordinator) Scan(service string, scanTime time.Time) (*ScanResponse, error) {
+	return c.ScanContext(context.Background(), service, scanTime)
+}
+
+// ScanContext is Scan with a caller-controlled context.
+func (c *Coordinator) ScanContext(ctx context.Context, service string, scanTime time.Time) (*ScanResponse, error) {
+	c.ensure()
 	c.scans.Inc()
 	start := time.Now()
-	sr, err := c.scan(service, scanTime)
+	sr, err := c.scanFailover(ctx, service, scanTime)
 	c.duration.Observe(time.Since(start).Seconds())
 	if err != nil {
 		c.failures.Inc()
@@ -231,20 +388,104 @@ func (c *Coordinator) Scan(service string, scanTime time.Time) (*ScanResponse, e
 	return sr, err
 }
 
-func (c *Coordinator) scan(service string, scanTime time.Time) (*ScanResponse, error) {
+// scanFailover walks the service's failover candidates — hash-owned
+// primary first, then peers, sick workers last — attempting each (with
+// per-worker retries) until one answers.
+func (c *Coordinator) scanFailover(ctx context.Context, service string, scanTime time.Time) (*ScanResponse, error) {
+	candidates := c.pool.Candidates(service)
+	maxWorkers := c.opts.MaxFailover
+	if maxWorkers <= 0 || maxWorkers > len(candidates) {
+		maxWorkers = len(candidates)
+	}
+	primary := c.WorkerFor(service)
+	var errs []error
+	tried := 0
+	for _, url := range candidates {
+		if tried == maxWorkers {
+			break
+		}
+		if !c.pool.Breaker(url).Allow() {
+			c.breakerSkips.Inc()
+			errs = append(errs, fmt.Errorf("distributed: worker %s: circuit open", url))
+			continue
+		}
+		tried++
+		resp, err := c.scanWorker(ctx, url, service, scanTime)
+		if err == nil {
+			if url != primary {
+				c.failovers.Inc()
+			}
+			return resp, nil
+		}
+		errs = append(errs, fmt.Errorf("distributed: worker %s: %w", url, err))
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return nil, errors.Join(errs...)
+}
+
+// scanWorker runs the retry/hedge loop against one worker, feeding
+// every attempt's outcome into the worker's breaker.
+func (c *Coordinator) scanWorker(ctx context.Context, url, service string, scanTime time.Time) (*ScanResponse, error) {
+	breaker := c.pool.Breaker(url)
+	attempt := func(ctx context.Context) (*ScanResponse, error) {
+		// Re-check between retries: this worker's own failures may have
+		// tripped the breaker, in which case failover beats persistence.
+		if breaker.State() == resilience.StateOpen {
+			return nil, resilience.Permanent(fmt.Errorf("circuit opened during retries"))
+		}
+		resp, err := c.postScan(ctx, url, service, scanTime)
+		c.pool.recordOutcome(url, err == nil)
+		return resp, err
+	}
+	do := attempt
+	if c.opts.HedgeDelay > 0 {
+		do = func(ctx context.Context) (*ScanResponse, error) {
+			v, stats, err := resilience.Hedge(ctx, c.opts.Clock, c.opts.HedgeDelay, attempt)
+			if stats.Launched {
+				c.hedges.Inc()
+			}
+			if stats.Won {
+				c.hedgeWins.Inc()
+			}
+			return v, err
+		}
+	}
+	return resilience.Do(ctx, c.retry, do)
+}
+
+// postScan issues one /scan POST with the per-attempt deadline. Non-200
+// statuses outside {5xx, 429} come back as Permanent: retrying a 404
+// only burns budget.
+func (c *Coordinator) postScan(ctx context.Context, url, service string, scanTime time.Time) (*ScanResponse, error) {
 	body, err := json.Marshal(ScanRequest{Service: service, ScanTime: scanTime})
 	if err != nil {
-		return nil, err
+		return nil, resilience.Permanent(err)
 	}
-	url := c.WorkerFor(service) + "/scan"
-	resp, err := c.client.Post(url, "application/json", bytes.NewReader(body))
+	if c.opts.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.opts.RequestTimeout)
+		defer cancel()
+	}
+	target := url + "/scan"
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target, bytes.NewReader(body))
 	if err != nil {
-		return nil, fmt.Errorf("distributed: posting to %s: %w", url, err)
+		return nil, resilience.Permanent(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("distributed: posting to %s: %w", target, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return nil, fmt.Errorf("distributed: worker %s: %s: %s", url, resp.Status, bytes.TrimSpace(msg))
+		serr := fmt.Errorf("distributed: worker %s: %s: %s", target, resp.Status, bytes.TrimSpace(msg))
+		if resp.StatusCode < 500 && resp.StatusCode != http.StatusTooManyRequests {
+			return nil, resilience.Permanent(serr)
+		}
+		return nil, serr
 	}
 	var sr ScanResponse
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 16<<20)).Decode(&sr); err != nil {
@@ -253,21 +494,32 @@ func (c *Coordinator) scan(service string, scanTime time.Time) (*ScanResponse, e
 	return &sr, nil
 }
 
-// ScanAll fans a scan of every service out concurrently and merges the
-// responses. Per-service errors never abort the sweep: every failing
-// service is recorded in the merged response's Failed list (sorted) and
-// in the joined error, which wraps each per-service failure — so one
-// dead worker costs its own services, not the whole fleet's scan.
+// ScanAll fans a scan of every service out (at most MaxConcurrent in
+// flight) and merges the responses. Per-service errors never abort the
+// sweep, and a service only lands in Failed after its retry and
+// failover budget is spent: every failing service is recorded in the
+// merged response's Failed list (sorted) and in the joined error, while
+// completed services are listed in Scanned — so one dead worker costs
+// nothing as long as a healthy peer can cover its services.
 func (c *Coordinator) ScanAll(services []string, scanTime time.Time) (*ScanResponse, error) {
+	return c.ScanAllContext(context.Background(), services, scanTime)
+}
+
+// ScanAllContext is ScanAll with a caller-controlled context.
+func (c *Coordinator) ScanAllContext(ctx context.Context, services []string, scanTime time.Time) (*ScanResponse, error) {
+	c.ensure()
 	merged := &ScanResponse{Worker: "coordinator"}
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	var scanErrs []error
+	sem := make(chan struct{}, c.opts.MaxConcurrent)
 	for _, svc := range services {
 		wg.Add(1)
+		sem <- struct{}{}
 		go func(svc string) {
 			defer wg.Done()
-			resp, err := c.Scan(svc, scanTime)
+			defer func() { <-sem }()
+			resp, err := c.ScanContext(ctx, svc, scanTime)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -275,14 +527,16 @@ func (c *Coordinator) ScanAll(services []string, scanTime time.Time) (*ScanRespo
 				scanErrs = append(scanErrs, fmt.Errorf("service %s: %w", svc, err))
 				return
 			}
+			merged.Scanned = append(merged.Scanned, svc)
 			merged.Funnel.Add(resp.Funnel)
 			merged.Reported = append(merged.Reported, resp.Reported...)
 		}(svc)
 	}
 	wg.Wait()
-	// Fan-out completion order is nondeterministic; sort so Failed and
-	// the joined error read stably.
+	// Fan-out completion order is nondeterministic; sort so Failed,
+	// Scanned, and the joined error read stably.
 	sort.Strings(merged.Failed)
+	sort.Strings(merged.Scanned)
 	sort.Slice(scanErrs, func(i, j int) bool { return scanErrs[i].Error() < scanErrs[j].Error() })
 	return merged, errors.Join(scanErrs...)
 }

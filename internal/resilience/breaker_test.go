@@ -1,0 +1,128 @@
+package resilience
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// transitions records a breaker's state changes as "from>to" strings.
+func recordTransitions(b *Breaker) *[]string {
+	var log []string
+	b.OnTransition = func(from, to State) {
+		log = append(log, fmt.Sprintf("%s>%s", from, to))
+	}
+	return &log
+}
+
+func TestBreakerTripsAfterThreshold(t *testing.T) {
+	clock := NewFakeClock(t0)
+	b := NewBreaker(BreakerConfig{FailureThreshold: 3, Cooldown: time.Minute}, clock)
+	log := recordTransitions(b)
+
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker rejected request %d", i)
+		}
+		b.Failure()
+	}
+	if b.State() != StateClosed {
+		t.Fatalf("state = %v before threshold", b.State())
+	}
+	b.Allow()
+	b.Failure() // third consecutive failure trips it
+	if b.State() != StateOpen {
+		t.Fatalf("state = %v after threshold, want open", b.State())
+	}
+	if b.Allow() {
+		t.Error("open breaker allowed a request inside cooldown")
+	}
+	if len(*log) != 1 || (*log)[0] != "closed>open" {
+		t.Errorf("transitions = %v", *log)
+	}
+}
+
+func TestBreakerSuccessResetsFailureCount(t *testing.T) {
+	clock := NewFakeClock(t0)
+	b := NewBreaker(BreakerConfig{FailureThreshold: 2, Cooldown: time.Minute}, clock)
+	b.Failure()
+	b.Success()
+	b.Failure()
+	if b.State() != StateClosed {
+		t.Error("non-consecutive failures should not trip the breaker")
+	}
+}
+
+func TestBreakerHalfOpenProbeCloses(t *testing.T) {
+	clock := NewFakeClock(t0)
+	b := NewBreaker(BreakerConfig{FailureThreshold: 1, Cooldown: time.Minute}, clock)
+	log := recordTransitions(b)
+	b.Failure() // trips immediately
+	if b.Allow() {
+		t.Fatal("open breaker allowed during cooldown")
+	}
+	clock.Advance(time.Minute)
+	if !b.Allow() {
+		t.Fatal("cooled-down breaker rejected the probe")
+	}
+	if b.State() != StateHalfOpen {
+		t.Fatalf("state = %v, want half_open", b.State())
+	}
+	// A second caller must not sneak in beside the probe.
+	if b.Allow() {
+		t.Error("half-open breaker allowed a second concurrent probe")
+	}
+	b.Success()
+	if b.State() != StateClosed {
+		t.Fatalf("state = %v after probe success, want closed", b.State())
+	}
+	if !b.Allow() {
+		t.Error("closed breaker rejected")
+	}
+	want := []string{"closed>open", "open>half_open", "half_open>closed"}
+	if len(*log) != len(want) {
+		t.Fatalf("transitions = %v, want %v", *log, want)
+	}
+	for i := range want {
+		if (*log)[i] != want[i] {
+			t.Errorf("transition %d = %s, want %s", i, (*log)[i], want[i])
+		}
+	}
+}
+
+func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
+	clock := NewFakeClock(t0)
+	b := NewBreaker(BreakerConfig{FailureThreshold: 1, Cooldown: time.Minute}, clock)
+	b.Failure()
+	clock.Advance(time.Minute)
+	if !b.Allow() {
+		t.Fatal("probe rejected")
+	}
+	b.Failure()
+	if b.State() != StateOpen {
+		t.Fatalf("state = %v after probe failure, want open", b.State())
+	}
+	// The cooldown restarts from the probe failure.
+	clock.Advance(30 * time.Second)
+	if b.Allow() {
+		t.Error("reopened breaker allowed before the new cooldown elapsed")
+	}
+	clock.Advance(30 * time.Second)
+	if !b.Allow() {
+		t.Error("reopened breaker rejected after the new cooldown")
+	}
+}
+
+func TestBreakerDefaults(t *testing.T) {
+	b := NewBreaker(BreakerConfig{}, NewFakeClock(t0))
+	for i := 0; i < 4; i++ {
+		b.Failure()
+	}
+	if b.State() != StateClosed {
+		t.Error("tripped before the default threshold of 5")
+	}
+	b.Failure()
+	if b.State() != StateOpen {
+		t.Error("did not trip at the default threshold")
+	}
+}

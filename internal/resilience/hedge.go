@@ -1,0 +1,64 @@
+package resilience
+
+import (
+	"context"
+	"time"
+)
+
+// HedgeStats reports what a Hedge call did: whether the backup request
+// was launched at all, and whether it was the one that won.
+type HedgeStats struct {
+	Launched bool
+	Won      bool
+}
+
+// Hedge runs f and, if it has not returned within delay, launches a
+// second identical call — the standard tail-latency defense for slow
+// shards. The first success wins and the loser is canceled through its
+// context; if both calls fail, the last error is returned. f must be
+// safe to invoke twice concurrently.
+func Hedge[T any](ctx context.Context, clock Clock, delay time.Duration, f func(ctx context.Context) (T, error)) (T, HedgeStats, error) {
+	var zero T
+	var stats HedgeStats
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type result struct {
+		v     T
+		err   error
+		hedge bool
+	}
+	// Buffered so the losing call never blocks sending after we return.
+	results := make(chan result, 2)
+	run := func(hedge bool) {
+		v, err := f(ctx)
+		results <- result{v: v, err: err, hedge: hedge}
+	}
+	go run(false)
+	inflight := 1
+	timer := clock.After(delay)
+	var lastErr error
+	for {
+		select {
+		case r := <-results:
+			inflight--
+			if r.err == nil {
+				stats.Won = r.hedge
+				return r.v, stats, nil
+			}
+			lastErr = r.err
+			if inflight == 0 {
+				return zero, stats, lastErr
+			}
+		case <-timer:
+			timer = nil // a nil channel never fires again
+			if inflight > 0 {
+				stats.Launched = true
+				inflight++
+				go run(true)
+			}
+		case <-ctx.Done():
+			return zero, stats, ctx.Err()
+		}
+	}
+}

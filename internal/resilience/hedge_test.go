@@ -1,0 +1,133 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// hedgeResult carries a Hedge return through a channel.
+type hedgeResult struct {
+	v     string
+	stats HedgeStats
+	err   error
+}
+
+func runHedge(clock Clock, delay time.Duration, f func(ctx context.Context) (string, error)) chan hedgeResult {
+	done := make(chan hedgeResult, 1)
+	go func() {
+		v, stats, err := Hedge(context.Background(), clock, delay, f)
+		done <- hedgeResult{v, stats, err}
+	}()
+	return done
+}
+
+func TestHedgeNotLaunchedWhenPrimaryFast(t *testing.T) {
+	clock := NewFakeClock(t0) // manual: the hedge timer can never fire
+	var calls atomic.Int32
+	res := <-runHedge(clock, 100*time.Millisecond, func(context.Context) (string, error) {
+		calls.Add(1)
+		return "primary", nil
+	})
+	if res.err != nil || res.v != "primary" {
+		t.Fatalf("Hedge = (%q, %v)", res.v, res.err)
+	}
+	if res.stats.Launched || res.stats.Won {
+		t.Errorf("stats = %+v, want no hedge", res.stats)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Errorf("f called %d times, want 1", n)
+	}
+}
+
+func TestHedgeWinsOverHungPrimary(t *testing.T) {
+	clock := NewFakeClock(t0)
+	started := make(chan struct{})
+	var calls atomic.Int32
+	done := runHedge(clock, 100*time.Millisecond, func(ctx context.Context) (string, error) {
+		if calls.Add(1) == 1 {
+			close(started)
+			<-ctx.Done() // the primary hangs until the winner cancels it
+			return "", ctx.Err()
+		}
+		return "hedge", nil
+	})
+	// Only the primary can be running before Advance; waiting for it to
+	// enter f pins the call-order role assignment.
+	<-started
+	clock.BlockUntil(1) // the hedge timer is armed
+	clock.Advance(100 * time.Millisecond)
+	res := <-done
+	if res.err != nil || res.v != "hedge" {
+		t.Fatalf("Hedge = (%q, %v)", res.v, res.err)
+	}
+	if !res.stats.Launched || !res.stats.Won {
+		t.Errorf("stats = %+v, want launched and won", res.stats)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Errorf("f called %d times, want 2", n)
+	}
+}
+
+func TestHedgePrimaryWinsAfterLaunch(t *testing.T) {
+	clock := NewFakeClock(t0)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var calls atomic.Int32
+	done := runHedge(clock, 50*time.Millisecond, func(ctx context.Context) (string, error) {
+		if calls.Add(1) == 1 {
+			close(started)
+			<-release
+			return "primary", nil
+		}
+		<-ctx.Done() // the hedge hangs; the primary's win cancels it
+		return "", ctx.Err()
+	})
+	<-started
+	clock.BlockUntil(1)
+	clock.Advance(50 * time.Millisecond)
+	// Wait for the hedge to actually start before releasing the primary,
+	// so Launched is deterministically true.
+	for calls.Load() < 2 {
+		runtime.Gosched()
+	}
+	close(release)
+	res := <-done
+	if res.err != nil || res.v != "primary" {
+		t.Fatalf("Hedge = (%q, %v)", res.v, res.err)
+	}
+	if !res.stats.Launched || res.stats.Won {
+		t.Errorf("stats = %+v, want launched but primary won", res.stats)
+	}
+}
+
+func TestHedgeBothFail(t *testing.T) {
+	clock := NewFakeClock(t0)
+	boom := errors.New("boom")
+	release := make(chan struct{})
+	var calls atomic.Int32
+	done := runHedge(clock, 10*time.Millisecond, func(ctx context.Context) (string, error) {
+		if calls.Add(1) == 1 {
+			<-release
+			return "", errors.New("primary failed")
+		}
+		return "", boom
+	})
+	clock.BlockUntil(1)
+	clock.Advance(10 * time.Millisecond)
+	// Let the hedge fail first, then fail the primary too.
+	for calls.Load() < 2 {
+		runtime.Gosched()
+	}
+	close(release)
+	res := <-done
+	if res.err == nil {
+		t.Fatal("Hedge succeeded, want failure")
+	}
+	if !res.stats.Launched || res.stats.Won {
+		t.Errorf("stats = %+v, want launched and not won", res.stats)
+	}
+}

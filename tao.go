@@ -7,6 +7,7 @@ import (
 	"fbdetect/internal/canary"
 	"fbdetect/internal/core"
 	"fbdetect/internal/distributed"
+	"fbdetect/internal/resilience"
 	"fbdetect/internal/tao"
 	"fbdetect/internal/tracing"
 )
@@ -109,4 +110,30 @@ func NewScanWorker(name string, det *Detector) *ScanWorker {
 // NewScanCoordinator returns a coordinator over worker base URLs.
 func NewScanCoordinator(workerURLs []string, client *http.Client) (*ScanCoordinator, error) {
 	return distributed.NewCoordinator(workerURLs, client)
+}
+
+// Coordinator resilience layer: retry with jittered backoff, per-worker
+// circuit breakers over a health-checked pool, failover to replica
+// peers, and optional hedged requests against slow shards.
+type (
+	// ScanOptions tunes the coordinator's resilience layer (zero fields
+	// take defaults; see DefaultScanOptions).
+	ScanOptions = distributed.Options
+	// ScanRetryPolicy is the per-worker retry budget and backoff shape.
+	ScanRetryPolicy = resilience.Policy
+	// ScanPoolConfig tunes worker health probing and circuit breakers.
+	ScanPoolConfig = distributed.PoolConfig
+	// ScanBreakerConfig is the per-worker circuit-breaker tuning.
+	ScanBreakerConfig = resilience.BreakerConfig
+)
+
+// DefaultScanOptions is the coordinator's production posture: three
+// attempts with jittered backoff, failover across the whole pool,
+// hedging off.
+func DefaultScanOptions() ScanOptions { return distributed.DefaultOptions() }
+
+// NewScanCoordinatorWithOptions returns a coordinator with explicit
+// resilience options.
+func NewScanCoordinatorWithOptions(workerURLs []string, client *http.Client, opts ScanOptions) (*ScanCoordinator, error) {
+	return distributed.NewCoordinatorWithOptions(workerURLs, client, opts)
 }
