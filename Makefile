@@ -4,7 +4,7 @@ FUZZTIME ?= 10s
 # Packages that define Fuzz* targets (go can only fuzz one package at a time).
 FUZZ_PKGS = . ./internal/stacktrace
 
-.PHONY: build test vet race lint fuzz-smoke bench-obs bench check
+.PHONY: build test vet race lint fuzz-smoke bench-obs bench bench-gate bench-baseline check
 
 build:
 	$(GO) build ./...
@@ -18,9 +18,11 @@ vet:
 # The obs registry, the scan-trace ring buffer, the HTTP middleware, and
 # the resilience layer (retry/breaker/hedge and their fake clock) are all
 # written for concurrent use; keep them honest under the race detector,
-# along with the pipeline and workers that call them.
+# along with the pipeline and workers that call them. The tsdb is included
+# for its zero-copy QueryView snapshots, which concurrent appends must
+# never disturb.
 race:
-	$(GO) test -race ./internal/obs/... ./internal/distributed/... ./internal/core/... ./internal/resilience/...
+	$(GO) test -race ./internal/obs/... ./internal/distributed/... ./internal/core/... ./internal/resilience/... ./internal/tsdb/...
 
 # Static analysis. The tools are not vendored; when missing locally the
 # target degrades to a notice (CI installs and enforces them).
@@ -52,9 +54,24 @@ fuzz-smoke:
 bench-obs:
 	$(GO) test -run - -bench BenchmarkObsOverhead -benchmem ./internal/core/
 
-# CI bench job: the overhead microbenchmark plus the full evaluation
-# report, written to BENCH_report.json for artifact upload.
-bench: bench-obs
+# Scan hot-path benchmarks, gated against the committed baseline: more
+# than a 20% ns/op regression on either benchmark fails the build.
+# BENCH_GATE_FLAGS can relax the threshold (e.g. -threshold 0.5 on noisy
+# shared runners).
+BENCH_GATE = BenchmarkPipeline$$|BenchmarkScanThroughput$$
+bench-gate:
+	$(GO) test -run - -bench '$(BENCH_GATE)' -benchmem -benchtime 5x . | tee BENCH_current.txt
+	$(GO) run ./cmd/benchdiff -baseline BENCH_baseline.txt -current BENCH_current.txt $(BENCH_GATE_FLAGS)
+
+# Re-record the committed baseline (run on the reference machine after an
+# intentional performance change, and commit the result).
+bench-baseline:
+	$(GO) test -run - -bench '$(BENCH_GATE)' -benchmem -benchtime 5x . | tee BENCH_baseline.txt
+
+# CI bench job: the overhead microbenchmark, the gated hot-path
+# benchmarks, plus the full evaluation report written to BENCH_report.json
+# for artifact upload.
+bench: bench-obs bench-gate
 	$(GO) run ./cmd/benchreport -skip-slow -overhead-ms 500 -json BENCH_report.json
 
 check: build vet lint test race

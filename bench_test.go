@@ -8,6 +8,7 @@ package fbdetect
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"testing"
 	"time"
@@ -288,6 +289,56 @@ func BenchmarkScanManyMetrics(b *testing.B) {
 		if _, err := det.Scan("big", end); err != nil {
 			b.Fatal(err)
 		}
+	}
+	b.ReportMetric(nMetrics, "metrics-per-scan")
+}
+
+// BenchmarkScanThroughput measures repeated scans by one long-lived
+// detector over an unchanged fleet — the steady-state re-run cost that the
+// zero-copy reads and the versioned decomposition cache optimize. Contrast
+// with BenchmarkPipeline and BenchmarkScanManyMetrics, which rebuild the
+// detector every iteration and therefore always scan cold.
+func BenchmarkScanThroughput(b *testing.B) {
+	const nMetrics = 500
+	db := NewDB(time.Minute)
+	start := time.Date(2024, 8, 1, 0, 0, 0, 0, time.UTC)
+	rng := rand.New(rand.NewSource(7))
+	for m := 0; m < nMetrics; m++ {
+		id := ID("warm", fmt.Sprintf("sub_%04d", m), "gcpu")
+		base := 0.001 * (1 + rng.Float64())
+		amp := base * 0.1 * rng.Float64() // some metrics mildly seasonal
+		for i := 0; i < 540; i++ {
+			v := base + amp*math.Sin(2*math.Pi*float64(i)/120) + rng.NormFloat64()*base*0.02
+			if err := db.Append(id, start.Add(time.Duration(i)*time.Minute), v); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	cfg := Config{
+		Threshold: 0.0001,
+		LongTerm:  true, // every metric pays the decomposition path
+		Windows: WindowConfig{
+			Historic: 5 * time.Hour, Analysis: 3 * time.Hour, Extended: time.Hour,
+		},
+	}
+	det, err := NewDetector(cfg, db, nil, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	end := start.Add(9 * time.Hour)
+	if _, err := det.Scan("warm", end); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := det.Scan("warm", end); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	hits, misses, _ := det.STLCacheStats()
+	if hits+misses > 0 {
+		b.ReportMetric(float64(hits)/float64(hits+misses)*100, "stl-cache-hit-%")
 	}
 	b.ReportMetric(nMetrics, "metrics-per-scan")
 }

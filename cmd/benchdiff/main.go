@@ -1,0 +1,100 @@
+// Command benchdiff compares two `go test -bench` outputs and fails when a
+// benchmark's ns/op regressed beyond a threshold — the CI gate that keeps
+// the scan hot path from quietly losing its throughput wins.
+//
+// Usage:
+//
+//	benchdiff -baseline BENCH_baseline.txt -current BENCH_current.txt [-threshold 0.20]
+//
+// Only benchmarks present in both files are compared. The gate is on
+// ns/op alone: allocation counts are printed for context but machine load
+// does not perturb them, so a change there is visible in review without
+// needing a tolerance. Exits 1 when any benchmark regressed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_baseline.txt", "committed baseline `go test -bench` output")
+	currentPath := flag.String("current", "BENCH_current.txt", "freshly measured `go test -bench` output")
+	threshold := flag.Float64("threshold", 0.20, "maximum tolerated ns/op regression (0.20 = +20%)")
+	flag.Parse()
+
+	baseline, err := parseFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	current, err := parseFile(*currentPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+
+	rows, failures := diff(baseline, current, *threshold)
+	if len(rows) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no common benchmarks between baseline and current")
+		os.Exit(2)
+	}
+	fmt.Printf("%-28s  %14s  %14s  %8s  %s\n", "benchmark", "baseline ns/op", "current ns/op", "delta", "allocs/op")
+	for _, r := range rows {
+		fmt.Printf("%-28s  %14.0f  %14.0f  %+7.1f%%  %.0f -> %.0f\n",
+			r.name, r.baseNs, r.curNs, r.deltaPct, r.baseAllocs, r.curAllocs)
+	}
+	if len(failures) > 0 {
+		fmt.Printf("\nFAIL: %d benchmark(s) regressed more than %.0f%% ns/op:\n", len(failures), *threshold*100)
+		for _, f := range failures {
+			fmt.Printf("  %s: %+.1f%%\n", f.name, f.deltaPct)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("\nOK: no benchmark regressed more than %.0f%% ns/op\n", *threshold*100)
+}
+
+type diffRow struct {
+	name                  string
+	baseNs, curNs         float64
+	deltaPct              float64
+	baseAllocs, curAllocs float64
+}
+
+// diff pairs up benchmarks by name and flags the ones whose ns/op grew
+// beyond the threshold. Rows come back in the current file's order.
+func diff(baseline, current map[string]result, threshold float64) (rows, failures []diffRow) {
+	for _, name := range sortedKeys(current) {
+		cur := current[name]
+		base, ok := baseline[name]
+		if !ok || base.nsPerOp <= 0 {
+			continue
+		}
+		r := diffRow{
+			name:       name,
+			baseNs:     base.nsPerOp,
+			curNs:      cur.nsPerOp,
+			deltaPct:   (cur.nsPerOp - base.nsPerOp) / base.nsPerOp * 100,
+			baseAllocs: base.allocsPerOp,
+			curAllocs:  cur.allocsPerOp,
+		}
+		rows = append(rows, r)
+		if cur.nsPerOp > base.nsPerOp*(1+threshold) {
+			failures = append(failures, r)
+		}
+	}
+	return rows, failures
+}
+
+func parseFile(path string) (map[string]result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	results := parseBench(string(data))
+	if len(results) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark lines found", path)
+	}
+	return results, nil
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result holds the parsed measurements of one benchmark line.
+type result struct {
+	nsPerOp     float64
+	bytesPerOp  float64
+	allocsPerOp float64
+}
+
+// parseBench extracts benchmark results from `go test -bench` output.
+// Lines look like
+//
+//	BenchmarkScanThroughput-8   3   38871552 ns/op   75.0 stl-cache-hit-%   9791920 B/op   12451 allocs/op
+//
+// i.e. a name (with an optional -GOMAXPROCS suffix, which is stripped),
+// an iteration count, then value/unit pairs. Custom ReportMetric units are
+// ignored. A benchmark appearing several times (e.g. -count) keeps its
+// last measurement.
+func parseBench(out string) map[string]result {
+	results := map[string]result{}
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue // not an iteration count; some other Benchmark-prefixed line
+		}
+		name := fields[0]
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i] // strip the -GOMAXPROCS suffix
+			}
+		}
+		var r result
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.nsPerOp = v
+			case "B/op":
+				r.bytesPerOp = v
+			case "allocs/op":
+				r.allocsPerOp = v
+			}
+		}
+		if r.nsPerOp > 0 {
+			results[name] = r
+		}
+	}
+	return results
+}
+
+func sortedKeys(m map[string]result) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

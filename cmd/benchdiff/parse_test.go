@@ -1,0 +1,55 @@
+package main
+
+import "testing"
+
+const sampleOut = `goos: linux
+goarch: amd64
+pkg: fbdetect
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkPipeline-8         	       5	   6531002 ns/op	  766801 B/op	     834 allocs/op
+BenchmarkScanThroughput-8   	       3	  38871552 ns/op	       500.0 metrics-per-scan	        75.00 stl-cache-hit-%	 9791920 B/op	   12451 allocs/op
+PASS
+ok  	fbdetect	0.964s
+`
+
+func TestParseBench(t *testing.T) {
+	got := parseBench(sampleOut)
+	if len(got) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %v", len(got), got)
+	}
+	p := got["BenchmarkPipeline"]
+	if p.nsPerOp != 6531002 || p.bytesPerOp != 766801 || p.allocsPerOp != 834 {
+		t.Errorf("BenchmarkPipeline = %+v", p)
+	}
+	s := got["BenchmarkScanThroughput"]
+	if s.nsPerOp != 38871552 || s.allocsPerOp != 12451 {
+		t.Errorf("BenchmarkScanThroughput = %+v (custom units must be skipped)", s)
+	}
+}
+
+func TestParseBenchNoSuffix(t *testing.T) {
+	got := parseBench("BenchmarkX \t 10 \t 100 ns/op\n")
+	if r, ok := got["BenchmarkX"]; !ok || r.nsPerOp != 100 {
+		t.Errorf("no-suffix line = %v", got)
+	}
+}
+
+func TestDiffGate(t *testing.T) {
+	baseline := map[string]result{
+		"BenchmarkA": {nsPerOp: 1000, allocsPerOp: 10},
+		"BenchmarkB": {nsPerOp: 1000, allocsPerOp: 10},
+		"BenchmarkOnlyInBaseline": {nsPerOp: 1},
+	}
+	current := map[string]result{
+		"BenchmarkA": {nsPerOp: 1100, allocsPerOp: 10}, // +10%: within threshold
+		"BenchmarkB": {nsPerOp: 1500, allocsPerOp: 10}, // +50%: regression
+		"BenchmarkOnlyInCurrent": {nsPerOp: 1},
+	}
+	rows, failures := diff(baseline, current, 0.20)
+	if len(rows) != 2 {
+		t.Fatalf("compared %d rows, want 2 (unpaired benchmarks skipped)", len(rows))
+	}
+	if len(failures) != 1 || failures[0].name != "BenchmarkB" {
+		t.Fatalf("failures = %+v, want only BenchmarkB", failures)
+	}
+}

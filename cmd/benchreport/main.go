@@ -110,6 +110,10 @@ func main() {
 		"interval <= its analysis window: a slower cadence lets the change "+
 		"point slide from the analysis window into history between scans",
 		experiments.RunDetectionDelay(*seed))
+	section("steady-state re-scan cost: repeated scans over unchanged "+
+		"series hit the versioned decomposition cache instead of re-running "+
+		"STL; wall times are machine-dependent, the speedup is the signal",
+		experiments.RunScanThroughput(*seed))
 
 	fmt.Println("Ablations (design choices called out in DESIGN.md)")
 	fmt.Println("---------------------------------------------------")

@@ -193,16 +193,25 @@ func TestMultiSplitDegenerate(t *testing.T) {
 	}
 }
 
-func TestInsertSorted(t *testing.T) {
-	xs := []int{1, 5, 9}
-	xs = insertSorted(xs, 7)
-	want := []int{1, 5, 7, 9}
-	for i := range want {
-		if xs[i] != want[i] {
-			t.Fatalf("insertSorted = %v", xs)
+func TestMultiSplitCutsSorted(t *testing.T) {
+	// Two clear steps at 20 and 40; the cuts must come back sorted even
+	// though the larger gain is found first.
+	xs := make([]float64, 60)
+	for i := range xs {
+		switch {
+		case i >= 40:
+			xs[i] = 9
+		case i >= 20:
+			xs[i] = 4
 		}
 	}
-	if got := insertSorted(nil, 3); len(got) != 1 || got[0] != 3 {
-		t.Errorf("insert into empty = %v", got)
+	cuts := MultiSplit(xs, 4, 5, 0.05)
+	if len(cuts) < 2 {
+		t.Fatalf("MultiSplit = %v, want >= 2 cuts", cuts)
+	}
+	for i := 1; i < len(cuts); i++ {
+		if cuts[i-1] >= cuts[i] {
+			t.Fatalf("cuts not sorted: %v", cuts)
+		}
 	}
 }

@@ -1,6 +1,10 @@
 package changepoint
 
-import "math"
+import (
+	"math"
+	"slices"
+	"sort"
+)
 
 // NormalLossSplit finds the partition point that minimizes the sum of the
 // within-segment squared deviations ("normal loss") on both sides, the
@@ -53,7 +57,7 @@ func MultiSplit(xs []float64, maxSegments, minSegment int, minGain float64) []in
 	type segment struct{ lo, hi int }
 	segs := []segment{{0, len(xs)}}
 	var cuts []int
-	for len(segs)+0 < maxSegments {
+	for len(segs) < maxSegments {
 		// Find the segment whose best split gains the most.
 		bestGain, bestSeg, bestCut := 0.0, -1, 0
 		for si, sg := range segs {
@@ -81,7 +85,7 @@ func MultiSplit(xs []float64, maxSegments, minSegment int, minGain float64) []in
 		segs = append(segs[:bestSeg], append([]segment{
 			{sg.lo, bestCut}, {bestCut, sg.hi},
 		}, segs[bestSeg+1:]...)...)
-		cuts = insertSorted(cuts, bestCut)
+		cuts = slices.Insert(cuts, sort.SearchInts(cuts, bestCut), bestCut)
 	}
 	return cuts
 }
@@ -97,15 +101,4 @@ func sseWhole(xs []float64) float64 {
 		sq += x * x
 	}
 	return sq - s*s/n
-}
-
-func insertSorted(xs []int, v int) []int {
-	i := 0
-	for i < len(xs) && xs[i] < v {
-		i++
-	}
-	xs = append(xs, 0)
-	copy(xs[i+1:], xs[i:])
-	xs[i] = v
-	return xs
 }

@@ -48,6 +48,20 @@ type Config struct {
 	// (deduplication is stateful).
 	ScanConcurrency int
 
+	// SweepConcurrency bounds how many services Monitor.ScanOnce runs the
+	// per-metric detection stages for concurrently (default 4; 1 sweeps
+	// serially). The stateful deduplication stages are always applied in
+	// service registration order, so scan results are identical at any
+	// setting.
+	SweepConcurrency int
+
+	// STLCacheSize bounds the pipeline's versioned decomposition cache in
+	// entries (default 1024). The cache memoizes per-(metric, series
+	// version, window) seasonality decompositions, so re-scanning
+	// unchanged series skips the STL cost entirely. Negative disables
+	// caching.
+	STLCacheSize int
+
 	// WentAway tunes the went-away detector.
 	WentAway WentAwayConfig
 

@@ -19,26 +19,39 @@ const longTermEdgeFraction = 0.15
 // linear drift and places the change point at the start of the trend.
 const gradualRMSEThreshold = 0.08
 
+// longTermMinPoints is the minimum full-window length the long-term
+// detector needs for a meaningful trend.
+const longTermMinPoints = 16
+
 // DetectLongTerm runs the long-term path of paper §5.3: STL seasonality
 // decomposition first, regression detection on the trend alone, then
 // change-point location (linear-fit test for gradual drifts, otherwise the
 // normal-loss dynamic-programming split). The long-term path has no
 // went-away stage.
+//
+// The pipeline's scan path reaches the same result through its versioned
+// decomposition cache (see stlcache.go); this entry point recomputes the
+// decomposition and exists for standalone use.
 func DetectLongTerm(cfg Config, metric tsdb.MetricID, ws timeseries.Windows, scanTime time.Time) *Regression {
 	full := ws.Full()
-	if full.Len() < 16 {
+	if full.Len() < longTermMinPoints {
+		return nil
+	}
+	scfg := cfg.Seasonality.withDefaults()
+	return detectLongTermWith(cfg, metric, ws, scanTime, computeSTL(scfg, full, true))
+}
+
+// detectLongTermWith is DetectLongTerm using already-computed
+// decomposition results.
+func detectLongTermWith(cfg Config, metric tsdb.MetricID, ws timeseries.Windows, scanTime time.Time, s *stlResult) *Regression {
+	full := ws.Full()
+	if full.Len() < longTermMinPoints {
 		return nil
 	}
 
 	// Step 1: seasonality decomposition. Non-seasonal series use a Loess
-	// smooth as the trend.
-	scfg := cfg.Seasonality.withDefaults()
-	var trend []float64
-	if period, ok := stl.DetectPeriod(full.Values, scfg.MinPeriod, scfg.MaxPeriod, scfg.Strength); ok && full.Len() >= 2*period {
-		if d, err := stl.Decompose(full.Values, period, stl.Options{}); err == nil {
-			trend = d.Trend
-		}
-	}
+	// smooth as the trend (precomputed alongside the decomposition).
+	trend := s.trend()
 	if trend == nil {
 		span := full.Len() / 8
 		if span < 5 {

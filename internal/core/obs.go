@@ -36,6 +36,9 @@ const (
 	MetricStageOut       = "fbdetect_stage_out_total"
 	MetricPipelineScans  = "fbdetect_pipeline_scans_total"
 	MetricMetricsScanned = "fbdetect_pipeline_metrics_scanned_total"
+	MetricSTLCacheHits   = "fbdetect_stl_cache_hits_total"
+	MetricSTLCacheMisses = "fbdetect_stl_cache_misses_total"
+	MetricViewPoints     = "fbdetect_tsdb_view_points_total"
 )
 
 // pipelineObs holds the pre-created metric handles for the pipeline hot
@@ -48,6 +51,10 @@ type pipelineObs struct {
 	stageOut map[string]*obs.Counter
 	scans    *obs.Counter
 	scanned  *obs.Counter
+
+	stlHits    *obs.Counter
+	stlMisses  *obs.Counter
+	viewPoints *obs.Counter
 }
 
 func newPipelineObs(reg *obs.Registry, tracer *obs.Tracer) *pipelineObs {
@@ -60,6 +67,12 @@ func newPipelineObs(reg *obs.Registry, tracer *obs.Tracer) *pipelineObs {
 			"Pipeline scans performed.", nil),
 		scanned: reg.NewCounter(MetricMetricsScanned,
 			"Time series examined by the per-metric detection fan-out.", nil),
+		stlHits: reg.NewCounter(MetricSTLCacheHits,
+			"Versioned decomposition cache hits (STL work skipped).", nil),
+		stlMisses: reg.NewCounter(MetricSTLCacheMisses,
+			"Versioned decomposition cache misses (STL work performed).", nil),
+		viewPoints: reg.NewCounter(MetricViewPoints,
+			"Data points served zero-copy by tsdb QueryView during scans.", nil),
 	}
 	for _, st := range PipelineStages {
 		l := obs.Labels{"stage": st}
@@ -82,6 +95,26 @@ func (po *pipelineObs) timed(stage string) func() {
 	}
 	start := time.Now()
 	return func() { po.stageDur[stage].Observe(time.Since(start).Seconds()) }
+}
+
+// stlCacheLookup counts one decomposition-cache lookup. Nil-safe.
+func (po *pipelineObs) stlCacheLookup(hit bool) {
+	if po == nil {
+		return
+	}
+	if hit {
+		po.stlHits.Inc()
+	} else {
+		po.stlMisses.Inc()
+	}
+}
+
+// viewServed counts the points of one zero-copy series view. Nil-safe.
+func (po *pipelineObs) viewServed(points int) {
+	if po == nil {
+		return
+	}
+	po.viewPoints.Add(float64(points))
 }
 
 // recordFunnel converts one scan's Funnel — the same struct

@@ -83,6 +83,7 @@ type Pipeline struct {
 	merger   *SameRegressionMerger
 	pairwise *PairwiseDeduper
 	planned  *PlannedChangeRegistry
+	stlCache *stlCache    // versioned decomposition cache; nil = disabled
 	obs      *pipelineObs // nil until Instrument; nil-safe hooks
 }
 
@@ -96,6 +97,14 @@ func NewPipeline(cfg Config, db *tsdb.DB, log *changelog.Log, samples SampleProv
 	if db == nil {
 		return nil, fmt.Errorf("core: nil tsdb")
 	}
+	cacheSize := cfg.STLCacheSize
+	if cacheSize == 0 {
+		cacheSize = defaultSTLCacheSize
+	}
+	var cache *stlCache
+	if cacheSize > 0 {
+		cache = newSTLCache(cacheSize)
+	}
 	return &Pipeline{
 		cfg:      cfg,
 		db:       db,
@@ -104,6 +113,7 @@ func NewPipeline(cfg Config, db *tsdb.DB, log *changelog.Log, samples SampleProv
 		domains:  DefaultDomainDetectors(),
 		merger:   NewSameRegressionMerger(cfg.Dedup.SameRegressionWindow),
 		pairwise: NewPairwiseDeduper(cfg.Dedup, nil),
+		stlCache: cache,
 	}, nil
 }
 
@@ -130,16 +140,27 @@ type metricScan struct {
 }
 
 // scanMetric runs stages 1-3 (short-term change point, went-away,
-// seasonality) plus the long-term path for one metric.
+// seasonality) plus the long-term path for one metric. The series window
+// is read zero-copy (QueryView) and the expensive decomposition work both
+// detection paths share is computed at most once, through the versioned
+// cache.
 func (p *Pipeline) scanMetric(metric tsdb.MetricID, from, scanTime time.Time) metricScan {
 	var m metricScan
-	series, err := p.db.Query(metric, from, scanTime)
+	series, version, err := p.db.QueryView(metric, from, scanTime)
 	if err != nil {
 		return m
 	}
 	ws, err := p.cfg.Windows.Cut(series, scanTime)
 	if err != nil {
 		return m // insufficient data for this metric
+	}
+	p.obs.viewServed(series.Len())
+	var stlRes *stlResult
+	stlFor := func() *stlResult {
+		if stlRes == nil {
+			stlRes = p.stlFor(metric, version, ws.Full())
+		}
+		return stlRes
 	}
 	done := p.obs.timed(StageChangePoint)
 	r := DetectShortTerm(p.cfg, metric, ws, scanTime)
@@ -152,7 +173,7 @@ func (p *Pipeline) scanMetric(metric tsdb.MetricID, from, scanTime time.Time) me
 		if keep {
 			m.afterWentAway++
 			done = p.obs.timed(StageSeasonality)
-			keep = CheckSeasonality(p.cfg.Seasonality, r).Keep
+			keep = checkSeasonalityWith(p.cfg.Seasonality, r, stlFor()).Keep
 			done()
 			if keep {
 				m.afterSeasonality++
@@ -160,11 +181,14 @@ func (p *Pipeline) scanMetric(metric tsdb.MetricID, from, scanTime time.Time) me
 			}
 		}
 	}
-	// Long-term path: seasonality first (inside DetectLongTerm), no
+	// Long-term path: seasonality first (inside the detector), no
 	// went-away stage.
 	if p.cfg.LongTerm {
 		done = p.obs.timed(StageLongTerm)
-		r := DetectLongTerm(p.cfg, metric, ws, scanTime)
+		var r *Regression
+		if ws.Full().Len() >= longTermMinPoints {
+			r = detectLongTermWith(p.cfg, metric, ws, scanTime, stlFor())
+		}
 		done()
 		if r != nil {
 			m.longTerm++
@@ -187,31 +211,73 @@ func (p *Pipeline) Scan(service string, scanTime time.Time) (*ScanResult, error)
 // stage boundaries: when a coordinator cancels a scan (its hedged twin
 // won, or the whole sweep was aborted) the worker stops burning CPU on
 // an answer nobody will read.
+//
+// A scan is two halves. detectService runs the per-metric detection
+// stages, which touch no cross-scan state and are safe to run for many
+// services concurrently; finalizeService runs the stateful deduplication
+// and reporting stages, which must be applied in a fixed service order.
+// Monitor.ScanOnce exploits the split to sweep services in parallel while
+// producing results identical to a serial sweep.
 func (p *Pipeline) ScanContext(ctx context.Context, service string, scanTime time.Time) (*ScanResult, error) {
+	d, err := p.detectService(ctx, service, scanTime)
+	if err != nil {
+		return nil, err
+	}
+	return p.finalizeService(ctx, d)
+}
+
+// serviceDetect carries one service's detection outcome between the
+// parallel-safe detect half of a scan and the order-sensitive finalize
+// half.
+type serviceDetect struct {
+	service    string
+	scanTime   time.Time
+	metrics    []tsdb.MetricID
+	candidates []*Regression
+	res        *ScanResult
+	trace      *obs.Trace
+	root       *obs.Span
+}
+
+// discard finishes the trace of a detect whose finalize will never run
+// (an earlier service in the sweep failed), so the trace ring buffer is
+// not left holding an unfinished trace.
+func (d *serviceDetect) discard() {
+	if d == nil || d.trace == nil {
+		return
+	}
+	d.root.Annotate("discarded", "true")
+	d.root.Finish()
+	d.trace.Finish()
+}
+
+// detectService runs stages 1-3 plus the long-term path for every metric
+// of the service. It reads the store and the decomposition cache (both
+// concurrency-safe) and touches none of the pipeline's cross-scan
+// deduplication state, so detects for different services may run
+// concurrently.
+func (p *Pipeline) detectService(ctx context.Context, service string, scanTime time.Time) (*serviceDetect, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	res := &ScanResult{}
-	metrics := p.db.Metrics(service)
+	d := &serviceDetect{
+		service:  service,
+		scanTime: scanTime,
+		metrics:  p.db.Metrics(service),
+		res:      &ScanResult{},
+	}
+	metrics := d.metrics
 
 	// When instrumented, every scan leaves a trace in the ring buffer and
 	// feeds the stage-latency histograms and funnel counters; the funnel
 	// counters are derived from res.Funnel itself so the metrics can never
 	// drift from Monitor.Stats().
-	var trace *obs.Trace
-	var root *obs.Span
 	if p.obs != nil {
-		trace = p.obs.tracer.StartTrace("scan " + service)
-		trace.Annotate("service", service)
-		trace.Annotate("scan_time", scanTime.Format(time.RFC3339))
-		root = trace.StartSpan("scan", nil)
-		root.Annotate("metrics", attr(len(metrics)))
-		defer func() {
-			root.Annotate("reported", attr(len(res.Reported)))
-			root.Finish()
-			trace.Finish()
-			p.obs.recordFunnel(len(metrics), p.cfg.LongTerm, res.Funnel)
-		}()
+		d.trace = p.obs.tracer.StartTrace("scan " + service)
+		d.trace.Annotate("service", service)
+		d.trace.Annotate("scan_time", scanTime.Format(time.RFC3339))
+		d.root = d.trace.StartSpan("scan", nil)
+		d.root.Annotate("metrics", attr(len(metrics)))
 	}
 
 	// Stages 1-3 are independent per metric; scan them concurrently, as
@@ -220,7 +286,7 @@ func (p *Pipeline) ScanContext(ctx context.Context, service string, scanTime tim
 	// are collected per metric index so the downstream order — and thus
 	// deduplication and reporting — stays deterministic.
 	from := scanTime.Add(-p.cfg.Windows.Total())
-	detectSpan := trace.StartSpan("detect", root)
+	detectSpan := d.trace.StartSpan("detect", d.root)
 	perMetric := make([]metricScan, len(metrics))
 	workers := p.cfg.ScanConcurrency
 	if workers <= 0 {
@@ -261,19 +327,39 @@ func (p *Pipeline) ScanContext(ctx context.Context, service string, scanTime tim
 	}
 	if err := ctx.Err(); err != nil {
 		detectSpan.Finish()
+		d.discard()
 		return nil, err
 	}
 
-	var candidates []*Regression
 	for _, m := range perMetric {
-		res.Funnel.ChangePoints += m.changePoints
-		res.Funnel.AfterWentAway += m.afterWentAway
-		res.Funnel.AfterSeasonality += m.afterSeasonality
-		res.Funnel.LongTermChangePoints += m.longTerm
-		candidates = append(candidates, m.candidates...)
+		d.res.Funnel.ChangePoints += m.changePoints
+		d.res.Funnel.AfterWentAway += m.afterWentAway
+		d.res.Funnel.AfterSeasonality += m.afterSeasonality
+		d.res.Funnel.LongTermChangePoints += m.longTerm
+		d.candidates = append(d.candidates, m.candidates...)
 	}
-	detectSpan.Annotate("candidates", attr(len(candidates)))
+	detectSpan.Annotate("candidates", attr(len(d.candidates)))
 	detectSpan.Finish()
+	return d, nil
+}
+
+// finalizeService runs stages 4-9 on one service's detection outcome.
+// These stages read and mutate cross-scan state (the merger's memory, the
+// pairwise deduper's groups), so finalizes must happen one at a time, in
+// a deterministic service order.
+func (p *Pipeline) finalizeService(ctx context.Context, d *serviceDetect) (*ScanResult, error) {
+	service, scanTime := d.service, d.scanTime
+	res := d.res
+	candidates := d.candidates
+	trace, root := d.trace, d.root
+	if p.obs != nil {
+		defer func() {
+			root.Annotate("reported", attr(len(res.Reported)))
+			root.Finish()
+			trace.Finish()
+			p.obs.recordFunnel(len(d.metrics), p.cfg.LongTerm, res.Funnel)
+		}()
+	}
 
 	// Stage 4: threshold filtering (long-term already thresholds itself,
 	// but re-checking is harmless and keeps the funnel uniform).

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fbdetect/internal/stats"
-	"fbdetect/internal/stl"
 )
 
 // SeasonalityVerdict explains the seasonality detector's decision.
@@ -23,19 +22,28 @@ type SeasonalityVerdict struct {
 // STL, remove seasonality, and require the regression to remain visible
 // (z-score above threshold) in both the analysis and extended windows.
 // Non-seasonal series keep their regressions.
+//
+// The pipeline's scan path reaches the same verdict through its versioned
+// decomposition cache (see stlcache.go); this entry point recomputes the
+// decomposition and exists for standalone use.
 func CheckSeasonality(cfg SeasonalityConfig, r *Regression) SeasonalityVerdict {
 	cfg = cfg.withDefaults()
+	return checkSeasonalityWith(cfg, r, computeSTL(cfg, r.Windows.Full(), false))
+}
+
+// checkSeasonalityWith applies the seasonality verdict using
+// already-computed decomposition results. cfg must be defaulted.
+func checkSeasonalityWith(cfg SeasonalityConfig, r *Regression, s *stlResult) SeasonalityVerdict {
 	full := r.Windows.Full()
-	period, seasonal := stl.DetectPeriod(full.Values, cfg.MinPeriod, cfg.MaxPeriod, cfg.Strength)
+	period, seasonal := s.period, s.seasonal
 	if !seasonal || full.Len() < 2*period {
 		return SeasonalityVerdict{Keep: true}
 	}
-	d, err := stl.Decompose(full.Values, period, stl.Options{})
-	if err != nil {
+	if s.decomp == nil {
 		return SeasonalityVerdict{Keep: true, Seasonal: true, Period: period}
 	}
-	des := d.Deseasonalized()
-	resSD := stats.StdDev(d.Residual)
+	des := s.des
+	resSD := s.resSD
 	if resSD == 0 {
 		return SeasonalityVerdict{Keep: true, Seasonal: true, Period: period}
 	}

@@ -425,3 +425,16 @@ func TestRCAAccuracy(t *testing.T) {
 		}
 	}
 }
+
+func TestScanThroughputShape(t *testing.T) {
+	r := RunScanThroughput(1)
+	if r.CacheHits == 0 {
+		t.Error("warm scans recorded no decomposition-cache hits")
+	}
+	if r.ColdScan <= 0 || r.WarmScan <= 0 {
+		t.Errorf("timings not recorded: cold=%v warm=%v", r.ColdScan, r.WarmScan)
+	}
+	if !strings.Contains(r.String(), "Scan throughput") {
+		t.Error("String() missing title")
+	}
+}

@@ -11,61 +11,140 @@ import "math"
 // tricube weight over a window of the given span (number of neighbors).
 // Span is clamped to [2, len(ys)]. The returned slice has len(ys) points.
 func Loess(ys []float64, span int) []float64 {
+	return LoessInto(make([]float64, len(ys)), ys, span)
+}
+
+// LoessInto is Loess writing into dst (which must have len(ys) points and
+// not alias ys) and returning it — the allocation-free form the
+// decomposition loop uses to reuse scratch buffers across iterations.
+//
+// Every interior point sees the same window geometry — offsets
+// [-half, span-1-half] around itself — so its tricube weight vector and
+// the weighted x-moments of the fit are shared; they are computed once
+// per call and each interior point pays only the two y-moment sums.
+// Boundary points, whose windows are clamped, fall back to the general
+// per-point fit.
+func LoessInto(dst, ys []float64, span int) []float64 {
 	n := len(ys)
-	out := make([]float64, n)
+	dst = dst[:n]
 	if n == 0 {
-		return out
+		return dst
 	}
 	if span > n {
 		span = n
 	}
 	if span < 2 {
-		copy(out, ys)
-		return out
+		copy(dst, ys)
+		return dst
 	}
+	return newLoessFit(span).into(dst, ys)
+}
+
+// loessFit carries the precomputed interior-window geometry for one span:
+// the tricube weight vector in relative coordinates u = j-i ∈
+// [-half, span-1-half] and the weighted x-moments of the fit, which every
+// interior point shares. Building one costs O(span); smoothing with it
+// costs only the two y-moment sums per interior point. Callers that smooth
+// many same-length series (the cycle-subseries loop of Decompose) build
+// the fit once.
+type loessFit struct {
+	span, half         int
+	w, wu              []float64 // weight and weight·u per window offset
+	sw, swu, swuu, den float64
+}
+
+// newLoessFit precomputes the shared geometry for the given span, which
+// must already be clamped to [2, len(ys)] by the caller.
+func newLoessFit(span int) *loessFit {
 	half := span / 2
-	for i := 0; i < n; i++ {
-		lo := i - half
-		hi := lo + span
-		if lo < 0 {
-			lo, hi = 0, span
-		}
-		if hi > n {
-			lo, hi = n-span, n
-		}
-		out[i] = loessPoint(ys, lo, hi, i)
+	f := &loessFit{
+		span: span, half: half,
+		w:  make([]float64, span),
+		wu: make([]float64, span),
 	}
-	return out
+	maxDist := math.Max(float64(half), float64(span-1-half))
+	for k := 0; k < span; k++ {
+		u := float64(k - half)
+		wk := tricube(math.Abs(u) / maxDist)
+		f.w[k] = wk
+		f.wu[k] = wk * u
+		f.sw += wk
+		f.swu += wk * u
+		f.swuu += wk * u * u
+	}
+	f.den = f.sw*f.swuu - f.swu*f.swu
+	return f
+}
+
+// into smooths ys into dst (len(ys) ≥ span) and returns dst.
+func (f *loessFit) into(dst, ys []float64) []float64 {
+	n := len(ys)
+	dst = dst[:n]
+	span, half := f.span, f.half
+	w, wu := f.w, f.wu
+	loInterior := half
+	hiInterior := n - span + half // last interior index (inclusive)
+	for i := 0; i < n; i++ {
+		if i < loInterior || i > hiInterior {
+			lo := i - half
+			hi := lo + span
+			if lo < 0 {
+				lo, hi = 0, span
+			}
+			if hi > n {
+				lo, hi = n-span, n
+			}
+			dst[i] = loessPoint(ys, lo, hi, i)
+			continue
+		}
+		win := ys[i-half : i-half+span]
+		var swy, swuy float64
+		for k, y := range win {
+			swy += w[k] * y
+			swuy += wu[k] * y
+		}
+		if math.Abs(f.den) < 1e-12 {
+			if f.sw == 0 {
+				dst[i] = ys[i]
+			} else {
+				dst[i] = swy / f.sw
+			}
+			continue
+		}
+		// Solve the weighted normal equations for y = a + b·u and
+		// evaluate at u = 0.
+		dst[i] = (swy*f.swuu - f.swu*swuy) / f.den
+	}
+	return dst
 }
 
 // loessPoint fits a weighted line over indices [lo, hi) and evaluates it at
-// x = i.
+// x = i. The fit runs in window-relative coordinates u = j-i, which is
+// better conditioned than absolute indices for long series.
 func loessPoint(ys []float64, lo, hi, i int) float64 {
 	maxDist := math.Max(float64(i-lo), float64(hi-1-i))
 	if maxDist == 0 {
 		return ys[i]
 	}
-	var sw, swx, swy, swxx, swxy float64
+	var sw, swu, swy, swuu, swuy float64
 	for j := lo; j < hi; j++ {
-		d := math.Abs(float64(j-i)) / maxDist
-		w := tricube(d)
-		x := float64(j)
+		u := float64(j - i)
+		w := tricube(math.Abs(u) / maxDist)
 		sw += w
-		swx += w * x
+		swu += w * u
 		swy += w * ys[j]
-		swxx += w * x * x
-		swxy += w * x * ys[j]
+		swuu += w * u * u
+		swuy += w * u * ys[j]
 	}
-	den := sw*swxx - swx*swx
+	den := sw*swuu - swu*swu
 	if math.Abs(den) < 1e-12 || sw == 0 {
 		if sw == 0 {
 			return ys[i]
 		}
 		return swy / sw
 	}
-	b := (sw*swxy - swx*swy) / den
-	a := (swy - b*swx) / sw
-	return a + b*float64(i)
+	// Evaluate the fit at u = 0.
+	return (swy*swuu - swu*swuy) / den
 }
 
 func tricube(d float64) float64 {
@@ -83,9 +162,20 @@ func tricube(d float64) float64 {
 // paper evaluated and rejected in favour of STL.
 func MovingAverage(ys []float64, window int) []float64 {
 	n := len(ys)
-	out := make([]float64, n)
 	if n == 0 {
-		return out
+		return []float64{}
+	}
+	return movingAverageInto(make([]float64, n), make([]float64, n+1), ys, window)
+}
+
+// movingAverageInto is MovingAverage writing into dst with a caller-owned
+// prefix-sum scratch buffer (len(ys)+1), so the decomposition loop's
+// low-pass filter allocates nothing per iteration.
+func movingAverageInto(dst, prefix, ys []float64, window int) []float64 {
+	n := len(ys)
+	dst = dst[:n]
+	if n == 0 {
+		return dst
 	}
 	if window < 1 {
 		window = 1
@@ -95,7 +185,8 @@ func MovingAverage(ys []float64, window int) []float64 {
 	}
 	half := window / 2
 	// Prefix sums for O(n).
-	prefix := make([]float64, n+1)
+	prefix = prefix[:n+1]
+	prefix[0] = 0
 	for i, y := range ys {
 		prefix[i+1] = prefix[i] + y
 	}
@@ -108,7 +199,7 @@ func MovingAverage(ys []float64, window int) []float64 {
 		if hi > n {
 			hi = n
 		}
-		out[i] = (prefix[hi] - prefix[lo]) / float64(hi-lo)
+		dst[i] = (prefix[hi] - prefix[lo]) / float64(hi-lo)
 	}
-	return out
+	return dst
 }

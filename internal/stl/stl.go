@@ -71,6 +71,33 @@ func Decompose(ys []float64, period int, opts Options) (*Decomposition, error) {
 	trend := make([]float64, n)
 	detrended := make([]float64, n)
 
+	// Scratch buffers shared across phases and iterations: cycle-subseries
+	// in/out, the double moving-average low-pass, and its prefix sums. One
+	// decomposition performs 2·InnerIterations·period Loess smooths; without
+	// reuse each would allocate.
+	cycles := (n + period - 1) / period
+	sub := make([]float64, cycles)
+	smoothed := make([]float64, cycles)
+	lowPass := make([]float64, n)
+	maTmp := make([]float64, n)
+	maPrefix := make([]float64, n+1)
+
+	// Loess fits are memoized per effective span: subseries lengths differ
+	// by at most one point across phases, so the whole decomposition needs
+	// at most three distinct weight vectors (two seasonal, one trend).
+	fits := map[int]*loessFit{}
+	fitFor := func(span, n int) *loessFit {
+		if span > n {
+			span = n
+		}
+		if f, ok := fits[span]; ok {
+			return f
+		}
+		f := newLoessFit(span)
+		fits[span] = f
+		return f
+	}
+
 	for iter := 0; iter < opts.InnerIterations; iter++ {
 		// Step 1: detrend.
 		for i := range ys {
@@ -79,20 +106,24 @@ func Decompose(ys []float64, period int, opts Options) (*Decomposition, error) {
 		// Step 2: smooth each cycle-subseries (all points at the same
 		// phase) with Loess across cycles.
 		for phase := 0; phase < period; phase++ {
-			var sub []float64
-			var idx []int
+			m := 0
 			for i := phase; i < n; i += period {
-				sub = append(sub, detrended[i])
-				idx = append(idx, i)
+				sub[m] = detrended[i]
+				m++
 			}
-			smoothed := Loess(sub, opts.SeasonalSpan)
-			for k, i := range idx {
-				seasonal[i] = smoothed[k]
+			if m < 2 || opts.SeasonalSpan < 2 {
+				copy(smoothed[:m], sub[:m])
+			} else {
+				fitFor(opts.SeasonalSpan, m).into(smoothed[:m], sub[:m])
+			}
+			for k := 0; k < m; k++ {
+				seasonal[phase+k*period] = smoothed[k]
 			}
 		}
 		// Step 3: center the seasonal component by removing its low-pass
 		// trend so seasonality does not absorb level shifts.
-		lowPass := MovingAverage(MovingAverage(seasonal, period), period)
+		movingAverageInto(maTmp, maPrefix, seasonal, period)
+		movingAverageInto(lowPass, maPrefix, maTmp, period)
 		for i := range seasonal {
 			seasonal[i] -= lowPass[i]
 		}
@@ -100,7 +131,11 @@ func Decompose(ys []float64, period int, opts Options) (*Decomposition, error) {
 		for i := range ys {
 			detrended[i] = ys[i] - seasonal[i]
 		}
-		trend = Loess(detrended, opts.TrendSpan)
+		if opts.TrendSpan < 2 {
+			copy(trend, detrended)
+		} else {
+			fitFor(opts.TrendSpan, n).into(trend, detrended)
+		}
 	}
 
 	residual := make([]float64, n)

@@ -46,6 +46,12 @@ type Windows struct {
 	Historic *Series
 	Analysis *Series
 	Extended *Series // empty series if the config has no extended window
+
+	// joined is the contiguous [historic..extended] span of the source
+	// series, recorded by Cut so Full and AnalysisAndExtended can return
+	// zero-copy sub-slices instead of re-concatenating the windows. Nil for
+	// hand-assembled Windows, which fall back to copying.
+	joined *Series
 }
 
 // Cut slices s into the three windows ending at scanTime. It returns an
@@ -71,14 +77,20 @@ func (w WindowConfig) Cut(s *Series, scanTime time.Time) (Windows, error) {
 		Historic: s.Slice(start, histEnd),
 		Analysis: s.Slice(histEnd, anaEnd),
 		Extended: s.Slice(anaEnd, scanTime),
+		joined:   s.Slice(start, scanTime),
 	}, nil
 }
 
 // AnalysisAndExtended returns the analysis and extended windows joined into
 // one series; detectors that look past the analysis window use this view.
+// Windows produced by Cut share the source series' values (zero-copy);
+// treat the result as read-only.
 func (ws Windows) AnalysisAndExtended() *Series {
 	if ws.Extended == nil || ws.Extended.Len() == 0 {
 		return ws.Analysis
+	}
+	if ws.joined != nil {
+		return ws.joined.SliceIndex(ws.Historic.Len(), ws.joined.Len())
 	}
 	vals := make([]float64, 0, ws.Analysis.Len()+ws.Extended.Len())
 	vals = append(vals, ws.Analysis.Values...)
@@ -86,8 +98,13 @@ func (ws Windows) AnalysisAndExtended() *Series {
 	return &Series{Start: ws.Analysis.Start, Step: ws.Analysis.Step, Values: vals}
 }
 
-// Full returns all three windows joined into one series.
+// Full returns all three windows joined into one series. Windows produced
+// by Cut share the source series' values (zero-copy); treat the result as
+// read-only.
 func (ws Windows) Full() *Series {
+	if ws.joined != nil {
+		return ws.joined
+	}
 	vals := make([]float64, 0, ws.Historic.Len()+ws.Analysis.Len()+ws.Extended.Len())
 	vals = append(vals, ws.Historic.Values...)
 	vals = append(vals, ws.Analysis.Values...)

@@ -6,6 +6,12 @@
 // Metric identity follows the paper's "metric ID" convention: a metric ID
 // concatenates the entity (service, subroutine, or endpoint) and the metric
 // name, e.g. "frontfaas/feed_render/gcpu" (paper §5.5.1).
+//
+// The store is optimized for the pipeline's hot path: every series carries
+// a monotonic version counter (bumped on each mutation) so callers can
+// cache derived results keyed by (metric, version), a per-service index
+// makes Metrics(service) proportional to that service's metric count, and
+// QueryView serves windows zero-copy.
 package tsdb
 
 import (
@@ -49,36 +55,94 @@ func (id MetricID) Parts() (service, entity, metric string) {
 	return s[:i], rest[:j], rest[j+1:]
 }
 
+// service returns the ID's service component without splitting the rest.
+func (id MetricID) service() string {
+	s := string(id)
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		return s[:i]
+	}
+	return ""
+}
+
+// entry pairs a stored series with its monotonic version, bumped on every
+// mutation (append, prune). A (metric, version) pair therefore pins the
+// exact series content, which is what makes version-keyed caches of
+// derived results (STL decompositions, smoothed trends) sound.
+type entry struct {
+	series  *timeseries.Series
+	version uint64
+}
+
 // DB is an in-memory time-series database. The zero value is not usable;
 // construct with New.
 type DB struct {
 	step time.Duration
 
 	mu     sync.RWMutex
-	series map[MetricID]*timeseries.Series
+	series map[MetricID]*entry
+	// byService indexes metric IDs per service, kept sorted. Maintained at
+	// Append time so Metrics(service) never walks or re-parses the whole
+	// store — with ~800k live series per the paper, the per-scan listing
+	// must be O(the service's metrics), not O(all metrics).
+	byService map[string][]MetricID
 }
 
 // New returns a DB whose series all share the given step (one point per
 // step).
 func New(step time.Duration) *DB {
-	return &DB{step: step, series: map[MetricID]*timeseries.Series{}}
+	return &DB{
+		step:      step,
+		series:    map[MetricID]*entry{},
+		byService: map[string][]MetricID{},
+	}
 }
 
 // Step returns the database's sample step.
 func (db *DB) Step() time.Duration { return db.step }
 
+// indexAdd inserts id into its service's sorted index. Caller holds db.mu.
+func (db *DB) indexAdd(id MetricID) {
+	svc := id.service()
+	ids := db.byService[svc]
+	i := sort.Search(len(ids), func(i int) bool { return ids[i] >= id })
+	ids = append(ids, "")
+	copy(ids[i+1:], ids[i:])
+	ids[i] = id
+	db.byService[svc] = ids
+}
+
+// indexRemove deletes id from its service's index. Caller holds db.mu.
+func (db *DB) indexRemove(id MetricID) {
+	svc := id.service()
+	ids := db.byService[svc]
+	i := sort.Search(len(ids), func(i int) bool { return ids[i] >= id })
+	if i >= len(ids) || ids[i] != id {
+		return
+	}
+	ids = append(ids[:i], ids[i+1:]...)
+	if len(ids) == 0 {
+		delete(db.byService, svc)
+	} else {
+		db.byService[svc] = ids
+	}
+}
+
 // Append adds one point to the metric's series at time t. Points must be
 // appended in order; a point earlier than the series end is rejected. Gaps
 // are filled by repeating the last value so windows stay regularly spaced
-// (production systems interpolate similarly for scan alignment).
+// (production systems interpolate similarly for scan alignment); the fill
+// extends the series in one bulk allocation, so a long-gapped series does
+// not pay O(gap) appends.
 func (db *DB) Append(id MetricID, t time.Time, v float64) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	s, ok := db.series[id]
+	e, ok := db.series[id]
 	if !ok {
-		s = timeseries.New(t.Truncate(db.step), db.step, nil)
-		db.series[id] = s
+		e = &entry{series: timeseries.New(t.Truncate(db.step), db.step, nil)}
+		db.series[id] = e
+		db.indexAdd(id)
 	}
+	s := e.series
 	// Compute the raw slot without IndexOf's clamping so gaps are visible.
 	slot := int(t.Sub(s.Start) / db.step)
 	switch {
@@ -91,11 +155,10 @@ func (db *DB) Append(id MetricID, t time.Time, v float64) error {
 		if s.Len() > 0 {
 			last = s.Values[s.Len()-1]
 		}
-		for s.Len() < slot {
-			s.Append(last)
-		}
+		s.AppendRepeat(last, slot-s.Len())
 		s.Append(v)
 	}
+	e.version++
 	return nil
 }
 
@@ -104,41 +167,82 @@ func (db *DB) Append(id MetricID, t time.Time, v float64) error {
 func (db *DB) Query(id MetricID, from, to time.Time) (*timeseries.Series, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	s, ok := db.series[id]
+	e, ok := db.series[id]
 	if !ok {
 		return nil, fmt.Errorf("tsdb: unknown metric %q", id)
 	}
-	return s.Slice(from, to).Clone(), nil
+	return e.series.Slice(from, to).Clone(), nil
+}
+
+// QueryView returns the metric's series restricted to [from, to) as a
+// zero-copy view sharing the store's backing array, plus the series
+// version at snapshot time. The view is a stable snapshot: concurrent
+// Appends only write past the view's end (or into a freshly grown array),
+// and Prune replaces the backing array rather than truncating it in
+// place. Callers must treat the view's Values as read-only; use Query for
+// a mutable copy.
+func (db *DB) QueryView(id MetricID, from, to time.Time) (*timeseries.Series, uint64, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	e, ok := db.series[id]
+	if !ok {
+		return nil, 0, fmt.Errorf("tsdb: unknown metric %q", id)
+	}
+	return e.series.Slice(from, to), e.version, nil
+}
+
+// Version returns the metric's current version counter (0 for unknown
+// metrics). The version increases on every mutation of the series, so an
+// unchanged version guarantees unchanged content.
+func (db *DB) Version(id MetricID) uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if e, ok := db.series[id]; ok {
+		return e.version
+	}
+	return 0
 }
 
 // Full returns a copy of the metric's complete series.
 func (db *DB) Full(id MetricID) (*timeseries.Series, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	s, ok := db.series[id]
+	e, ok := db.series[id]
 	if !ok {
 		return nil, fmt.Errorf("tsdb: unknown metric %q", id)
 	}
-	return s.Clone(), nil
+	return e.series.Clone(), nil
 }
 
 // Metrics returns all metric IDs, sorted, optionally filtered to one
-// service ("" matches all).
+// service ("" matches all). The per-service listing reads the maintained
+// index — no store walk, no ID parsing.
 func (db *DB) Metrics(service string) []MetricID {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	if service != "" {
+		ids := db.byService[service]
+		out := make([]MetricID, len(ids))
+		copy(out, ids)
+		return out
+	}
 	out := make([]MetricID, 0, len(db.series))
 	for id := range db.series {
-		if service != "" {
-			svc, _, _ := id.Parts()
-			if svc != service {
-				continue
-			}
-		}
 		out = append(out, id)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+// NumMetrics returns how many series the service has without copying the
+// index ("" counts the whole store).
+func (db *DB) NumMetrics(service string) int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if service == "" {
+		return len(db.series)
+	}
+	return len(db.byService[service])
 }
 
 // Len returns the number of stored series.
@@ -152,19 +256,27 @@ func (db *DB) Len() int {
 func (db *DB) Drop(id MetricID) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if _, ok := db.series[id]; !ok {
+		return
+	}
 	delete(db.series, id)
+	db.indexRemove(id)
 }
 
 // Prune discards points older than the retention horizon for every series,
-// bounding memory for long simulations.
+// bounding memory for long simulations. Pruned series get fresh backing
+// arrays (never truncated in place), so outstanding QueryView snapshots
+// stay valid; their versions advance so caches keyed on (metric, version)
+// invalidate.
 func (db *DB) Prune(before time.Time) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	for id, s := range db.series {
+	for _, e := range db.series {
+		s := e.series
 		if !s.Start.Before(before) {
 			continue
 		}
-		trimmed := s.Slice(before, s.End()).Clone()
-		db.series[id] = trimmed
+		e.series = s.Slice(before, s.End()).Clone()
+		e.version++
 	}
 }

@@ -182,3 +182,141 @@ func TestIDWithSlashedEntity(t *testing.T) {
 		t.Errorf("Parts = %q %q %q", svc, ent, met)
 	}
 }
+
+func TestVersionCounter(t *testing.T) {
+	db := New(time.Minute)
+	id := ID("svc", "sub", "gcpu")
+	if v := db.Version(id); v != 0 {
+		t.Errorf("unknown metric version = %d", v)
+	}
+	db.Append(id, t0, 1)
+	v1 := db.Version(id)
+	db.Append(id, t0.Add(time.Minute), 2)
+	v2 := db.Version(id)
+	if v2 <= v1 {
+		t.Errorf("version did not advance on append: %d -> %d", v1, v2)
+	}
+	db.Prune(t0.Add(time.Minute))
+	if v3 := db.Version(id); v3 <= v2 {
+		t.Errorf("version did not advance on prune: %d -> %d", v2, v3)
+	}
+}
+
+func TestQueryViewMatchesQuery(t *testing.T) {
+	db := New(time.Minute)
+	id := ID("svc", "sub", "gcpu")
+	for i := 0; i < 20; i++ {
+		db.Append(id, t0.Add(time.Duration(i)*time.Minute), float64(i))
+	}
+	from, to := t0.Add(3*time.Minute), t0.Add(11*time.Minute)
+	copied, err := db.Query(id, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, ver, err := db.QueryView(id, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver == 0 {
+		t.Error("view version = 0 for known metric")
+	}
+	if view.Len() != copied.Len() || !view.Start.Equal(copied.Start) {
+		t.Fatalf("view len=%d start=%v, query len=%d start=%v",
+			view.Len(), view.Start, copied.Len(), copied.Start)
+	}
+	for i := range copied.Values {
+		if view.Values[i] != copied.Values[i] {
+			t.Fatalf("view[%d] = %v, query = %v", i, view.Values[i], copied.Values[i])
+		}
+	}
+	// The view shares the store's backing array — that is the point.
+	if &view.Values[0] != &db.series[id].series.Values[3] {
+		t.Error("QueryView copied instead of sharing the backing array")
+	}
+}
+
+func TestQueryViewStableUnderAppendAndPrune(t *testing.T) {
+	db := New(time.Minute)
+	id := ID("svc", "sub", "gcpu")
+	for i := 0; i < 8; i++ {
+		db.Append(id, t0.Add(time.Duration(i)*time.Minute), float64(i))
+	}
+	view, _, err := db.QueryView(id, t0, t0.Add(8*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Appends (including ones forcing the backing array to grow) and a
+	// prune must not disturb the snapshot.
+	for i := 8; i < 4096; i++ {
+		db.Append(id, t0.Add(time.Duration(i)*time.Minute), float64(i))
+	}
+	db.Prune(t0.Add(6 * time.Minute))
+	for i := 0; i < 8; i++ {
+		if view.Values[i] != float64(i) {
+			t.Fatalf("view[%d] = %v after append+prune, want %v", i, view.Values[i], float64(i))
+		}
+	}
+}
+
+func TestNumMetricsAndIndexAfterDrop(t *testing.T) {
+	db := New(time.Minute)
+	db.Append(ID("a", "x", "m"), t0, 1)
+	db.Append(ID("a", "y", "m"), t0, 1)
+	db.Append(ID("b", "z", "m"), t0, 1)
+	if n := db.NumMetrics("a"); n != 2 {
+		t.Errorf("NumMetrics(a) = %d", n)
+	}
+	if n := db.NumMetrics(""); n != 3 {
+		t.Errorf("NumMetrics() = %d", n)
+	}
+	db.Drop(ID("a", "x", "m"))
+	if n := db.NumMetrics("a"); n != 1 {
+		t.Errorf("NumMetrics(a) after drop = %d", n)
+	}
+	got := db.Metrics("a")
+	if len(got) != 1 || got[0] != ID("a", "y", "m") {
+		t.Errorf("Metrics(a) after drop = %v", got)
+	}
+	db.Drop(ID("b", "z", "m"))
+	if n := db.NumMetrics("b"); n != 0 {
+		t.Errorf("NumMetrics(b) after drop = %d", n)
+	}
+}
+
+func TestConcurrentAppendAndView(t *testing.T) {
+	// Appends grow series while views are read — the race detector proves
+	// the zero-copy snapshot discipline holds.
+	db := New(time.Minute)
+	ids := make([]MetricID, 4)
+	for g := range ids {
+		ids[g] = ID("svc", string(rune('a'+g)), "m")
+		db.Append(ids[g], t0, 0)
+	}
+	done := make(chan bool)
+	for g := 0; g < 4; g++ {
+		go func(id MetricID) {
+			for i := 1; i < 500; i++ {
+				db.Append(id, t0.Add(time.Duration(i)*time.Minute), float64(i))
+			}
+			done <- true
+		}(ids[g])
+		go func(id MetricID) {
+			for i := 0; i < 200; i++ {
+				view, _, err := db.QueryView(id, t0, t0.Add(500*time.Minute))
+				if err != nil {
+					t.Error(err)
+					break
+				}
+				var sum float64
+				for _, v := range view.Values {
+					sum += v
+				}
+				_ = sum
+			}
+			done <- true
+		}(ids[g])
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}
