@@ -4,7 +4,7 @@ FUZZTIME ?= 10s
 # Packages that define Fuzz* targets (go can only fuzz one package at a time).
 FUZZ_PKGS = . ./internal/stacktrace
 
-.PHONY: build test vet race lint fuzz-smoke bench-obs bench bench-gate bench-baseline check
+.PHONY: build test vet race lint fuzz-smoke bench-obs bench bench-gate bench-baseline eval eval-gate eval-baseline check
 
 build:
 	$(GO) build ./...
@@ -22,7 +22,7 @@ vet:
 # for its zero-copy QueryView snapshots, which concurrent appends must
 # never disturb.
 race:
-	$(GO) test -race ./internal/obs/... ./internal/distributed/... ./internal/core/... ./internal/resilience/... ./internal/tsdb/...
+	$(GO) test -race ./internal/obs/... ./internal/distributed/... ./internal/core/... ./internal/resilience/... ./internal/tsdb/... ./internal/evalharness/...
 
 # Static analysis. The tools are not vendored; when missing locally the
 # target degrades to a notice (CI installs and enforces them).
@@ -73,5 +73,21 @@ bench-baseline:
 # for artifact upload.
 bench: bench-obs bench-gate
 	$(GO) run ./cmd/benchreport -skip-slow -overhead-ms 500 -json BENCH_report.json
+
+# Ground-truth accuracy harness (see internal/evalharness). `eval` writes
+# the full report; `eval-gate` additionally fails when precision, recall,
+# suppression, dedup-collapse, or root-cause floors drop below the
+# committed EVAL_baseline.json.
+EVAL_SEED ?= 1
+eval:
+	$(GO) run ./cmd/fbdetect-eval -seed $(EVAL_SEED) -out EVAL_report.json
+
+eval-gate:
+	$(GO) run ./cmd/fbdetect-eval -seed $(EVAL_SEED) -out EVAL_report.json -baseline EVAL_baseline.json -gate
+
+# Re-derive the committed accuracy floors from a fresh run (after an
+# intentional detection-quality change; review and commit the result).
+eval-baseline:
+	$(GO) run ./cmd/fbdetect-eval -seed $(EVAL_SEED) -write-baseline EVAL_baseline.json -margin 0.1
 
 check: build vet lint test race

@@ -4,13 +4,14 @@
 //
 // Usage:
 //
-//	benchreport [-seed N] [-skip-slow] [-overhead-ms N]
+//	benchreport [-seed N] [-skip-slow] [-skip-timing] [-overhead-ms N]
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"runtime"
@@ -37,21 +38,50 @@ type jsonReport struct {
 	Sections    []jsonSection `json:"sections"`
 }
 
+// options selects what the report run includes.
+type options struct {
+	seed     int64
+	skipSlow bool
+	// skipTiming drops the sections whose output depends on wall-clock
+	// measurements (instrumentation overhead, scan throughput). With it
+	// set, the report text is a pure function of the seed — which is what
+	// the golden determinism test asserts.
+	skipTiming bool
+	overhead   time.Duration
+	jsonPath   string
+}
+
 func main() {
 	seed := flag.Int64("seed", 1, "experiment seed")
 	skipSlow := flag.Bool("skip-slow", false, "skip the multi-second Table 3 simulation")
+	skipTiming := flag.Bool("skip-timing", false, "skip wall-clock-dependent sections (overhead, scan throughput)")
 	overheadMs := flag.Int("overhead-ms", 2000, "wall time per overhead measurement point")
 	jsonPath := flag.String("json", "", "also write the report sections as JSON to this file")
 	flag.Parse()
 
+	opts := options{
+		seed:       *seed,
+		skipSlow:   *skipSlow,
+		skipTiming: *skipTiming,
+		overhead:   time.Duration(*overheadMs) * time.Millisecond,
+		jsonPath:   *jsonPath,
+	}
+	if err := run(opts, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run produces the full report on out. Everything written to out is
+// deterministic for a given options value when skipTiming is set.
+func run(opts options, out io.Writer) error {
 	var sections []jsonSection
 	section := func(note string, body fmt.Stringer) {
 		text := body.String()
-		fmt.Println(text)
+		fmt.Fprintln(out, text)
 		if note != "" {
-			fmt.Printf("note: %s\n", note)
+			fmt.Fprintf(out, "note: %s\n", note)
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 		name := text
 		if i := strings.IndexByte(name, '\n'); i >= 0 {
 			name = name[:i]
@@ -61,27 +91,27 @@ func main() {
 		})
 	}
 
-	fmt.Println("FBDetect reproduction — evaluation report")
-	fmt.Println("==========================================")
-	fmt.Println()
+	fmt.Fprintln(out, "FBDetect reproduction — evaluation report")
+	fmt.Fprintln(out, "==========================================")
+	fmt.Fprintln(out)
 
 	section("panel (a) uses the paper's published simulation parameters "+
 		"(mu=50%, sigma^2=0.01, +0.005% mid-series)",
-		experiments.RunFigure1(*seed))
+		experiments.RunFigure1(opts.seed))
 	section("the averaged series' noise is modeled exactly as sigma/sqrt(m) "+
 		"instead of materializing 50M per-server series",
-		experiments.RunFigure2(*seed))
+		experiments.RunFigure2(opts.seed))
 	section("k=1000 subroutines as in the paper's simulation; compare each "+
 		"row with the Figure 2 row at 1000x more servers",
-		experiments.RunFigure3(*seed))
+		experiments.RunFigure3(opts.seed))
 	section("windows compressed to ~1000 points per series keeping their "+
 		"proportions; per-point noise models each row's accumulated samples",
-		experiments.RunTable1(*seed))
+		experiments.RunTable1(opts.seed))
 	section("exact reproduction of the paper's worked example",
 		experiments.RunTable2())
 	section("", experiments.RunFigure5())
-	section("", experiments.RunFigure7(*seed))
-	if !*skipSlow {
+	section("", experiments.RunFigure7(opts.seed))
+	if !opts.skipSlow {
 		section("the paper's month over ~800k series is scaled to a "+
 			"simulated week over ~100-200 series per workload; ratios are "+
 			"correspondingly smaller but ordered the same way",
@@ -90,55 +120,64 @@ func main() {
 	section("§6.3 analogue on controlled scenarios: the paper reports "+
 		"71/75 = 95% top-3 accuracy when a cause is suggested, and treats "+
 		"silence on never-exported changes as correct",
-		experiments.RunRCAAccuracy(*seed))
+		experiments.RunRCAAccuracy(opts.seed))
 	section("ground-truth labels substitute for developer confirmation; "+
 		"FPs are unrecovered transients, the analogue of the paper's "+
 		"unfiltered cost shifts",
-		experiments.RunTable4(*seed))
+		experiments.RunTable4(opts.seed))
 	section("corpus: 80 true regressions, 400 negatives (noise, "+
 		"long transients, seasonality); EGADS uses the paper's window "+
-		"protocol", experiments.RunFigure8(*seed))
-	section("Go microbenchmark stands in for the Python workload; the "+
-		"paper reports 0.8% at 1 sample/sec",
-		experiments.RunOverhead(time.Duration(*overheadMs)*time.Millisecond))
+		"protocol", experiments.RunFigure8(opts.seed))
+	if !opts.skipTiming {
+		section("Go microbenchmark stands in for the Python workload; the "+
+			"paper reports 0.8% at 1 sample/sec",
+			experiments.RunOverhead(opts.overhead))
+	}
 
 	section("validates paper Appendix A.2's threshold ~ sqrt(sigma^2/n) law",
-		experiments.RunExpression1(*seed))
+		experiments.RunExpression1(opts.seed))
 	section("validates the two detection paths of §5.3",
-		experiments.RunLongTerm(*seed))
+		experiments.RunLongTerm(opts.seed))
 	section("the 'missed' row shows why Table 1 keeps every re-run "+
 		"interval <= its analysis window: a slower cadence lets the change "+
 		"point slide from the analysis window into history between scans",
-		experiments.RunDetectionDelay(*seed))
-	section("steady-state re-scan cost: repeated scans over unchanged "+
-		"series hit the versioned decomposition cache instead of re-running "+
-		"STL; wall times are machine-dependent, the speedup is the signal",
-		experiments.RunScanThroughput(*seed))
+		experiments.RunDetectionDelay(opts.seed))
+	if !opts.skipTiming {
+		section("steady-state re-scan cost: repeated scans over unchanged "+
+			"series hit the versioned decomposition cache instead of re-running "+
+			"STL; wall times are machine-dependent, the speedup is the signal",
+			experiments.RunScanThroughput(opts.seed))
+	}
 
-	fmt.Println("Ablations (design choices called out in DESIGN.md)")
-	fmt.Println("---------------------------------------------------")
-	fmt.Println()
-	section("", experiments.RunAblationSOMGrid(*seed))
-	section("", experiments.RunAblationSAX(*seed))
-	section("", experiments.RunAblationSeasonality(*seed))
-	section("", experiments.RunAblationWentAway(*seed))
-	section("", experiments.RunAblationStageOrder(*seed))
+	fmt.Fprintln(out, "Ablations (design choices called out in DESIGN.md)")
+	fmt.Fprintln(out, "---------------------------------------------------")
+	fmt.Fprintln(out)
+	section("", experiments.RunAblationSOMGrid(opts.seed))
+	section("", experiments.RunAblationSAX(opts.seed))
+	section("", experiments.RunAblationSeasonality(opts.seed))
+	section("", experiments.RunAblationWentAway(opts.seed))
+	if !opts.skipTiming {
+		// The stage-order ablation's point is the measured per-order wall
+		// cost, so it is inherently timing-dependent.
+		section("", experiments.RunAblationStageOrder(opts.seed))
+	}
 
-	if *jsonPath != "" {
+	if opts.jsonPath != "" {
 		report := jsonReport{
 			GeneratedAt: time.Now().UTC(),
 			GoVersion:   runtime.Version(),
-			Seed:        *seed,
-			SkipSlow:    *skipSlow,
+			Seed:        opts.seed,
+			SkipSlow:    opts.skipSlow,
 			Sections:    sections,
 		}
 		b, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		if err := os.WriteFile(*jsonPath, append(b, '\n'), 0o644); err != nil {
-			log.Fatal(err)
+		if err := os.WriteFile(opts.jsonPath, append(b, '\n'), 0o644); err != nil {
+			return err
 		}
-		fmt.Printf("wrote %s (%d sections)\n", *jsonPath, len(sections))
+		fmt.Fprintf(out, "wrote %s (%d sections)\n", opts.jsonPath, len(sections))
 	}
+	return nil
 }

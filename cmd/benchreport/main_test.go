@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// reportText runs the full report (minus the wall-clock sections and the
+// slow Table 3 simulation) and returns its text output. Runs are cached
+// per seed: the determinism test needs its own fresh replay, the
+// seed-variation test can reuse the first seed-1 run.
+var reportCache = map[int64][]byte{}
+
+func reportText(t *testing.T, seed int64, fresh bool) []byte {
+	t.Helper()
+	if !fresh {
+		if text, ok := reportCache[seed]; ok {
+			return text
+		}
+	}
+	var buf bytes.Buffer
+	opts := options{seed: seed, skipSlow: true, skipTiming: true}
+	if err := run(opts, &buf); err != nil {
+		t.Fatalf("run(seed=%d): %v", seed, err)
+	}
+	reportCache[seed] = buf.Bytes()
+	return buf.Bytes()
+}
+
+// The report is the repo's evaluation artifact; byte-identical replays for
+// a fixed seed are what make its numbers diffable across commits.
+func TestReportDeterministicForSeed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report run in -short mode")
+	}
+	a := reportText(t, 1, false)
+	b := reportText(t, 1, true)
+	if !bytes.Equal(a, b) {
+		t.Errorf("two runs with the same seed differ:\nlen %d vs %d\n%s",
+			len(a), len(b), firstDiff(a, b))
+	}
+}
+
+func TestReportVariesWithSeed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report run in -short mode")
+	}
+	a := reportText(t, 1, false)
+	b := reportText(t, 2, false)
+	if bytes.Equal(a, b) {
+		t.Error("different seeds produced identical reports; the seed is not reaching the experiments")
+	}
+}
+
+// firstDiff returns a window around the first differing byte, for the
+// failure message.
+func firstDiff(a, b []byte) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			lo := i - 80
+			if lo < 0 {
+				lo = 0
+			}
+			return fmt.Sprintf("first diff at byte %d:\nA: %s\nB: %s",
+				i, a[lo:min(i+80, len(a))], b[lo:min(i+80, len(b))])
+		}
+	}
+	return "one output is a prefix of the other"
+}

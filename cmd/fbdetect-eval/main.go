@@ -1,0 +1,131 @@
+// Command fbdetect-eval runs the ground-truth accuracy harness: it builds
+// the labeled scenario suite, drives the full detection pipeline over it,
+// and scores precision, recall, time-to-detect, deduplication collapse,
+// and root-cause rank against the injected labels.
+//
+// Modes:
+//
+//	fbdetect-eval -out EVAL_report.json                  # measure
+//	fbdetect-eval -baseline EVAL_baseline.json -gate     # CI accuracy gate
+//	fbdetect-eval -write-baseline EVAL_baseline.json     # refresh floors
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fbdetect/internal/evalharness"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fbdetect-eval:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("fbdetect-eval", flag.ContinueOnError)
+	var (
+		seed          = fs.Int64("seed", 1, "suite seed (scenario RNG streams derive from it)")
+		out           = fs.String("out", "", "write the full report JSON to this path")
+		baselinePath  = fs.String("baseline", "", "baseline JSON with accuracy floors")
+		gate          = fs.Bool("gate", false, "exit non-zero when any baseline floor is violated")
+		writeBaseline = fs.String("write-baseline", "", "derive a fresh baseline from this run and write it here")
+		margin        = fs.Float64("margin", 0.02, "relative back-off applied by -write-baseline")
+		floorCurve    = fs.Bool("floor-curve", true, "include the magnitude x fleet-size detection-floor sweep")
+		quiet         = fs.Bool("q", false, "suppress the human-readable summary")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *gate && *baselinePath == "" {
+		return fmt.Errorf("-gate requires -baseline")
+	}
+
+	suite := evalharness.DefaultSuite()
+	suite.FloorCurve = *floorCurve
+	report, err := suite.Run(*seed)
+	if err != nil {
+		return err
+	}
+	if !*quiet {
+		printSummary(report)
+	}
+	if *out != "" {
+		if err := report.WriteJSONFile(*out); err != nil {
+			return err
+		}
+		fmt.Printf("report written to %s\n", *out)
+	}
+	if *writeBaseline != "" {
+		b := evalharness.BaselineFromReport(report, *margin)
+		if err := b.WriteFile(*writeBaseline); err != nil {
+			return err
+		}
+		fmt.Printf("baseline written to %s\n", *writeBaseline)
+	}
+	if *baselinePath != "" {
+		baseline, err := evalharness.ReadBaseline(*baselinePath)
+		if err != nil {
+			return err
+		}
+		violations := baseline.Check(report)
+		if len(violations) == 0 {
+			fmt.Printf("accuracy gate PASS (baseline %s)\n", *baselinePath)
+		} else {
+			fmt.Printf("accuracy gate FAIL (baseline %s):\n", *baselinePath)
+			for _, v := range violations {
+				fmt.Printf("  - %s\n", v)
+			}
+			if *gate {
+				return fmt.Errorf("%d accuracy floor(s) violated", len(violations))
+			}
+		}
+	}
+	return nil
+}
+
+func printSummary(r *evalharness.Report) {
+	fmt.Printf("suite %q  seed %d  scenarios %d  scans %d\n",
+		r.Suite, r.Seed, r.Scenarios, r.Scans)
+	fmt.Printf("precision %.3f  recall %.3f  recall(>=%.4g gCPU) %.3f\n",
+		r.Precision, r.Recall, r.FleetScaleMagnitude, r.RecallFleetScale)
+	fmt.Printf("mean time-to-detect %.1f min  dedup collapse %.2f  top-%d root cause %.2f\n",
+		r.MeanTimeToDetect, r.DedupCollapseRate, r.TopK, r.TopKRootCause)
+	for _, class := range []evalharness.Class{
+		evalharness.ClassRegression, evalharness.ClassDuplicate,
+		evalharness.ClassTransient, evalharness.ClassCostShift,
+		evalharness.ClassSeasonal, evalharness.ClassControl,
+	} {
+		cr := r.Classes[class]
+		if cr == nil {
+			continue
+		}
+		if class.Positive() {
+			fmt.Printf("  %-12s scenarios %-3d labels %-3d detected %-3d recall %.3f",
+				class, cr.Scenarios, cr.PositiveLabels, cr.Detected, cr.Recall)
+			if len(cr.Missed) > 0 {
+				fmt.Printf("  missed %v", cr.Missed)
+			}
+		} else {
+			fmt.Printf("  %-12s scenarios %-3d suppressed %-3d rate %.3f",
+				class, cr.Scenarios, cr.Suppressed, cr.SuppressionRate)
+			if len(cr.Leaks) > 0 {
+				fmt.Printf("  leaks %v", cr.Leaks)
+			}
+		}
+		fmt.Println()
+	}
+	for _, d := range r.FalsePositiveDetails {
+		fmt.Printf("  FP: %s\n", d)
+	}
+	if len(r.FloorCurve) > 0 {
+		fmt.Println("detection floor (rate by magnitude x samples/step):")
+		for _, pt := range r.FloorCurve {
+			fmt.Printf("  mag %-8.5g n %-8.3g snr %-8.3g rate %.2f\n",
+				pt.Magnitude, pt.SamplesPerStep, pt.SNR, pt.Rate)
+		}
+	}
+}

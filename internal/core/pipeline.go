@@ -482,6 +482,7 @@ func (p *Pipeline) finalizeService(ctx context.Context, d *serviceDetect) (*Scan
 	// Stage 9: root-cause analysis on newly reported regressions.
 	endStage = p.stageStart(trace, root, StageRootCause)
 	for _, r := range reported {
+		r.DetectedAt = scanTime
 		r.RootCauses = nil // replace the prefill with scored candidates
 		AnalyzeRootCause(p.cfg.RootCause, p.log, r, before, after)
 	}

@@ -63,6 +63,12 @@ type Regression struct {
 	// root-cause analysis stage.
 	RootCauses []RootCauseCandidate
 
+	// DetectedAt is the scan time at which the pipeline first reported the
+	// regression; zero for regressions constructed outside a pipeline scan.
+	// Ground-truth evaluation scores time-to-detect as DetectedAt minus the
+	// injected onset.
+	DetectedAt time.Time
+
 	// Group is the deduplication group the regression was merged into;
 	// -1 until assigned.
 	Group int

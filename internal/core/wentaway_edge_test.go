@@ -1,0 +1,207 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"fbdetect/internal/stacktrace"
+)
+
+// Edge cases around the went-away predicate's window boundaries: where
+// exactly a regression ends relative to the analysis/extended cut decides
+// whether the tail check sees the recovery.
+
+func TestWentAwayRecoveryExactlyAtExtendedBoundary(t *testing.T) {
+	// The regression spans the whole post-change-point analysis window and
+	// recovers on the first point of the extended window. The tail of the
+	// joined post window is fully recovered, so this is a transient.
+	rng := rand.New(rand.NewSource(10))
+	hist := noisy(rng, 400, 10, 0.2)
+	analysis := append(noisy(rng, 100, 10, 0.2), noisy(rng, 100, 12, 0.2)...)
+	extended := noisy(rng, 60, 10, 0.2) // recovered for the entire extended window
+	ws := buildWindows(t, hist, analysis, extended)
+	r := regressionAt(t, ws, 100)
+	v := CheckWentAway(WentAwayConfig{}, r)
+	if v.Keep {
+		t.Errorf("regression ending exactly at the analysis/extended boundary kept: %+v", v)
+	}
+	if !v.GoneAway {
+		t.Error("recovery filling the extended window not marked gone away")
+	}
+}
+
+func TestWentAwayRegressionPersistsToLastPoint(t *testing.T) {
+	// Mirror image of the boundary case: elevated through the very last
+	// extended point. Nothing has gone away.
+	rng := rand.New(rand.NewSource(11))
+	hist := noisy(rng, 400, 10, 0.2)
+	analysis := append(noisy(rng, 100, 10, 0.2), noisy(rng, 100, 12, 0.2)...)
+	extended := noisy(rng, 60, 12, 0.2)
+	ws := buildWindows(t, hist, analysis, extended)
+	r := regressionAt(t, ws, 100)
+	v := CheckWentAway(WentAwayConfig{}, r)
+	if !v.Keep {
+		t.Errorf("regression persisting to the window's end filtered: %+v", v)
+	}
+	if v.GoneAway {
+		t.Error("persistent regression marked gone away")
+	}
+}
+
+func TestWentAwayRecoveryOnlyInTail(t *testing.T) {
+	// The regression holds until the last few points of the extended
+	// window. The gone-away check examines exactly that tail, so even a
+	// recovery this late must suppress the report.
+	rng := rand.New(rand.NewSource(12))
+	hist := noisy(rng, 400, 10, 0.2)
+	analysis := append(noisy(rng, 100, 10, 0.2), noisy(rng, 100, 12, 0.2)...)
+	extended := append(noisy(rng, 44, 12, 0.2), noisy(rng, 16, 10, 0.2)...)
+	ws := buildWindows(t, hist, analysis, extended)
+	r := regressionAt(t, ws, 100)
+	v := CheckWentAway(WentAwayConfig{}, r)
+	if v.Keep {
+		t.Errorf("regression recovered in the final tail kept: %+v", v)
+	}
+}
+
+func TestWentAwayBackToBackTransients(t *testing.T) {
+	// Two consecutive spikes with a brief recovery between them, both gone
+	// by the window's end — a flapping issue, not a regression.
+	rng := rand.New(rand.NewSource(13))
+	hist := noisy(rng, 400, 10, 0.2)
+	analysis := append(noisy(rng, 60, 10, 0.2), noisy(rng, 30, 13, 0.2)...)
+	analysis = append(analysis, noisy(rng, 20, 10, 0.2)...) // between spikes
+	analysis = append(analysis, noisy(rng, 30, 13, 0.2)...) // second spike
+	analysis = append(analysis, noisy(rng, 60, 10, 0.2)...) // recovered
+	extended := noisy(rng, 60, 10, 0.2)
+	ws := buildWindows(t, hist, analysis, extended)
+	r := regressionAt(t, ws, 60)
+	v := CheckWentAway(WentAwayConfig{}, r)
+	if v.Keep {
+		t.Errorf("back-to-back transients kept: %+v", v)
+	}
+}
+
+func TestWentAwaySecondOfBackToBackStepsKept(t *testing.T) {
+	// A transient followed by a persistent step: the recovery between the
+	// two must not hide the real regression that follows.
+	rng := rand.New(rand.NewSource(14))
+	hist := noisy(rng, 400, 10, 0.2)
+	analysis := append(noisy(rng, 40, 10, 0.2), noisy(rng, 30, 12, 0.2)...)
+	analysis = append(analysis, noisy(rng, 30, 10, 0.2)...)  // transient over
+	analysis = append(analysis, noisy(rng, 100, 12, 0.2)...) // real step
+	extended := noisy(rng, 60, 12, 0.2)
+	ws := buildWindows(t, hist, analysis, extended)
+	r := regressionAt(t, ws, 100)
+	v := CheckWentAway(WentAwayConfig{}, r)
+	if !v.Keep {
+		t.Errorf("persistent step after a transient filtered: %+v", v)
+	}
+}
+
+func TestWentAwaySingleSampleDipsDoNotCancelRegression(t *testing.T) {
+	// Isolated one-point dips back to the old level — stragglers, clock
+	// skew, a scrape landing mid-restart — must not read as recovery.
+	rng := rand.New(rand.NewSource(15))
+	hist := noisy(rng, 400, 10, 0.2)
+	post := noisy(rng, 100, 12, 0.2)
+	for _, i := range []int{10, 35, 60, 85} {
+		post[i] = 10
+	}
+	analysis := append(noisy(rng, 100, 10, 0.2), post...)
+	extended := noisy(rng, 60, 12, 0.2)
+	extended[30] = 10 // one dip in the extended window too
+	ws := buildWindows(t, hist, analysis, extended)
+	r := regressionAt(t, ws, 100)
+	v := CheckWentAway(WentAwayConfig{}, r)
+	if !v.Keep {
+		t.Errorf("single-sample dips cancelled a true regression: %+v", v)
+	}
+	if v.GoneAway {
+		t.Error("isolated dips marked the regression gone away")
+	}
+}
+
+func TestWentAwaySingleSampleSpikeNotKept(t *testing.T) {
+	// The converse: a change point at a single-sample spike has nothing
+	// lasting behind it.
+	rng := rand.New(rand.NewSource(16))
+	hist := noisy(rng, 400, 10, 0.2)
+	analysis := noisy(rng, 200, 10, 0.2)
+	analysis[100] = 14 // one hot sample
+	extended := noisy(rng, 60, 10, 0.2)
+	ws := buildWindows(t, hist, analysis, extended)
+	r := regressionAt(t, ws, 100)
+	v := CheckWentAway(WentAwayConfig{}, r)
+	if v.Keep {
+		t.Errorf("single-sample spike kept: %+v", v)
+	}
+}
+
+// Cost-domain edge cases: domains with no samples on one side of the
+// change point.
+
+func TestCostShiftZeroSampleDomainBefore(t *testing.T) {
+	// The candidate domain has zero samples before the regression (new
+	// code path): it cannot explain cost moving out of it, so the
+	// regression must survive.
+	before := stacktrace.NewSampleSet()
+	before.AddTraceString("main->worker", 5)
+	before.AddTraceString("main->other", 95)
+
+	after := stacktrace.NewSampleSet()
+	after.AddTraceString("fresh->worker", 12)
+	after.AddTraceString("main->other", 88)
+
+	r := costShiftRegression("worker", 0.05, 0.12)
+	cfg := CostShiftConfig{MaxDomainCostRatio: 100}
+	// "fresh" is worker's only caller in the after set; as a domain it has
+	// zero before-cost.
+	det := staticDomains{{Name: "caller:fresh", Subroutines: map[string]bool{"fresh": true}}}
+	v := CheckCostShift(cfg, []DomainDetector{det}, r, before, after)
+	if v.IsCostShift {
+		t.Errorf("domain absent before the regression explained it: %+v", v)
+	}
+}
+
+func TestCostShiftEmptySampleSets(t *testing.T) {
+	// Zero-sample windows (profiling gap) must fail open: no filtering,
+	// no panic.
+	r := costShiftRegression("worker", 0.05, 0.12)
+	empty := stacktrace.NewSampleSet()
+	if v := CheckCostShift(CostShiftConfig{}, nil, r, empty, empty); v.IsCostShift {
+		t.Errorf("empty sample sets produced a cost-shift verdict: %+v", v)
+	}
+	if v := CheckCostShift(CostShiftConfig{}, nil, r, nil, nil); v.IsCostShift {
+		t.Errorf("nil sample sets produced a cost-shift verdict: %+v", v)
+	}
+}
+
+func TestCostShiftZeroSampleDomainAfter(t *testing.T) {
+	// A domain that disappears after the change point shrank by its whole
+	// cost — far from negligible, so it does not mark a cost shift, and
+	// the (true) regression in the surviving subroutine is kept.
+	before := stacktrace.NewSampleSet()
+	before.AddTraceString("legacy->worker", 4)
+	before.AddTraceString("main->worker", 4)
+	before.AddTraceString("main->other", 92)
+
+	after := stacktrace.NewSampleSet()
+	after.AddTraceString("main->worker", 16)
+	after.AddTraceString("main->other", 84)
+
+	r := costShiftRegression("worker", 0.08, 0.16)
+	cfg := CostShiftConfig{MaxDomainCostRatio: 100}
+	det := staticDomains{{Name: "caller:legacy", Subroutines: map[string]bool{"legacy": true}}}
+	v := CheckCostShift(cfg, []DomainDetector{det}, r, before, after)
+	if v.IsCostShift {
+		t.Errorf("vanished domain treated as negligible change: %+v", v)
+	}
+}
+
+// staticDomains is a DomainDetector returning a fixed domain list.
+type staticDomains []CostDomain
+
+func (d staticDomains) Domains(*Regression, *stacktrace.SampleSet) []CostDomain {
+	return d
+}

@@ -1,0 +1,134 @@
+package evalharness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Baseline is the committed accuracy floor (EVAL_baseline.json): the
+// minimum detection quality every change must preserve. The gate compares
+// a fresh Report against it and fails on any violated floor — the
+// accuracy counterpart of the benchdiff performance gate.
+type Baseline struct {
+	// Precision is the minimum overall report precision.
+	Precision float64 `json:"precision"`
+	// RecallFleetScale is the minimum recall over injected regressions
+	// with magnitude >= MinMagnitude (the gate's headline: regressions of
+	// at least 0.05% gCPU at fleet scale must be caught).
+	RecallFleetScale float64 `json:"recall_fleet_scale"`
+	MinMagnitude     float64 `json:"min_magnitude"`
+	// Suppression is the minimum per-class suppression rate for the
+	// labeled-negative classes.
+	Suppression map[Class]float64 `json:"suppression"`
+	// TopKRootCause is the minimum top-k root-cause hit rate (0 disables).
+	TopKRootCause float64 `json:"topk_root_cause,omitempty"`
+	// DedupCollapse is the minimum deduplication collapse rate on
+	// correlated-duplicate scenarios (0 disables).
+	DedupCollapse float64 `json:"dedup_collapse,omitempty"`
+	// MaxMeanTimeToDetectMinutes bounds the mean time-to-detect across
+	// detected regressions (0 disables).
+	MaxMeanTimeToDetectMinutes float64 `json:"max_mean_time_to_detect_minutes,omitempty"`
+}
+
+// ReadBaseline loads a committed baseline file.
+func ReadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("evalharness: parsing %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// WriteFile writes the baseline as indented JSON.
+func (b *Baseline) WriteFile(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Check returns one human-readable violation per floor the report fails
+// to clear; empty means the gate passes.
+func (b *Baseline) Check(r *Report) []string {
+	var bad []string
+	fail := func(format string, args ...any) {
+		bad = append(bad, fmt.Sprintf(format, args...))
+	}
+	if r.Precision < b.Precision {
+		fail("precision %.3f below floor %.3f", r.Precision, b.Precision)
+	}
+	recall, found := r.Recall, b.MinMagnitude <= 0
+	if !found {
+		for _, band := range r.RecallByMagnitude {
+			if band.MinMagnitude == b.MinMagnitude {
+				recall, found = band.Recall, true
+				break
+			}
+		}
+	}
+	if !found {
+		fail("report has no recall band at magnitude >= %g (suite ran with %g)",
+			b.MinMagnitude, r.FleetScaleMagnitude)
+	} else if recall < b.RecallFleetScale {
+		fail("recall %.3f (magnitude >= %g) below floor %.3f",
+			recall, b.MinMagnitude, b.RecallFleetScale)
+	}
+	for class, floor := range b.Suppression {
+		cr := r.Classes[class]
+		if cr == nil || cr.Scenarios == 0 {
+			fail("no %s scenarios ran (suppression floor %.2f unverifiable)", class, floor)
+			continue
+		}
+		if cr.SuppressionRate < floor {
+			fail("%s suppression %.3f below floor %.3f (leaks: %v)",
+				class, cr.SuppressionRate, floor, cr.Leaks)
+		}
+	}
+	if b.TopKRootCause > 0 && r.TopKRootCause < b.TopKRootCause {
+		fail("top-%d root-cause rate %.3f below floor %.3f",
+			r.TopK, r.TopKRootCause, b.TopKRootCause)
+	}
+	if b.DedupCollapse > 0 && r.DedupCollapseRate < b.DedupCollapse {
+		fail("dedup collapse rate %.3f below floor %.3f",
+			r.DedupCollapseRate, b.DedupCollapse)
+	}
+	if b.MaxMeanTimeToDetectMinutes > 0 && r.MeanTimeToDetect > b.MaxMeanTimeToDetectMinutes {
+		fail("mean time-to-detect %.1f min above ceiling %.1f min",
+			r.MeanTimeToDetect, b.MaxMeanTimeToDetectMinutes)
+	}
+	return bad
+}
+
+// BaselineFromReport derives a committed baseline from a measured report,
+// backing each floor off by the given relative margin (e.g. 0.05) so
+// run-to-run jitter does not trip the gate, while never dropping below
+// the repository's hard floors (precision/recall 0.9, suppression 0.8).
+func BaselineFromReport(r *Report, margin float64) *Baseline {
+	relax := func(v, hard float64) float64 {
+		v *= 1 - margin
+		if v < hard {
+			v = hard
+		}
+		return v
+	}
+	b := &Baseline{
+		Precision:        relax(r.Precision, 0.9),
+		RecallFleetScale: relax(r.RecallFleetScale, 0.9),
+		MinMagnitude:     r.FleetScaleMagnitude,
+		Suppression:      map[Class]float64{},
+		TopKRootCause:    relax(r.TopKRootCause, 0.5),
+		DedupCollapse:    relax(r.DedupCollapseRate, 0.5),
+	}
+	for _, class := range []Class{ClassTransient, ClassCostShift, ClassSeasonal, ClassControl} {
+		if cr := r.Classes[class]; cr != nil && cr.Scenarios > 0 {
+			b.Suppression[class] = relax(cr.SuppressionRate, 0.8)
+		}
+	}
+	return b
+}

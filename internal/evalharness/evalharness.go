@@ -1,0 +1,131 @@
+// Package evalharness measures the detection quality of the full FBDetect
+// pipeline against ground truth. It composes fleet scenarios carrying
+// labels — injected step regressions swept across magnitude, subroutine
+// depth, and onset time, plus labeled negatives (transient issues, cost
+// shifts, seasonality, correlated duplicates) that the went-away,
+// cost-domain, STL, and deduplication filters must suppress — runs
+// core.Monitor over the combined telemetry, matches emitted reports
+// against the labels, and scores precision, recall, time-to-detect,
+// deduplication collapse, and top-k root-cause rank.
+//
+// The harness is the executable form of the paper's §6 evaluation: where
+// the experiments package reproduces the published tables, this package
+// verifies after every change that the pipeline still catches known
+// injections and rejects known noise. It is exposed three ways: the
+// table-driven tests in this package, the fbdetect-eval CLI (EVAL_report
+// artifact), and the `make eval-gate` CI gate against a committed
+// baseline.
+package evalharness
+
+import (
+	"time"
+
+	"fbdetect/internal/changelog"
+	"fbdetect/internal/fleet"
+	"fbdetect/internal/tsdb"
+)
+
+// Class partitions scenarios by the ground-truth behavior the pipeline
+// must exhibit on them.
+type Class string
+
+// Scenario classes. Regression and Duplicate scenarios carry positive
+// labels (the pipeline must report them); Transient, CostShift, Seasonal,
+// and Control scenarios are labeled negatives (the pipeline must stay
+// silent).
+const (
+	ClassRegression Class = "regression"
+	ClassDuplicate  Class = "correlated-duplicate"
+	ClassTransient  Class = "transient"
+	ClassCostShift  Class = "cost-shift"
+	ClassSeasonal   Class = "seasonal"
+	ClassControl    Class = "control"
+)
+
+// Positive reports whether scenarios of the class inject a regression the
+// pipeline is expected to report.
+func (c Class) Positive() bool {
+	return c == ClassRegression || c == ClassDuplicate
+}
+
+// Label is the ground truth for one injected event (or for the absence of
+// one): which service, which subroutine entities a matching report may
+// name, when the event took effect, and how large it is.
+type Label struct {
+	Scenario string `json:"scenario"`
+	Class    Class  `json:"class"`
+	Service  string `json:"service"`
+	// Entities are the metric entities a report may carry and still match
+	// this label: the injected subroutine, its ancestors (a regression in a
+	// leaf also lifts every enclosing subroutine's gCPU), and "" for
+	// service-level metrics. Nil accepts any entity in the service.
+	Entities map[string]bool `json:"-"`
+	// Onset is when the injected event took effect; MatchWindow is the
+	// tolerance on a report's change-point time around it.
+	Onset       time.Time     `json:"onset"`
+	MatchWindow time.Duration `json:"-"`
+	// Magnitude is the injected gCPU delta for positive labels (0 for
+	// negatives); recall floors are evaluated per magnitude band.
+	Magnitude float64 `json:"magnitude,omitempty"`
+	// Expect is true when the pipeline must report the event, false when
+	// it must suppress it.
+	Expect bool `json:"expect"`
+	// ChangeID names the change-log entry that caused the event, for
+	// top-k root-cause scoring; empty disables that check.
+	ChangeID string `json:"change_id,omitempty"`
+	// AffectedSeries counts the time series the event visibly moves; the
+	// deduplication collapse rate compares it against the reports emitted.
+	AffectedSeries int `json:"affected_series,omitempty"`
+}
+
+// Matches reports whether a pipeline report for (service, entity) with the
+// given change-point time is explained by this label.
+func (l Label) Matches(service, entity string, changePoint time.Time) bool {
+	if service != l.Service {
+		return false
+	}
+	if l.Entities != nil && !l.Entities[entity] {
+		return false
+	}
+	w := l.MatchWindow
+	if w <= 0 {
+		w = time.Hour
+	}
+	d := changePoint.Sub(l.Onset)
+	if d < 0 {
+		d = -d
+	}
+	return d <= w
+}
+
+// Env is the shared substrate a scenario materializes into: the store and
+// change log the monitor will scan, and the simulated time range.
+type Env struct {
+	DB         *tsdb.DB
+	Log        *changelog.Log
+	Start, End time.Time
+	Step       time.Duration
+	// Seed is the scenario's private seed, derived from the suite seed and
+	// the scenario index so scenarios stay independent.
+	Seed int64
+}
+
+// Scenario is one labeled workload. Build simulates the scenario's
+// service(s) into env and returns the simulator (for stack-sample queries)
+// together with the ground-truth labels.
+type Scenario struct {
+	Name  string
+	Class Class
+	Build func(env Env) (*fleet.Service, []Label, error)
+}
+
+// pathEntities returns the accepted report entities for an injected
+// subroutine: the root-to-node path plus "" (service-level metrics), so a
+// report on any enclosing subroutine still counts as the same detection.
+func pathEntities(tree *fleet.Tree, name string) map[string]bool {
+	out := map[string]bool{"": true}
+	for _, sub := range tree.Path(name) {
+		out[sub] = true
+	}
+	return out
+}

@@ -1,0 +1,205 @@
+package evalharness
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// The default suite runs in well under a second, but share one run across
+// the accuracy subtests anyway so -race and -count stay cheap.
+var (
+	suiteOnce   sync.Once
+	suiteReport *Report
+	suiteErr    error
+)
+
+func defaultReport(t *testing.T) *Report {
+	t.Helper()
+	suiteOnce.Do(func() {
+		s := DefaultSuite()
+		s.FloorCurve = false // floor-curve accuracy has its own test
+		suiteReport, suiteErr = s.Run(1)
+	})
+	if suiteErr != nil {
+		t.Fatalf("suite run: %v", suiteErr)
+	}
+	return suiteReport
+}
+
+func TestSuitePrecision(t *testing.T) {
+	r := defaultReport(t)
+	if r.Precision < 0.9 {
+		t.Errorf("precision = %.3f, want >= 0.9; false positives: %v",
+			r.Precision, r.FalsePositiveDetails)
+	}
+}
+
+func TestSuiteRecallFleetScale(t *testing.T) {
+	r := defaultReport(t)
+	if r.RecallFleetScale < 0.9 {
+		t.Errorf("fleet-scale recall (magnitude >= %g) = %.3f, want >= 0.9",
+			r.FleetScaleMagnitude, r.RecallFleetScale)
+	}
+	cr := r.Classes[ClassRegression]
+	if cr == nil || cr.PositiveLabels == 0 {
+		t.Fatal("no regression scenarios scored")
+	}
+	// The suite deliberately includes a below-noise-floor injection at
+	// small fleet scale; everything else must be caught.
+	if cr.PositiveLabels-cr.Detected > 1 {
+		t.Errorf("missed %v: only the sub-floor small-fleet injection may be missed",
+			cr.Missed)
+	}
+}
+
+func TestSuiteSuppression(t *testing.T) {
+	r := defaultReport(t)
+	for _, class := range []Class{ClassTransient, ClassCostShift, ClassSeasonal, ClassControl} {
+		cr := r.Classes[class]
+		if cr == nil || cr.Scenarios == 0 {
+			t.Errorf("no %s scenarios ran", class)
+			continue
+		}
+		if cr.SuppressionRate < 0.8 {
+			t.Errorf("%s suppression = %.3f, want >= 0.8; leaks: %v",
+				class, cr.SuppressionRate, cr.Leaks)
+		}
+	}
+}
+
+func TestSuiteDedupCollapse(t *testing.T) {
+	r := defaultReport(t)
+	cr := r.Classes[ClassDuplicate]
+	if cr == nil || cr.PositiveLabels == 0 {
+		t.Fatal("no correlated-duplicate scenarios scored")
+	}
+	if cr.Recall < 1 {
+		t.Errorf("duplicate-event recall = %.3f, want 1.0 (missed %v)", cr.Recall, cr.Missed)
+	}
+	if r.DedupCollapseRate < 0.5 {
+		t.Errorf("dedup collapse rate = %.3f, want >= 0.5", r.DedupCollapseRate)
+	}
+}
+
+func TestSuiteTimeToDetect(t *testing.T) {
+	r := defaultReport(t)
+	// Hourly scans with a 60-minute extended window: detection should land
+	// within a few scan intervals of onset.
+	if r.MeanTimeToDetect <= 0 || r.MeanTimeToDetect > 180 {
+		t.Errorf("mean time-to-detect = %.1f min, want in (0, 180]", r.MeanTimeToDetect)
+	}
+}
+
+func TestSuiteRootCauseRank(t *testing.T) {
+	r := defaultReport(t)
+	if r.TopKRootCause < 0.9 {
+		t.Errorf("top-%d root-cause rate = %.3f, want >= 0.9", r.TopK, r.TopKRootCause)
+	}
+}
+
+func TestSuiteAgainstCommittedBaseline(t *testing.T) {
+	b, err := ReadBaseline("../../EVAL_baseline.json")
+	if err != nil {
+		t.Fatalf("reading committed baseline: %v", err)
+	}
+	if violations := b.Check(defaultReport(t)); len(violations) > 0 {
+		t.Errorf("committed baseline violated:\n%v", violations)
+	}
+}
+
+func TestSuiteDeterministic(t *testing.T) {
+	s := DefaultSuite()
+	s.FloorCurve = false
+	a, err := s.Run(99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DefaultSuite().Run(99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Precision != b.Precision || a.Recall != b.Recall ||
+		a.TruePositiveReports != b.TruePositiveReports ||
+		a.FalsePositiveReports != b.FalsePositiveReports ||
+		a.MeanTimeToDetect != b.MeanTimeToDetect {
+		t.Errorf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestFloorCurveFrontier(t *testing.T) {
+	s := DefaultSuite()
+	pts := FloorCurve(s.Config, 1, nil, nil, 2)
+	if len(pts) == 0 {
+		t.Fatal("empty floor curve")
+	}
+	for _, pt := range pts {
+		switch {
+		case pt.SNR >= 3 && pt.Rate < 1:
+			t.Errorf("magnitude %g at n=%g (SNR %.1f) detected at rate %.2f, want 1",
+				pt.Magnitude, pt.SamplesPerStep, pt.SNR, pt.Rate)
+		case pt.SNR < 0.5 && pt.Rate > 0:
+			t.Errorf("magnitude %g at n=%g (SNR %.2f) detected at rate %.2f, want 0",
+				pt.Magnitude, pt.SamplesPerStep, pt.SNR, pt.Rate)
+		}
+	}
+	// The frontier is diagonal: the largest magnitude is visible at every
+	// volume, the smallest only at fleet scale.
+	byVolume := map[float64]map[float64]float64{}
+	for _, pt := range pts {
+		if byVolume[pt.SamplesPerStep] == nil {
+			byVolume[pt.SamplesPerStep] = map[float64]float64{}
+		}
+		byVolume[pt.SamplesPerStep][pt.Magnitude] = pt.Rate
+	}
+	if byVolume[1e5][0.01] != 1 || byVolume[1e9][0.00002] != 1 {
+		t.Errorf("frontier corners wrong: %v", byVolume)
+	}
+	if byVolume[1e5][0.00002] != 0 {
+		t.Errorf("tiny magnitude visible at small volume: %v", byVolume[1e5])
+	}
+}
+
+func TestScenarioOnsetsWithinRun(t *testing.T) {
+	s := DefaultSuite()
+	env := Env{Start: suiteEpoch, End: suiteEpoch.Add(s.Duration), Step: s.Step, Seed: 1}
+	warmup := env.Start.Add(s.Config.Windows.Total())
+	for _, sc := range s.Scenarios {
+		_, labels, err := sc.Build(env)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		for _, l := range labels {
+			if l.Onset.Before(env.Start) || l.Onset.After(env.End) {
+				t.Errorf("%s: onset %v outside run [%v, %v]", sc.Name, l.Onset, env.Start, env.End)
+			}
+			if l.Expect && !l.Onset.After(warmup.Add(-s.Config.Windows.Extended)) {
+				t.Errorf("%s: positive onset %v not observable after warmup %v",
+					sc.Name, l.Onset, warmup)
+			}
+			if l.Expect && !l.Onset.Add(s.Config.Windows.Extended).Before(env.End) {
+				t.Errorf("%s: positive onset %v leaves no post-change scan before end %v",
+					sc.Name, l.Onset, env.End)
+			}
+		}
+	}
+}
+
+func TestSuiteRejectsDuplicateServices(t *testing.T) {
+	s := DefaultSuite()
+	s.Scenarios = []Scenario{Control("same", "alfa"), Control("same", "alfa")}
+	if _, err := s.Run(1); err == nil {
+		t.Fatal("duplicate service names not rejected")
+	}
+}
+
+func TestLabelMatchWindowDefault(t *testing.T) {
+	onset := suiteEpoch.Add(10 * time.Hour)
+	l := Label{Service: "svc", Onset: onset}
+	if !l.Matches("svc", "anything", onset.Add(59*time.Minute)) {
+		t.Error("within default window not matched")
+	}
+	if l.Matches("svc", "anything", onset.Add(61*time.Minute)) {
+		t.Error("outside default window matched")
+	}
+}

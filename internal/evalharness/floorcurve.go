@@ -1,0 +1,102 @@
+package evalharness
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"fbdetect/internal/core"
+	"fbdetect/internal/timeseries"
+	"fbdetect/internal/tsdb"
+)
+
+// FloorPoint is one cell of the detection-floor curve: how often a step of
+// the given gCPU magnitude is detected at the given profiling volume.
+type FloorPoint struct {
+	Magnitude      float64 `json:"magnitude"`
+	SamplesPerStep float64 `json:"samples_per_step"`
+	NoiseSD        float64 `json:"noise_sd"`
+	SNR            float64 `json:"snr"`
+	Trials         int     `json:"trials"`
+	Detected       int     `json:"detected"`
+	Rate           float64 `json:"rate"`
+}
+
+// Default sweep axes: magnitudes spanning the paper's 0.002%-1% range, and
+// profiling volumes spanning small-deployment to fleet scale.
+var (
+	defaultFloorMagnitudes = []float64{0.00002, 0.0001, 0.0005, 0.002, 0.01}
+	defaultFloorSamples    = []float64{1e5, 1e7, 1e9}
+)
+
+// FloorCurve sweeps the short-term detection path over a magnitude x
+// fleet-size grid — the executable form of the paper's Figures 2-3. Each
+// cell injects a step of the given gCPU magnitude into a subroutine at 1%
+// gCPU whose binomial sampling noise is sqrt(p(1-p)/n) for n samples per
+// step, then runs change-point detection plus the went-away, seasonality,
+// and threshold filters on the resulting windows. The visible frontier
+// moves diagonally: each 100x more samples buys a 10x smaller detectable
+// magnitude.
+func FloorCurve(cfg core.Config, seed int64, magnitudes, samples []float64, trials int) []FloorPoint {
+	if magnitudes == nil {
+		magnitudes = defaultFloorMagnitudes
+	}
+	if samples == nil {
+		samples = defaultFloorSamples
+	}
+	if trials < 1 {
+		trials = 1
+	}
+	cfg = cfg.WithDefaults()
+	const p = 0.01 // the target subroutine's base gCPU
+	total := int(cfg.Windows.Total() / time.Minute)
+	histLen := int(cfg.Windows.Historic / time.Minute)
+	analysisLen := int(cfg.Windows.Analysis / time.Minute)
+	cp := histLen + analysisLen/2 // step lands mid-analysis-window
+
+	var out []FloorPoint
+	for _, n := range samples {
+		sd := math.Sqrt(p * (1 - p) / n)
+		for _, mag := range magnitudes {
+			pt := FloorPoint{Magnitude: mag, SamplesPerStep: n,
+				NoiseSD: sd, SNR: mag / sd, Trials: trials}
+			for trial := 0; trial < trials; trial++ {
+				rng := rand.New(rand.NewSource(seed + int64(trial)*104729))
+				values := make([]float64, total)
+				for i := range values {
+					mu := p
+					if i >= cp {
+						mu += mag
+					}
+					v := mu + rng.NormFloat64()*sd
+					if v < 0 {
+						v = 0 // gCPU cannot be negative
+					}
+					values[i] = v
+				}
+				if floorVerdict(cfg, values) {
+					pt.Detected++
+				}
+			}
+			pt.Rate = float64(pt.Detected) / float64(pt.Trials)
+			out = append(out, pt)
+		}
+	}
+	return out
+}
+
+// floorVerdict runs the short-term path with its filters over one series.
+func floorVerdict(cfg core.Config, values []float64) bool {
+	s := timeseries.New(suiteEpoch, time.Minute, values)
+	ws, err := cfg.Windows.Cut(s, s.End())
+	if err != nil {
+		return false
+	}
+	r := core.DetectShortTerm(cfg, tsdb.ID("floor", "hotpath", "gcpu"), ws, s.End())
+	if r == nil {
+		return false
+	}
+	return core.CheckWentAway(cfg.WentAway, r).Keep &&
+		core.CheckSeasonality(cfg.Seasonality, r).Keep &&
+		core.PassesThreshold(cfg, r)
+}

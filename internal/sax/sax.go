@@ -38,36 +38,58 @@ func NewEncoder(n int, validityPct, lo, hi float64) (*Encoder, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("sax: need at least 2 buckets, got %d", n)
 	}
+	// NaN bounds would pass a plain `hi <= lo` check (every comparison with
+	// NaN is false) and poison every Letter computation downstream, so
+	// require finite bounds explicitly. Infinite bounds are rejected for the
+	// same reason: (v-lo)/width becomes Inf/Inf = NaN.
+	if math.IsNaN(lo) || math.IsInf(lo, 0) || math.IsNaN(hi) || math.IsInf(hi, 0) {
+		return nil, fmt.Errorf("sax: non-finite range [%v, %v]", lo, hi)
+	}
 	if hi <= lo {
 		return nil, fmt.Errorf("sax: invalid range [%v, %v]", lo, hi)
 	}
 	if validityPct < 0 || validityPct > 100 {
 		return nil, fmt.Errorf("sax: validity percent out of range: %v", validityPct)
 	}
+	width := (hi - lo) / float64(n)
+	if math.IsInf(width, 0) {
+		// The difference of near-extreme bounds can overflow to +Inf even
+		// though both are finite; dividing first avoids the overflow (at the
+		// cost of precision that does not matter at this scale).
+		width = hi/float64(n) - lo/float64(n)
+	}
+	if width <= 0 || math.IsInf(width, 0) {
+		return nil, fmt.Errorf("sax: degenerate bucket width for range [%v, %v]", lo, hi)
+	}
 	return &Encoder{
 		buckets:     n,
 		validityPct: validityPct,
 		lo:          lo,
 		hi:          hi,
-		width:       (hi - lo) / float64(n),
+		width:       width,
 	}, nil
 }
 
 // NewEncoderForData returns an encoder whose range spans the min/max of the
-// given data with the default production parameters. It returns an error if
-// the data is empty or constant (no range to discretize).
+// finite values in the given data with the default production parameters.
+// It returns an error if the data holds no finite value (nothing to
+// discretize); NaN and Inf points are ignored when sizing the range and
+// clamp to the edge buckets when encoded.
 func NewEncoderForData(data []float64) (*Encoder, error) {
-	if len(data) == 0 {
-		return nil, fmt.Errorf("sax: no data")
-	}
-	lo, hi := data[0], data[0]
-	for _, v := range data[1:] {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
 		if v < lo {
 			lo = v
 		}
 		if v > hi {
 			hi = v
 		}
+	}
+	if lo > hi {
+		return nil, fmt.Errorf("sax: no finite data")
 	}
 	if hi == lo {
 		// Give the single value a tiny symmetric range so a constant series
@@ -85,15 +107,20 @@ func (e *Encoder) Buckets() int { return e.buckets }
 func (e *Encoder) Range() (lo, hi float64) { return e.lo, e.hi }
 
 // Letter returns the bucket index (0-based) for v, clamping out-of-range
-// values.
+// values. NaN maps to the first bucket: every comparison against it is
+// false, so without the explicit check it would fall through to an
+// int(NaN) conversion, whose result is platform-defined.
 func (e *Encoder) Letter(v float64) int {
-	if v <= e.lo {
+	if math.IsNaN(v) || v <= e.lo {
 		return 0
 	}
 	if v >= e.hi {
 		return e.buckets - 1
 	}
 	i := int((v - e.lo) / e.width)
+	if i < 0 {
+		i = 0
+	}
 	if i >= e.buckets {
 		i = e.buckets - 1
 	}
