@@ -2,9 +2,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 # Packages that define Fuzz* targets (go can only fuzz one package at a time).
-FUZZ_PKGS = . ./internal/stacktrace
+FUZZ_PKGS = . ./internal/stacktrace ./internal/wal
 
-.PHONY: build test vet race lint fuzz-smoke bench-obs bench bench-gate bench-baseline eval eval-gate eval-baseline check
+.PHONY: build test vet race lint fuzz-smoke bench-obs bench bench-gate bench-baseline eval eval-gate eval-baseline crashtest check
 
 build:
 	$(GO) build ./...
@@ -22,7 +22,7 @@ vet:
 # for its zero-copy QueryView snapshots, which concurrent appends must
 # never disturb.
 race:
-	$(GO) test -race ./internal/obs/... ./internal/distributed/... ./internal/core/... ./internal/resilience/... ./internal/tsdb/... ./internal/evalharness/...
+	$(GO) test -race ./internal/obs/... ./internal/distributed/... ./internal/core/... ./internal/resilience/... ./internal/tsdb/... ./internal/wal/... ./internal/evalharness/...
 
 # Static analysis. The tools are not vendored; when missing locally the
 # target degrades to a notice (CI installs and enforces them).
@@ -57,16 +57,23 @@ bench-obs:
 # Scan hot-path benchmarks, gated against the committed baseline: more
 # than a 20% ns/op regression on either benchmark fails the build.
 # BENCH_GATE_FLAGS can relax the threshold (e.g. -threshold 0.5 on noisy
-# shared runners).
+# shared runners). The tsdb append benchmarks join the run so the
+# -speedup gate can require the sharded DB to beat a single-lock one by
+# 2x under parallel load (only enforced at GOMAXPROCS >= 4; 1-2 core
+# machines print a notice instead).
 BENCH_GATE = BenchmarkPipeline$$|BenchmarkScanThroughput$$
+BENCH_TSDB = BenchmarkAppendParallel$$|BenchmarkAppendParallelSingleLock$$|BenchmarkAppendBatch$$
 bench-gate:
 	$(GO) test -run - -bench '$(BENCH_GATE)' -benchmem -benchtime 5x . | tee BENCH_current.txt
-	$(GO) run ./cmd/benchdiff -baseline BENCH_baseline.txt -current BENCH_current.txt $(BENCH_GATE_FLAGS)
+	$(GO) test -run - -bench '$(BENCH_TSDB)' -benchmem -benchtime 5x ./internal/tsdb/ | tee -a BENCH_current.txt
+	$(GO) run ./cmd/benchdiff -baseline BENCH_baseline.txt -current BENCH_current.txt \
+		-speedup BenchmarkAppendParallelSingleLock:BenchmarkAppendParallel:2 $(BENCH_GATE_FLAGS)
 
 # Re-record the committed baseline (run on the reference machine after an
 # intentional performance change, and commit the result).
 bench-baseline:
 	$(GO) test -run - -bench '$(BENCH_GATE)' -benchmem -benchtime 5x . | tee BENCH_baseline.txt
+	$(GO) test -run - -bench '$(BENCH_TSDB)' -benchmem -benchtime 5x ./internal/tsdb/ | tee -a BENCH_baseline.txt
 
 # CI bench job: the overhead microbenchmark, the gated hot-path
 # benchmarks, plus the full evaluation report written to BENCH_report.json
@@ -89,5 +96,11 @@ eval-gate:
 # intentional detection-quality change; review and commit the result).
 eval-baseline:
 	$(GO) run ./cmd/fbdetect-eval -seed $(EVAL_SEED) -write-baseline EVAL_baseline.json -margin 0.1
+
+# Crash-recovery drill with the real binaries: SIGKILL a durable worker
+# mid-ingest, restart it, and require its recovered /scan response to be
+# byte-identical to an uninterrupted control worker's.
+crashtest:
+	bash scripts/crashtest.sh
 
 check: build vet lint test race

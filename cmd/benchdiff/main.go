@@ -10,18 +10,29 @@
 // ns/op alone: allocation counts are printed for context but machine load
 // does not perturb them, so a change there is visible in review without
 // needing a tolerance. Exits 1 when any benchmark regressed.
+//
+// -speedup BASE:CUR:FACTOR (repeatable via commas) additionally requires
+// benchmark CUR to be at least FACTOR times faster than benchmark BASE
+// within the *current* file — an in-run A/B gate (e.g. sharded vs
+// single-lock append). The requirement is only enforced when the
+// benchmarks ran with GOMAXPROCS >= 4 (the -N name suffix): parallelism
+// wins cannot materialize on fewer cores, so smaller runs print a notice
+// instead of failing.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 )
 
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_baseline.txt", "committed baseline `go test -bench` output")
 	currentPath := flag.String("current", "BENCH_current.txt", "freshly measured `go test -bench` output")
 	threshold := flag.Float64("threshold", 0.20, "maximum tolerated ns/op regression (0.20 = +20%)")
+	speedup := flag.String("speedup", "", "comma-separated BASE:CUR:FACTOR specs: in the current file, CUR must be >= FACTOR times faster than BASE (enforced only at GOMAXPROCS >= 4)")
 	flag.Parse()
 
 	baseline, err := parseFile(*baselinePath)
@@ -45,14 +56,72 @@ func main() {
 		fmt.Printf("%-28s  %14.0f  %14.0f  %+7.1f%%  %.0f -> %.0f\n",
 			r.name, r.baseNs, r.curNs, r.deltaPct, r.baseAllocs, r.curAllocs)
 	}
-	if len(failures) > 0 {
-		fmt.Printf("\nFAIL: %d benchmark(s) regressed more than %.0f%% ns/op:\n", len(failures), *threshold*100)
-		for _, f := range failures {
-			fmt.Printf("  %s: %+.1f%%\n", f.name, f.deltaPct)
+	speedupFailures, err := checkSpeedups(current, *speedup)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+
+	if len(failures) > 0 || len(speedupFailures) > 0 {
+		if len(failures) > 0 {
+			fmt.Printf("\nFAIL: %d benchmark(s) regressed more than %.0f%% ns/op:\n", len(failures), *threshold*100)
+			for _, f := range failures {
+				fmt.Printf("  %s: %+.1f%%\n", f.name, f.deltaPct)
+			}
+		}
+		for _, msg := range speedupFailures {
+			fmt.Printf("\nFAIL: %s\n", msg)
 		}
 		os.Exit(1)
 	}
 	fmt.Printf("\nOK: no benchmark regressed more than %.0f%% ns/op\n", *threshold*100)
+}
+
+// checkSpeedups evaluates -speedup specs against the current results.
+// Returns human-readable failure messages; spec or lookup problems are
+// hard errors (a gate that cannot find its benchmarks must not silently
+// pass).
+func checkSpeedups(current map[string]result, specs string) ([]string, error) {
+	var failures []string
+	for _, spec := range strings.Split(specs, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		parts := strings.Split(spec, ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("bad -speedup spec %q: want BASE:CUR:FACTOR", spec)
+		}
+		factor, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil || factor <= 0 {
+			return nil, fmt.Errorf("bad -speedup factor in %q", spec)
+		}
+		base, ok := current[parts[0]]
+		if !ok {
+			return nil, fmt.Errorf("-speedup: benchmark %s not in current results", parts[0])
+		}
+		cur, ok := current[parts[1]]
+		if !ok {
+			return nil, fmt.Errorf("-speedup: benchmark %s not in current results", parts[1])
+		}
+		got := base.nsPerOp / cur.nsPerOp
+		procs := base.procs
+		if cur.procs < procs {
+			procs = cur.procs
+		}
+		if procs < 4 {
+			fmt.Printf("speedup %s vs %s: %.2fx at GOMAXPROCS=%d (>= %gx required only at >= 4 procs; not enforced)\n",
+				parts[1], parts[0], got, procs, factor)
+			continue
+		}
+		if got < factor {
+			failures = append(failures, fmt.Sprintf("speedup gate: %s is only %.2fx faster than %s, want >= %gx (GOMAXPROCS=%d)",
+				parts[1], got, parts[0], factor, procs))
+			continue
+		}
+		fmt.Printf("speedup %s vs %s: %.2fx (>= %gx required): ok\n", parts[1], parts[0], got, factor)
+	}
+	return failures, nil
 }
 
 type diffRow struct {

@@ -11,6 +11,7 @@ type result struct {
 	nsPerOp     float64
 	bytesPerOp  float64
 	allocsPerOp float64
+	procs       int // GOMAXPROCS suffix of the benchmark name (1 if absent)
 }
 
 // parseBench extracts benchmark results from `go test -bench` output.
@@ -33,12 +34,19 @@ func parseBench(out string) map[string]result {
 			continue // not an iteration count; some other Benchmark-prefixed line
 		}
 		name := fields[0]
+		procs := 1
 		if i := strings.LastIndexByte(name, '-'); i > 0 {
-			if _, err := strconv.Atoi(name[i+1:]); err == nil {
-				name = name[:i] // strip the -GOMAXPROCS suffix
+			if n, err := strconv.Atoi(name[i+1:]); err == nil {
+				// The suffix is the GOMAXPROCS the benchmark ran under;
+				// keep the value (the -speedup gate only trusts parallel
+				// runs) but strip it from the comparison key so baselines
+				// recorded on different machines still pair up.
+				name = name[:i]
+				procs = n
 			}
 		}
 		var r result
+		r.procs = procs
 		for i := 2; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {

@@ -29,8 +29,50 @@ func TestParseBench(t *testing.T) {
 
 func TestParseBenchNoSuffix(t *testing.T) {
 	got := parseBench("BenchmarkX \t 10 \t 100 ns/op\n")
-	if r, ok := got["BenchmarkX"]; !ok || r.nsPerOp != 100 {
+	if r, ok := got["BenchmarkX"]; !ok || r.nsPerOp != 100 || r.procs != 1 {
 		t.Errorf("no-suffix line = %v", got)
+	}
+}
+
+func TestParseBenchKeepsProcs(t *testing.T) {
+	got := parseBench(sampleOut)
+	if r := got["BenchmarkPipeline"]; r.procs != 8 {
+		t.Errorf("procs = %d, want 8 (from the -8 suffix)", r.procs)
+	}
+}
+
+func TestCheckSpeedups(t *testing.T) {
+	current := map[string]result{
+		"BenchmarkSingle":   {nsPerOp: 1000, procs: 8},
+		"BenchmarkSharded":  {nsPerOp: 400, procs: 8},
+		"BenchmarkLowProcs": {nsPerOp: 990, procs: 2},
+	}
+	// 2.5x >= 2x: passes.
+	fails, err := checkSpeedups(current, "BenchmarkSingle:BenchmarkSharded:2")
+	if err != nil || len(fails) != 0 {
+		t.Fatalf("passing spec: fails=%v err=%v", fails, err)
+	}
+	// 2.5x < 3x: fails.
+	fails, err = checkSpeedups(current, "BenchmarkSingle:BenchmarkSharded:3")
+	if err != nil || len(fails) != 1 {
+		t.Fatalf("failing spec: fails=%v err=%v", fails, err)
+	}
+	// Under 4 procs the requirement is reported but not enforced:
+	// parallelism wins cannot materialize on 1-2 cores.
+	fails, err = checkSpeedups(current, "BenchmarkSingle:BenchmarkLowProcs:2")
+	if err != nil || len(fails) != 0 {
+		t.Fatalf("low-procs spec must not enforce: fails=%v err=%v", fails, err)
+	}
+	// Unknown benchmark names are hard errors, not silent passes.
+	if _, err = checkSpeedups(current, "BenchmarkSingle:BenchmarkMissing:2"); err == nil {
+		t.Fatal("missing benchmark must error")
+	}
+	if _, err = checkSpeedups(current, "malformed"); err == nil {
+		t.Fatal("malformed spec must error")
+	}
+	// Empty spec string: no-op.
+	if fails, err = checkSpeedups(current, ""); err != nil || len(fails) != 0 {
+		t.Fatalf("empty spec: fails=%v err=%v", fails, err)
 	}
 }
 

@@ -6,6 +6,12 @@
 //	fbdetect-worker -listen :8080 -service websvc &
 //	curl -X POST localhost:8080/scan \
 //	  -d '{"service":"websvc","scan_time":"2024-08-01T09:00:00Z"}'
+//
+// With -data-dir the worker runs in durable mode: instead of simulating a
+// service at startup, it recovers a WAL+snapshot store from the directory,
+// serves POST /ingest for streaming NDJSON point batches (fleetsim
+// -stream produces them), and scans whatever series have been ingested.
+// Kill -9 it mid-ingest and restart: acknowledged batches survive.
 package main
 
 import (
@@ -14,7 +20,10 @@ import (
 	"log"
 	"math/rand"
 	"net/http"
+	"os"
+	"os/signal"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"fbdetect"
@@ -22,6 +31,7 @@ import (
 	"fbdetect/internal/distributed"
 	"fbdetect/internal/obs"
 	"fbdetect/internal/tsdb"
+	"fbdetect/internal/wal"
 )
 
 func main() {
@@ -34,6 +44,10 @@ func main() {
 		regress       = flag.Float64("regress", 1.15, "regression factor injected 2h before the data ends")
 		seed          = flag.Int64("seed", 1, "simulation seed")
 		failFirst     = flag.Int("fail-first", 0, "chaos: answer this many initial /scan requests with 500, to demo coordinator retry and failover")
+		dataDir       = flag.String("data-dir", "", "durable mode: recover a WAL+snapshot store from this directory, serve POST /ingest, and scan ingested series (disables the built-in simulation)")
+		walSync       = flag.String("wal-sync", "batch", "durable mode WAL sync policy: always, batch, or never")
+		snapshotEvery = flag.Duration("snapshot-every", 0, "durable mode: snapshot the store and compact the WAL at this interval (0 = only on shutdown)")
+		fsyncDelay    = flag.Duration("fsync-delay", 0, "fault injection: artificial delay added to every WAL fsync, widening the crash window for recovery tests")
 		version       = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -42,32 +56,58 @@ func main() {
 		return
 	}
 
-	start := time.Date(2024, 8, 1, 0, 0, 0, 0, time.UTC)
-	end := start.Add(time.Duration(*hours) * time.Hour)
-	rng := rand.New(rand.NewSource(*seed))
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(*traceBuf)
+	obs.RegisterBuildInfo(reg, "fbdetect-worker")
 
-	tree := fbdetect.GenerateCallTree(rng, 80, 4)
-	if err := tree.AddSubroutine(tree.Root.Name, "victim", "", 20); err != nil {
-		log.Fatal(err)
-	}
-	svc, err := fbdetect.NewFleetService(fbdetect.FleetConfig{
-		Name: *service, Servers: 10000, Step: time.Minute,
-		SamplesPerStep: 2e5, BaseCPU: 0.5, CPUNoise: 0.06,
-		BaseThroughput: 1e5, Tree: tree, Seed: *seed,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	if *regress != 1 {
-		svc.ScheduleChange(fbdetect.ScheduledChange{
-			At:     end.Add(-2 * time.Hour),
-			Effect: func(tr *fbdetect.CallTree) error { return tr.ScaleSelfWeight("victim", *regress) },
+	var (
+		db      *tsdb.DB
+		store   *wal.Store
+		samples core.SampleProvider
+	)
+	if *dataDir != "" {
+		pol, err := wal.ParseSyncPolicy(*walSync)
+		if err != nil {
+			log.Fatal(err)
+		}
+		store, err = wal.OpenStore(*dataDir, time.Minute,
+			wal.Options{Sync: pol, FsyncDelay: *fsyncDelay}, tsdb.Options{}, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		db = store.DB
+		log.Printf("recovered %s: %d series from snapshot, %d points replayed from WAL (torn tail: %v)",
+			*dataDir, store.Stats.SnapshotSeries, store.Stats.ReplayedPoints, store.Stats.TornTail)
+	} else {
+		start := time.Date(2024, 8, 1, 0, 0, 0, 0, time.UTC)
+		end := start.Add(time.Duration(*hours) * time.Hour)
+		rng := rand.New(rand.NewSource(*seed))
+
+		tree := fbdetect.GenerateCallTree(rng, 80, 4)
+		if err := tree.AddSubroutine(tree.Root.Name, "victim", "", 20); err != nil {
+			log.Fatal(err)
+		}
+		svc, err := fbdetect.NewFleetService(fbdetect.FleetConfig{
+			Name: *service, Servers: 10000, Step: time.Minute,
+			SamplesPerStep: 2e5, BaseCPU: 0.5, CPUNoise: 0.06,
+			BaseThroughput: 1e5, Tree: tree, Seed: *seed,
 		})
-	}
-	db := tsdb.New(time.Minute)
-	log.Printf("simulating %dh of %q ...", *hours, *service)
-	if err := svc.Run(db, nil, start, end); err != nil {
-		log.Fatal(err)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *regress != 1 {
+			svc.ScheduleChange(fbdetect.ScheduledChange{
+				At:     end.Add(-2 * time.Hour),
+				Effect: func(tr *fbdetect.CallTree) error { return tr.ScaleSelfWeight("victim", *regress) },
+			})
+		}
+		db = tsdb.New(time.Minute)
+		log.Printf("simulating %dh of %q ...", *hours, *service)
+		if err := svc.Run(db, nil, start, end); err != nil {
+			log.Fatal(err)
+		}
+		samples = fbdetectSamples{svc}
+		log.Printf("data ends %s", end.Format(time.RFC3339))
 	}
 
 	cfg := core.Config{
@@ -78,7 +118,7 @@ func main() {
 			Extended: time.Hour,
 		},
 	}
-	pipe, err := core.NewPipeline(cfg, db, nil, fbdetectSamples{svc})
+	pipe, err := core.NewPipeline(cfg, db, nil, samples)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -87,13 +127,41 @@ func main() {
 	// pipeline, request metrics from the middleware, plus the worker's
 	// own scan/error counters — all on /metrics of the same mux (and,
 	// with -metrics-listen, on a separate operator-only address too).
-	reg := obs.NewRegistry()
-	tracer := obs.NewTracer(*traceBuf)
-	obs.RegisterBuildInfo(reg, "fbdetect-worker")
 	pipe.Instrument(reg, tracer)
 	worker := distributed.NewWorker(*listen, pipe)
 	worker.Instrument(reg)
-	var handler http.Handler = distributed.NewMux(worker, reg, tracer)
+	var handler http.Handler
+	if store != nil {
+		ingest := distributed.NewIngestHandler(store, distributed.IngestOptions{})
+		ingest.Instrument(reg)
+		handler = distributed.NewIngestMux(worker, ingest, reg, tracer)
+
+		if *snapshotEvery > 0 {
+			go func() {
+				for range time.Tick(*snapshotEvery) {
+					if err := store.Snapshot(); err != nil {
+						log.Printf("snapshot failed: %v", err)
+					}
+				}
+			}()
+		}
+		// Clean shutdown flushes and snapshots; a crash (SIGKILL) is the
+		// case the WAL exists for.
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+		go func() {
+			<-sig
+			if err := store.Snapshot(); err != nil {
+				log.Printf("shutdown snapshot failed: %v", err)
+			}
+			if err := store.Close(); err != nil {
+				log.Printf("closing store: %v", err)
+			}
+			os.Exit(0)
+		}()
+	} else {
+		handler = distributed.NewMux(worker, reg, tracer)
+	}
 	if *failFirst > 0 {
 		// Chaos middleware: the first -fail-first scan requests are
 		// rejected so a coordinator pointed here exercises its retry,
@@ -115,7 +183,7 @@ func main() {
 		go func() { log.Fatal(http.ListenAndServe(*metricsListen, debugMux)) }()
 		log.Printf("metrics on %s", *metricsListen)
 	}
-	log.Printf("worker serving %q on %s (data ends %s)", *service, *listen, end.Format(time.RFC3339))
+	log.Printf("worker serving %q on %s", *service, *listen)
 	log.Fatal(http.ListenAndServe(*listen, handler))
 }
 

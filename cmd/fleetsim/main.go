@@ -2,15 +2,24 @@
 // FBDetect pipeline consumes — and writes it as CSV to stdout, one row per
 // (time, metric, value). Useful for feeding external tooling or inspecting
 // what the simulator produces.
+//
+// With -stream it instead pushes the telemetry to a worker's POST /ingest
+// endpoint as per-time-step NDJSON batches, retrying each batch until the
+// worker acknowledges it — the client half of the durable ingestion path:
+//
+//	fbdetect-worker -listen :8080 -data-dir /tmp/d &
+//	fleetsim -hours 6 -stream http://localhost:8080
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 	"os"
+	"strings"
 	"time"
 
 	"fbdetect"
@@ -26,6 +35,8 @@ func main() {
 		seed        = flag.Int64("seed", 1, "simulation seed")
 		regress     = flag.Float64("regress", 0, "if nonzero, scale a random subroutine's cost by this factor mid-run")
 		spike       = flag.Bool("spike", false, "inject a transient load spike mid-run")
+		stream      = flag.String("stream", "", "stream to these worker base URLs' /ingest endpoints (comma-separated) as NDJSON batches instead of printing CSV; one generation feeds every worker identically")
+		streamSteps = flag.Int("stream-steps", 15, "time steps per streamed batch")
 		version     = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -84,6 +95,13 @@ func main() {
 		log.Fatal(err)
 	}
 
+	if *stream != "" {
+		if err := streamTo(*stream, db, *streamSteps); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()
 	fmt.Fprintln(w, "time,metric,value")
@@ -96,4 +114,76 @@ func main() {
 			fmt.Fprintf(w, "%s,%s,%.9g\n", s.TimeAt(i).Format(time.RFC3339), id, v)
 		}
 	}
+}
+
+// streamTo pushes db's contents to one or more workers' /ingest endpoints
+// (comma-separated base URLs) in time-order, batching stepsPerBatch time
+// steps of every metric into one NDJSON POST. Each batch is retried (with
+// generous budget, honoring the workers' Retry-After hints) until every
+// worker acknowledged it — so a worker restart mid-stream only delays the
+// stream. Workers append idempotently, so a batch whose ack was lost to a
+// crash is safely re-sent. Streaming one generation to several workers
+// guarantees they see byte-identical telemetry: the simulator itself is
+// not bit-deterministic across process runs.
+func streamTo(baseURLs string, db *fbdetect.DB, stepsPerBatch int) error {
+	if stepsPerBatch < 1 {
+		stepsPerBatch = 1
+	}
+	ids := db.Metrics("fleetsim")
+	if len(ids) == 0 {
+		return fmt.Errorf("nothing to stream")
+	}
+	type column struct {
+		id fbdetect.MetricID
+		s  *fbdetect.Series
+	}
+	cols := make([]column, 0, len(ids))
+	steps := 0
+	for _, id := range ids {
+		s, err := db.Full(id)
+		if err != nil {
+			return err
+		}
+		cols = append(cols, column{id, s})
+		if s.Len() > steps {
+			steps = s.Len()
+		}
+	}
+	// A worker restart takes seconds; the budget rides through it.
+	policy := fbdetect.ScanRetryPolicy{MaxAttempts: 120,
+		BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second, Multiplier: 2, Jitter: 0.5}
+	urls := strings.Split(baseURLs, ",")
+	clients := make([]*fbdetect.IngestClient, len(urls))
+	for i, u := range urls {
+		clients[i] = fbdetect.NewIngestClient(strings.TrimSpace(u), nil, policy)
+	}
+	sent := make([]int, len(urls))
+	skipped := make([]int, len(urls))
+	batches := 0
+	for lo := 0; lo < steps; lo += stepsPerBatch {
+		hi := lo + stepsPerBatch
+		if hi > steps {
+			hi = steps
+		}
+		var pts []fbdetect.Point
+		for _, c := range cols {
+			for i := lo; i < hi && i < c.s.Len(); i++ {
+				pts = append(pts, fbdetect.Point{ID: c.id, T: c.s.TimeAt(i), V: c.s.Values[i]})
+			}
+		}
+		for i, cl := range clients {
+			res, err := cl.Send(context.Background(), pts)
+			if err != nil {
+				return fmt.Errorf("batch at step %d not acknowledged by %s: %w", lo, urls[i], err)
+			}
+			sent[i] += res.Appended
+			skipped[i] += res.Skipped
+		}
+		batches++
+	}
+	for i, u := range urls {
+		fmt.Fprintf(os.Stderr, "streamed %d batches to %s: %d points appended, %d already present\n",
+			batches, u, sent[i], skipped[i])
+	}
+	return nil
 }

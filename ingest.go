@@ -9,17 +9,30 @@ import (
 	"time"
 )
 
+// csvChunkRows is the per-metric reorder window: rows for one metric are
+// buffered, time-sorted, and flushed through AppendBatch in chunks of
+// this size, so ingestion memory is bounded by the window (per metric)
+// rather than the whole file.
+const csvChunkRows = 4096
+
 // ReadCSV ingests telemetry in the CSV format cmd/fleetsim emits —
 // a "time,metric,value" header followed by one row per observation, with
 // RFC 3339 timestamps — into a new DB with the given step. Rows may be
-// grouped per metric in any order; within a metric they are sorted by
-// time before insertion.
+// grouped per metric in any order; within a metric, rows are sorted by
+// time inside a sliding window of csvChunkRows rows before insertion.
+// Rows out of order by more than the window are an error, not a silent
+// drop.
+//
+// Rows stream through DB.AppendBatch in chunks rather than accumulating
+// in memory first, so a multi-gigabyte export ingests in bounded memory
+// with one stripe-lock acquisition per chunk instead of one per row.
 //
 // This is the file-based integration point: export your monitoring data
 // in this shape and scan it offline.
 func ReadCSV(r io.Reader, step time.Duration) (*DB, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = 3
+	cr.ReuseRecord = true
 	header, err := cr.Read()
 	if err != nil {
 		return nil, fmt.Errorf("fbdetect: reading CSV header: %w", err)
@@ -27,11 +40,28 @@ func ReadCSV(r io.Reader, step time.Duration) (*DB, error) {
 	if header[0] != "time" || header[1] != "metric" || header[2] != "value" {
 		return nil, fmt.Errorf("fbdetect: unexpected CSV header %v, want time,metric,value", header)
 	}
-	type point struct {
-		t time.Time
-		v float64
+	db := NewDB(step)
+	chunks := map[MetricID][]Point{}
+	flush := func(id MetricID) error {
+		pts := chunks[id]
+		if len(pts) == 0 {
+			return nil
+		}
+		sort.Slice(pts, func(i, j int) bool { return pts[i].T.Before(pts[j].T) })
+		n, err := db.AppendBatch(pts)
+		if err != nil {
+			return fmt.Errorf("fbdetect: ingesting %s: %w", id, err)
+		}
+		if n != len(pts) {
+			// AppendBatch silently skips stale points (its idempotent-replay
+			// contract); in a file ingest a skip means a duplicate timestamp
+			// or a row reordered past the window, and must be surfaced.
+			return fmt.Errorf("fbdetect: ingesting %s: %d row(s) duplicated or out of order by more than %d rows",
+				id, len(pts)-n, csvChunkRows)
+		}
+		chunks[id] = pts[:0]
+		return nil
 	}
-	series := map[MetricID][]point{}
 	line := 1
 	for {
 		rec, err := cr.Read()
@@ -50,23 +80,23 @@ func ReadCSV(r io.Reader, step time.Duration) (*DB, error) {
 		if err != nil {
 			return nil, fmt.Errorf("fbdetect: CSV line %d: bad value: %w", line, err)
 		}
-		id := MetricID(rec[1])
-		series[id] = append(series[id], point{ts, v})
+		id := MetricID(rec[1]) // copies out of the reused record
+		chunks[id] = append(chunks[id], Point{ID: id, T: ts, V: v})
+		if len(chunks[id]) >= csvChunkRows {
+			if err := flush(id); err != nil {
+				return nil, err
+			}
+		}
 	}
-	db := NewDB(step)
-	// Deterministic metric order for reproducible gap-filling.
-	ids := make([]MetricID, 0, len(series))
-	for id := range series {
+	// Deterministic final-flush order for reproducible gap-filling.
+	ids := make([]MetricID, 0, len(chunks))
+	for id := range chunks {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
-		pts := series[id]
-		sort.Slice(pts, func(i, j int) bool { return pts[i].t.Before(pts[j].t) })
-		for _, p := range pts {
-			if err := db.Append(id, p.t, p.v); err != nil {
-				return nil, fmt.Errorf("fbdetect: ingesting %s: %w", id, err)
-			}
+		if err := flush(id); err != nil {
+			return nil, err
 		}
 	}
 	return db, nil

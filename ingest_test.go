@@ -1,6 +1,9 @@
 package fbdetect
 
 import (
+	"fmt"
+	"io"
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
@@ -86,6 +89,91 @@ func TestReadCSVRoundTrip(t *testing.T) {
 	}
 	if db.Len() != 2 {
 		t.Errorf("metric count = %d", db.Len())
+	}
+}
+
+// csvRowGen is an io.Reader that synthesizes "time,metric,value" rows on
+// the fly — rows round-robin across metrics with per-metric increasing
+// timestamps — so large-ingest tests don't hold the whole file in memory.
+type csvRowGen struct {
+	rows, emitted, metrics int
+	buf                    []byte
+}
+
+func (g *csvRowGen) Read(p []byte) (int, error) {
+	base := time.Date(2024, 8, 1, 0, 0, 0, 0, time.UTC)
+	for len(g.buf) < len(p) {
+		if g.emitted == g.rows {
+			break
+		}
+		if g.emitted == 0 {
+			g.buf = append(g.buf, "time,metric,value\n"...)
+		}
+		m := g.emitted % g.metrics
+		ts := base.Add(time.Duration(g.emitted/g.metrics) * time.Minute)
+		g.buf = append(g.buf, ts.Format(time.RFC3339)...)
+		g.buf = append(g.buf, ",svc/sub/m"...)
+		g.buf = strconv.AppendInt(g.buf, int64(m), 10)
+		g.buf = append(g.buf, ',')
+		g.buf = strconv.AppendFloat(g.buf, float64(g.emitted%97)/10, 'f', -1, 64)
+		g.buf = append(g.buf, '\n')
+		g.emitted++
+	}
+	if len(g.buf) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, g.buf)
+	g.buf = g.buf[n:]
+	return n, nil
+}
+
+func ingestAllocBytes(t *testing.T, rows int) uint64 {
+	t.Helper()
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	db, err := ReadCSV(&csvRowGen{rows: rows, metrics: 20}, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtime.ReadMemStats(&after)
+	if db.Len() != 20 {
+		t.Fatalf("ingested %d metrics, want 20", db.Len())
+	}
+	return after.TotalAlloc - before.TotalAlloc
+}
+
+func TestReadCSVAllocationGrowthIsLinear(t *testing.T) {
+	// Streaming ingestion must not accumulate the whole file before
+	// inserting: allocation for 10x the rows must grow ~10x (linear), far
+	// under the ~100x a quadratic path would show. The bound is loose
+	// (25x) because the DB itself retains the larger dataset.
+	if testing.Short() {
+		t.Skip("1M-row ingest; skipped in -short")
+	}
+	small := ingestAllocBytes(t, 100_000)
+	large := ingestAllocBytes(t, 1_000_000)
+	ratio := float64(large) / float64(small)
+	t.Logf("alloc bytes: 100k rows = %d, 1M rows = %d (ratio %.1fx)", small, large, ratio)
+	if ratio > 25 {
+		t.Fatalf("allocation grew %.1fx for 10x the rows; ingestion is super-linear", ratio)
+	}
+}
+
+func TestReadCSVLargeReorderIsAnError(t *testing.T) {
+	// A row behind the sliding reorder window must fail loudly rather
+	// than be silently skipped by AppendBatch's idempotent-replay path.
+	var sb strings.Builder
+	sb.WriteString("time,metric,value\n")
+	base := time.Date(2024, 8, 1, 0, 0, 0, 0, time.UTC)
+	// Fill one full chunk (flushes at csvChunkRows), starting at t+1min so
+	// a t+0 row afterwards lands behind the flushed series end.
+	for i := 0; i < csvChunkRows; i++ {
+		fmt.Fprintf(&sb, "%s,svc/sub/m,1\n", base.Add(time.Duration(i+1)*time.Minute).Format(time.RFC3339))
+	}
+	fmt.Fprintf(&sb, "%s,svc/sub/m,1\n", base.Format(time.RFC3339))
+	if _, err := ReadCSV(strings.NewReader(sb.String()), time.Minute); err == nil {
+		t.Fatal("row reordered past the chunk window was accepted")
 	}
 }
 

@@ -1,0 +1,357 @@
+package distributed
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"fbdetect/internal/obs"
+	"fbdetect/internal/resilience"
+	"fbdetect/internal/tsdb"
+)
+
+// IngestStore is the sink /ingest writes into. Both *tsdb.DB (volatile)
+// and *wal.Store (durable) implement it; the handler doesn't care which,
+// so tests exercise the HTTP surface without touching disk.
+type IngestStore interface {
+	AppendBatch(pts []tsdb.Point) (int, error)
+}
+
+// IngestPoint is one NDJSON line of an /ingest request body:
+//
+//	{"metric":"web//cpu_usage","time":"2024-01-02T15:04:00Z","value":0.42}
+//
+// Metric is the full tsdb.MetricID string (service/entity/metric).
+type IngestPoint struct {
+	Metric string      `json:"metric"`
+	Time   time.Time   `json:"time"`
+	Value  IngestValue `json:"value"`
+}
+
+// IngestValue is a float64 whose JSON form also covers the non-finite
+// values JSON numbers cannot express — real series carry NaN for gaps, and
+// dropping or mangling those would break recovered-vs-control equivalence.
+// Non-finite values travel as the quoted strings "NaN", "+Inf", "-Inf".
+type IngestValue float64
+
+func (v IngestValue) MarshalJSON() ([]byte, error) {
+	f := float64(v)
+	switch {
+	case math.IsNaN(f):
+		return []byte(`"NaN"`), nil
+	case math.IsInf(f, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(f, -1):
+		return []byte(`"-Inf"`), nil
+	}
+	return json.Marshal(f)
+}
+
+func (v *IngestValue) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		switch s {
+		case "NaN":
+			*v = IngestValue(math.NaN())
+		case "+Inf", "Inf":
+			*v = IngestValue(math.Inf(1))
+		case "-Inf":
+			*v = IngestValue(math.Inf(-1))
+		default:
+			return fmt.Errorf("bad value %q: want a number or NaN/+Inf/-Inf", s)
+		}
+		return nil
+	}
+	var f float64
+	if err := json.Unmarshal(b, &f); err != nil {
+		return err
+	}
+	*v = IngestValue(f)
+	return nil
+}
+
+// IngestResult is the handler's acknowledgment. Skipped counts points the
+// store already held (at or before a series' end) — the expected shape of
+// a client re-sending a batch whose ack a crash swallowed, not an error.
+type IngestResult struct {
+	Appended int `json:"appended"`
+	Skipped  int `json:"skipped"`
+}
+
+// Ingest rejection reasons, the reason label of MetricIngestRejected.
+const (
+	IngestReasonBadMethod   = "bad_method"
+	IngestReasonBadJSON     = "bad_json"
+	IngestReasonTooLarge    = "too_large"
+	IngestReasonBusy        = "busy"
+	IngestReasonStoreFailed = "store_failed"
+)
+
+// Ingestion metric names.
+const (
+	MetricIngestBatches  = "fbdetect_ingest_batches_total"
+	MetricIngestPoints   = "fbdetect_ingest_points_total"
+	MetricIngestSkipped  = "fbdetect_ingest_skipped_points_total"
+	MetricIngestBytes    = "fbdetect_ingest_bytes_total"
+	MetricIngestRejected = "fbdetect_ingest_rejected_total"
+)
+
+// IngestOptions tunes the endpoint's backpressure. Zero fields take
+// defaults.
+type IngestOptions struct {
+	// MaxBodyBytes caps one request body (default 8 MiB). Larger bodies
+	// get a 413 — the client should split the batch, not retry it.
+	MaxBodyBytes int64
+	// MaxInFlight caps concurrent ingest requests (default 4). Overflow
+	// gets a 429 with a Retry-After hint rather than queueing unboundedly
+	// in front of the WAL.
+	MaxInFlight int
+	// RetryAfter is the hint sent with 429s (default 1s).
+	RetryAfter time.Duration
+}
+
+func (o IngestOptions) withDefaults() IngestOptions {
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 8 << 20
+	}
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 4
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = time.Second
+	}
+	return o
+}
+
+// IngestHandler serves POST /ingest: a batch of NDJSON points appended to
+// the store in one call, acknowledged only after the store accepted them
+// (for a WAL-backed store, after the batch is logged under its sync
+// policy). Backpressure is explicit — 413 for oversized bodies, 429 +
+// Retry-After when too many batches are in flight — so a streaming client
+// slows down instead of piling work onto a struggling worker.
+type IngestHandler struct {
+	store IngestStore
+	opts  IngestOptions
+	sem   chan struct{}
+
+	reg     *obs.Registry // nil when uninstrumented
+	batches *obs.Counter
+	points  *obs.Counter
+	skipped *obs.Counter
+	bytes   *obs.Counter
+}
+
+// NewIngestHandler wraps store with backpressure and accounting.
+func NewIngestHandler(store IngestStore, opts IngestOptions) *IngestHandler {
+	opts = opts.withDefaults()
+	return &IngestHandler{store: store, opts: opts,
+		sem: make(chan struct{}, opts.MaxInFlight)}
+}
+
+// Instrument publishes the fbdetect_ingest_* counters to reg. Call before
+// serving.
+func (h *IngestHandler) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	h.reg = reg
+	h.batches = reg.NewCounter(MetricIngestBatches,
+		"Ingest batches acknowledged.", nil)
+	h.points = reg.NewCounter(MetricIngestPoints,
+		"Points appended through /ingest.", nil)
+	h.skipped = reg.NewCounter(MetricIngestSkipped,
+		"Ingested points skipped as already present (idempotent re-sends).", nil)
+	h.bytes = reg.NewCounter(MetricIngestBytes,
+		"Request body bytes accepted by /ingest.", nil)
+	for _, reason := range []string{
+		IngestReasonBadMethod, IngestReasonBadJSON, IngestReasonTooLarge,
+		IngestReasonBusy, IngestReasonStoreFailed,
+	} {
+		h.rejCounter(reason)
+	}
+}
+
+// rejCounter returns the rejection counter for one reason (nil-safe when
+// uninstrumented).
+func (h *IngestHandler) rejCounter(reason string) *obs.Counter {
+	return h.reg.NewCounter(MetricIngestRejected,
+		"Ingest requests rejected, by reason.", obs.Labels{"reason": reason})
+}
+
+// ServeHTTP implements POST /ingest.
+func (h *IngestHandler) ServeHTTP(rw http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		h.rejCounter(IngestReasonBadMethod).Inc()
+		http.Error(rw, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	select {
+	case h.sem <- struct{}{}:
+		defer func() { <-h.sem }()
+	default:
+		h.rejCounter(IngestReasonBusy).Inc()
+		rw.Header().Set("Retry-After", retryAfterSeconds(h.opts.RetryAfter))
+		http.Error(rw, "too many ingest batches in flight", http.StatusTooManyRequests)
+		return
+	}
+
+	// Read the whole (capped) body before parsing: a batch applies
+	// atomically or not at all, and reading first keeps "too large" (413,
+	// don't retry — split) distinct from a line truncated mid-stream.
+	raw, err := io.ReadAll(http.MaxBytesReader(rw, req.Body, h.opts.MaxBodyBytes))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			h.rejCounter(IngestReasonTooLarge).Inc()
+			http.Error(rw, fmt.Sprintf("body exceeds %d bytes; split the batch",
+				h.opts.MaxBodyBytes), http.StatusRequestEntityTooLarge)
+			return
+		}
+		h.rejCounter(IngestReasonBadJSON).Inc()
+		http.Error(rw, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	pts, err := decodeNDJSON(raw)
+	if err != nil {
+		h.rejCounter(IngestReasonBadJSON).Inc()
+		http.Error(rw, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	appended, err := h.store.AppendBatch(pts)
+	if err != nil {
+		h.rejCounter(IngestReasonStoreFailed).Inc()
+		http.Error(rw, "append failed: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	h.batches.Inc()
+	h.points.Add(float64(appended))
+	h.skipped.Add(float64(len(pts) - appended))
+	h.bytes.Add(float64(len(raw)))
+	rw.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(rw).Encode(IngestResult{Appended: appended, Skipped: len(pts) - appended})
+}
+
+// decodeNDJSON parses one point per line. Blank lines are allowed (a
+// trailing newline is the natural way to terminate a stream).
+func decodeNDJSON(data []byte) ([]tsdb.Point, error) {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	var pts []tsdb.Point
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(bytes.TrimSpace(raw)) == 0 {
+			continue
+		}
+		var p IngestPoint
+		if err := json.Unmarshal(raw, &p); err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		if p.Metric == "" || p.Time.IsZero() {
+			return nil, fmt.Errorf("line %d: metric and time required", line)
+		}
+		pts = append(pts, tsdb.Point{ID: tsdb.MetricID(p.Metric), T: p.Time, V: float64(p.Value)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return pts, nil
+}
+
+// retryAfterSeconds renders d as a whole-second Retry-After value,
+// rounding up so the hint never understates the wait.
+func retryAfterSeconds(d time.Duration) string {
+	s := int((d + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return strconv.Itoa(s)
+}
+
+// IngestClient streams point batches to a worker's /ingest endpoint,
+// retrying transient failures (connection errors, 5xx, 429) under a
+// resilience policy and honoring the server's Retry-After hints. A batch
+// is only "sent" once acknowledged — and because the server appends
+// idempotently, re-sending a batch whose ack was lost to a crash is safe.
+type IngestClient struct {
+	url    string
+	client *http.Client
+	retry  *resilience.Retryer
+}
+
+// NewIngestClient returns a client for baseURL (e.g.
+// "http://10.0.0.1:8080"). client may be nil (http.DefaultClient); clock
+// may be nil (real time).
+func NewIngestClient(baseURL string, client *http.Client, policy resilience.Policy, clock resilience.Clock, seed int64) *IngestClient {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return &IngestClient{
+		url:    baseURL + "/ingest",
+		client: client,
+		retry:  resilience.NewRetryer(policy, clock, seed),
+	}
+}
+
+// Send posts pts as one NDJSON batch and returns the server's
+// acknowledgment, retrying until acked or the policy's budget is spent.
+func (c *IngestClient) Send(ctx context.Context, pts []tsdb.Point) (IngestResult, error) {
+	body := EncodeNDJSON(pts)
+	return resilience.Do(ctx, c.retry, func(ctx context.Context) (IngestResult, error) {
+		return c.post(ctx, body)
+	})
+}
+
+// post issues one attempt.
+func (c *IngestClient) post(ctx context.Context, body []byte) (IngestResult, error) {
+	var res IngestResult
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url, bytes.NewReader(body))
+	if err != nil {
+		return res, resilience.Permanent(err)
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return res, fmt.Errorf("distributed: posting to %s: %w", c.url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		serr := fmt.Errorf("distributed: %s: %s: %s", c.url, resp.Status, bytes.TrimSpace(msg))
+		retryable := resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests
+		if !retryable {
+			return res, resilience.Permanent(serr)
+		}
+		if secs, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && secs > 0 {
+			return res, resilience.RetryAfter(serr, time.Duration(secs)*time.Second)
+		}
+		return res, serr
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&res); err != nil {
+		return res, fmt.Errorf("distributed: decoding ingest ack: %w", err)
+	}
+	return res, nil
+}
+
+// EncodeNDJSON renders pts in the /ingest wire format, one JSON object
+// per line.
+func EncodeNDJSON(pts []tsdb.Point) []byte {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, p := range pts {
+		enc.Encode(IngestPoint{Metric: string(p.ID), Time: p.T, Value: IngestValue(p.V)}) // Encode appends '\n'
+	}
+	return buf.Bytes()
+}

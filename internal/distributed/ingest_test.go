@@ -1,0 +1,251 @@
+package distributed
+
+import (
+	"context"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"fbdetect/internal/obs"
+	"fbdetect/internal/resilience"
+	"fbdetect/internal/tsdb"
+)
+
+// ingestPoints builds a deterministic batch across two metrics.
+func ingestPoints(n int) []tsdb.Point {
+	pts := make([]tsdb.Point, 0, 2*n)
+	for i := 0; i < n; i++ {
+		at := t0.Add(time.Duration(i) * time.Minute)
+		pts = append(pts,
+			tsdb.Point{ID: tsdb.ID("svc", "sub", "gcpu"), T: at, V: float64(i)},
+			tsdb.Point{ID: tsdb.ID("svc", "sub2", "gcpu"), T: at, V: float64(2 * i)},
+		)
+	}
+	return pts
+}
+
+func TestIngestRoundTripAndIdempotentResend(t *testing.T) {
+	db := tsdb.New(time.Minute)
+	reg := obs.NewRegistry()
+	h := NewIngestHandler(db, IngestOptions{})
+	h.Instrument(reg)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	client := NewIngestClient(srv.URL, srv.Client(), resilience.DefaultPolicy(), nil, 1)
+	pts := ingestPoints(30)
+	res, err := client.Send(context.Background(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Appended != len(pts) || res.Skipped != 0 {
+		t.Fatalf("first send: got %+v, want %d appended", res, len(pts))
+	}
+	if got := db.Len(); got != 2 {
+		t.Fatalf("db has %d series, want 2", got)
+	}
+	s, err := db.Full(tsdb.ID("svc", "sub2", "gcpu"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 30 || s.Values[7] != 14 {
+		t.Fatalf("series content wrong: len=%d v[7]=%v", s.Len(), s.Values[7])
+	}
+
+	// A re-send — the client's move after losing an ack — must change
+	// nothing and report every point skipped.
+	res, err = client.Send(context.Background(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Appended != 0 || res.Skipped != len(pts) {
+		t.Fatalf("re-send: got %+v, want all skipped", res)
+	}
+	if got := reg.NewCounter(MetricIngestBatches, "", nil).Value(); got != 2 {
+		t.Fatalf("batches counter = %v, want 2", got)
+	}
+	if got := reg.NewCounter(MetricIngestPoints, "", nil).Value(); got != float64(len(pts)) {
+		t.Fatalf("points counter = %v, want %d", got, len(pts))
+	}
+	if got := reg.NewCounter(MetricIngestSkipped, "", nil).Value(); got != float64(len(pts)) {
+		t.Fatalf("skipped counter = %v, want %d", got, len(pts))
+	}
+}
+
+// TestIngestNonFiniteValues round-trips the values JSON numbers cannot
+// carry: NaN (a gap in a real series), ±Inf. Losing them would make a
+// recovered store diverge from its control.
+func TestIngestNonFiniteValues(t *testing.T) {
+	db := tsdb.New(time.Minute)
+	h := NewIngestHandler(db, IngestOptions{})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	id := tsdb.ID("svc", "sub", "gcpu")
+	pts := []tsdb.Point{
+		{ID: id, T: t0, V: 1},
+		{ID: id, T: t0.Add(time.Minute), V: math.NaN()},
+		{ID: id, T: t0.Add(2 * time.Minute), V: math.Inf(1)},
+		{ID: id, T: t0.Add(3 * time.Minute), V: math.Inf(-1)},
+	}
+	client := NewIngestClient(srv.URL, srv.Client(), resilience.DefaultPolicy(), nil, 1)
+	res, err := client.Send(context.Background(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Appended != 4 {
+		t.Fatalf("appended %d, want 4", res.Appended)
+	}
+	s, err := db.Full(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(s.Values[1]) || !math.IsInf(s.Values[2], 1) || !math.IsInf(s.Values[3], -1) {
+		t.Fatalf("non-finite values mangled: %v", s.Values)
+	}
+}
+
+// blockingStore parks AppendBatch until released, so a test can hold one
+// request in flight.
+type blockingStore struct {
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (s *blockingStore) AppendBatch(pts []tsdb.Point) (int, error) {
+	s.entered <- struct{}{}
+	<-s.release
+	return len(pts), nil
+}
+
+func TestIngestBackpressure429(t *testing.T) {
+	store := &blockingStore{entered: make(chan struct{}, 1), release: make(chan struct{})}
+	reg := obs.NewRegistry()
+	h := NewIngestHandler(store, IngestOptions{MaxInFlight: 1, RetryAfter: 3 * time.Second})
+	h.Instrument(reg)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	body := string(EncodeNDJSON(ingestPoints(1)))
+	first := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(srv.URL, "application/x-ndjson", strings.NewReader(body))
+		if err == nil {
+			resp.Body.Close()
+		}
+		first <- err
+	}()
+	<-store.entered // the slot is now occupied
+
+	resp, err := http.Post(srv.URL, "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second request got %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "3" {
+		t.Fatalf("Retry-After = %q, want \"3\"", got)
+	}
+	if got := reg.NewCounter(MetricIngestRejected, "", obs.Labels{"reason": IngestReasonBusy}).Value(); got != 1 {
+		t.Fatalf("busy rejections = %v, want 1", got)
+	}
+	close(store.release)
+	if err := <-first; err != nil {
+		t.Fatalf("first request failed: %v", err)
+	}
+}
+
+func TestIngestOversizedBodyIsPermanent(t *testing.T) {
+	db := tsdb.New(time.Minute)
+	h := NewIngestHandler(db, IngestOptions{MaxBodyBytes: 64})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	attempts := 0
+	countingClient := &http.Client{Transport: roundTripFunc(func(req *http.Request) (*http.Response, error) {
+		attempts++
+		return srv.Client().Transport.RoundTrip(req)
+	})}
+	client := NewIngestClient(srv.URL, countingClient, resilience.DefaultPolicy(),
+		resilience.NewFakeClock(t0).AutoAdvance(), 1)
+	_, err := client.Send(context.Background(), ingestPoints(50))
+	if err == nil || !strings.Contains(err.Error(), "413") {
+		t.Fatalf("want a 413 error, got %v", err)
+	}
+	if attempts != 1 {
+		t.Fatalf("client retried a 413 %d times; oversized bodies are permanent", attempts)
+	}
+	if db.Len() != 0 {
+		t.Fatal("oversized batch must not be partially applied")
+	}
+}
+
+type roundTripFunc func(*http.Request) (*http.Response, error)
+
+func (f roundTripFunc) RoundTrip(req *http.Request) (*http.Response, error) { return f(req) }
+
+func TestIngestBadLinesRejected(t *testing.T) {
+	db := tsdb.New(time.Minute)
+	h := NewIngestHandler(db, IngestOptions{})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	for _, body := range []string{
+		"{\"metric\":\"a//m\",\"time\":\"2024-08-01T00:00:00Z\",\"value\":1}\nnot json\n",
+		"{\"time\":\"2024-08-01T00:00:00Z\",\"value\":1}\n", // missing metric
+		"{\"metric\":\"a//m\",\"value\":1}\n",               // missing time
+	} {
+		resp, err := http.Post(srv.URL, "application/x-ndjson", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("body %q: got %d, want 400", body, resp.StatusCode)
+		}
+	}
+	if db.Len() != 0 {
+		t.Fatal("rejected bodies must not touch the store")
+	}
+}
+
+// TestIngestClientHonorsRetryAfter proves the resilience integration: a
+// server that answers 429 with an explicit hint twice, then accepts. The
+// client must wait exactly the hinted durations (not the policy backoff)
+// and deliver the batch on the third attempt.
+func TestIngestClientHonorsRetryAfter(t *testing.T) {
+	db := tsdb.New(time.Minute)
+	inner := NewIngestHandler(db, IngestOptions{})
+	failures := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, req *http.Request) {
+		if failures < 2 {
+			failures++
+			rw.Header().Set("Retry-After", "7")
+			http.Error(rw, "draining", http.StatusTooManyRequests)
+			return
+		}
+		inner.ServeHTTP(rw, req)
+	}))
+	defer srv.Close()
+
+	clock := resilience.NewFakeClock(t0).AutoAdvance()
+	policy := resilience.Policy{MaxAttempts: 5, BaseDelay: 50 * time.Millisecond,
+		MaxDelay: time.Minute, Multiplier: 2, Jitter: 0}
+	client := NewIngestClient(srv.URL, srv.Client(), policy, clock, 1)
+	pts := ingestPoints(3)
+	res, err := client.Send(context.Background(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Appended != len(pts) {
+		t.Fatalf("appended %d, want %d", res.Appended, len(pts))
+	}
+	if got, want := clock.Slept(), 14*time.Second; got != want {
+		t.Fatalf("client slept %v, want the two 7s hints (%v)", got, want)
+	}
+}

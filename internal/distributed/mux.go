@@ -24,3 +24,15 @@ func NewMux(w *Worker, reg *obs.Registry, tracer *obs.Tracer) *http.ServeMux {
 	obs.RegisterDebug(mux, reg, tracer)
 	return mux
 }
+
+// NewIngestMux is NewMux plus a streaming ingestion route:
+//
+//	/ingest         NDJSON point batches appended to the worker's store
+//
+// used by workers running with a durable data dir, where series arrive
+// over HTTP instead of from a CSV loaded at startup.
+func NewIngestMux(w *Worker, ing *IngestHandler, reg *obs.Registry, tracer *obs.Tracer) *http.ServeMux {
+	mux := NewMux(w, reg, tracer)
+	mux.Handle("/ingest", obs.Middleware(reg, "/ingest", ing))
+	return mux
+}

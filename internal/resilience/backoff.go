@@ -56,6 +56,37 @@ func (p Policy) Delay(retry int, rng *rand.Rand) time.Duration {
 	return time.Duration(d)
 }
 
+// retryAfterError carries a server-provided backoff hint alongside a
+// retryable error — the Retry-After header of a 429 or 503. Retry loops
+// honor the hint in place of the policy's computed backoff: when the
+// server says how long it needs, guessing with exponential jitter only
+// hammers it sooner.
+type retryAfterError struct {
+	err   error
+	after time.Duration
+}
+
+func (e *retryAfterError) Error() string { return e.err.Error() }
+func (e *retryAfterError) Unwrap() error { return e.err }
+
+// RetryAfter wraps a retryable err with a server-provided delay hint.
+// Non-positive hints return err unchanged.
+func RetryAfter(err error, after time.Duration) error {
+	if err == nil || after <= 0 {
+		return err
+	}
+	return &retryAfterError{err: err, after: after}
+}
+
+// RetryAfterHint extracts a server-provided delay hint from err.
+func RetryAfterHint(err error) (time.Duration, bool) {
+	var ra *retryAfterError
+	if errors.As(err, &ra) {
+		return ra.after, true
+	}
+	return 0, false
+}
+
 // permanentError marks an error that retrying cannot fix (a 404, a
 // malformed request); Retryer.Do stops immediately on one.
 type permanentError struct{ err error }
@@ -144,6 +175,14 @@ func Do[T any](ctx context.Context, r *Retryer, f func(ctx context.Context) (T, 
 			break
 		}
 		d := r.delay(attempt)
+		if hint, ok := RetryAfterHint(err); ok {
+			// Honor the server's hint, still bounded by the policy cap so
+			// a hostile or confused server cannot park the client forever.
+			d = hint
+			if r.Policy.MaxDelay > 0 && d > r.Policy.MaxDelay {
+				d = r.Policy.MaxDelay
+			}
+		}
 		if r.OnRetry != nil {
 			r.OnRetry(attempt, d, err)
 		}

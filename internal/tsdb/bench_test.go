@@ -1,6 +1,8 @@
 package tsdb
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 	"time"
 )
@@ -28,6 +30,67 @@ func BenchmarkQueryWindow(b *testing.B) {
 		if _, err := db.Query(id, from, to); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchAppendParallel drives 8 goroutines appending to disjoint metric
+// sets — the shard-contention benchmark behind the benchdiff speedup
+// gate. The single-lock variant (Shards: 1) is the pre-sharding store;
+// the sharded variant must beat it by the factor the gate enforces.
+func benchAppendParallel(b *testing.B, opts Options) {
+	const (
+		workers      = 8
+		perWorkerIDs = 64 // spread each worker over many series so shard routing stays uniform
+	)
+	db := NewWithOptions(time.Minute, opts)
+	ids := make([][]MetricID, workers)
+	for w := range ids {
+		ids[w] = make([]MetricID, perWorkerIDs)
+		for m := range ids[w] {
+			ids[w][m] = ID("svc", fmt.Sprintf("w%d_m%d", w, m), "gcpu")
+		}
+	}
+	per := b.N/workers + 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			mine := ids[w]
+			for i := 0; i < per; i++ {
+				db.Append(mine[i%perWorkerIDs], t0.Add(time.Duration(i/perWorkerIDs)*time.Minute), float64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func BenchmarkAppendParallel(b *testing.B) {
+	benchAppendParallel(b, Options{Shards: 16})
+}
+
+func BenchmarkAppendParallelSingleLock(b *testing.B) {
+	benchAppendParallel(b, Options{Shards: 1})
+}
+
+func BenchmarkAppendBatch(b *testing.B) {
+	db := New(time.Minute)
+	const batch = 512
+	pts := make([]Point, batch)
+	ids := [8]MetricID{}
+	for w := range ids {
+		ids[w] = ID("svc", "sub"+string(rune('a'+w)), "gcpu")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base := i * (batch / len(ids))
+		for j := range pts {
+			pts[j] = Point{ids[j%len(ids)], t0.Add(time.Duration(base+j/len(ids)) * time.Minute), float64(j)}
+		}
+		db.AppendBatch(pts)
 	}
 }
 

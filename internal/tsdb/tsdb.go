@@ -12,10 +12,19 @@
 // cache derived results keyed by (metric, version), a per-service index
 // makes Metrics(service) proportional to that service's metric count, and
 // QueryView serves windows zero-copy.
+//
+// Writes scale with cores: the store is lock-striped into shards keyed by
+// a hash of the MetricID (default GOMAXPROCS shards, see Options), so
+// concurrent Appends to different series rarely contend on one lock — the
+// paper's fleet ingests hundreds of thousands of live series, and a single
+// store-wide mutex would serialize every one of them. AppendBatch groups a
+// batch by shard and takes each stripe lock once.
 package tsdb
 
 import (
 	"fmt"
+	"math/bits"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -64,6 +73,30 @@ func (id MetricID) service() string {
 	return ""
 }
 
+// hash is FNV-1a over the ID's bytes, inlined so shard routing never
+// allocates.
+func (id MetricID) hash() uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= prime32
+	}
+	return h
+}
+
+// Point is one observation of one metric — the unit of batched ingestion
+// (AppendBatch, the WAL record payload, and the /ingest wire format all
+// carry Points).
+type Point struct {
+	ID MetricID
+	T  time.Time
+	V  float64
+}
+
 // entry pairs a stored series with its monotonic version, bumped on every
 // mutation (append, prune). A (metric, version) pair therefore pins the
 // exact series content, which is what makes version-keyed caches of
@@ -73,11 +106,9 @@ type entry struct {
 	version uint64
 }
 
-// DB is an in-memory time-series database. The zero value is not usable;
-// construct with New.
-type DB struct {
-	step time.Duration
-
+// shard is one lock stripe: a private map of series plus the per-service
+// index restricted to the IDs that hash here.
+type shard struct {
 	mu     sync.RWMutex
 	series map[MetricID]*entry
 	// byService indexes metric IDs per service, kept sorted. Maintained at
@@ -87,67 +118,110 @@ type DB struct {
 	byService map[string][]MetricID
 }
 
+// Options tunes a DB. The zero value takes defaults.
+type Options struct {
+	// Shards is the number of lock stripes, rounded up to a power of two
+	// (default GOMAXPROCS; 1 degrades to the old single-lock store, which
+	// the shard-contention benchmark uses as its baseline).
+	Shards int
+}
+
+// DB is an in-memory time-series database. The zero value is not usable;
+// construct with New or NewWithOptions.
+type DB struct {
+	step   time.Duration
+	shards []*shard
+	mask   uint32
+}
+
 // New returns a DB whose series all share the given step (one point per
-// step).
+// step), with the default shard count.
 func New(step time.Duration) *DB {
-	return &DB{
-		step:      step,
-		series:    map[MetricID]*entry{},
-		byService: map[string][]MetricID{},
+	return NewWithOptions(step, Options{})
+}
+
+// NewWithOptions returns a DB with explicit tuning.
+func NewWithOptions(step time.Duration, opts Options) *DB {
+	n := opts.Shards
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
 	}
+	if n > 1024 {
+		n = 1024
+	}
+	// Round up to a power of two so routing is a mask, not a modulo.
+	n = 1 << bits.Len(uint(n-1))
+	if n < 1 {
+		n = 1
+	}
+	db := &DB{step: step, shards: make([]*shard, n), mask: uint32(n - 1)}
+	for i := range db.shards {
+		db.shards[i] = &shard{
+			series:    map[MetricID]*entry{},
+			byService: map[string][]MetricID{},
+		}
+	}
+	return db
 }
 
 // Step returns the database's sample step.
 func (db *DB) Step() time.Duration { return db.step }
 
-// indexAdd inserts id into its service's sorted index. Caller holds db.mu.
-func (db *DB) indexAdd(id MetricID) {
+// NumShards returns the number of lock stripes.
+func (db *DB) NumShards() int { return len(db.shards) }
+
+// shardFor routes an ID to its stripe.
+func (db *DB) shardFor(id MetricID) *shard {
+	return db.shards[id.hash()&db.mask]
+}
+
+// indexAdd inserts id into its service's sorted index. Caller holds sh.mu.
+func (sh *shard) indexAdd(id MetricID) {
 	svc := id.service()
-	ids := db.byService[svc]
+	ids := sh.byService[svc]
 	i := sort.Search(len(ids), func(i int) bool { return ids[i] >= id })
 	ids = append(ids, "")
 	copy(ids[i+1:], ids[i:])
 	ids[i] = id
-	db.byService[svc] = ids
+	sh.byService[svc] = ids
 }
 
-// indexRemove deletes id from its service's index. Caller holds db.mu.
-func (db *DB) indexRemove(id MetricID) {
+// indexRemove deletes id from its service's index. Caller holds sh.mu.
+func (sh *shard) indexRemove(id MetricID) {
 	svc := id.service()
-	ids := db.byService[svc]
+	ids := sh.byService[svc]
 	i := sort.Search(len(ids), func(i int) bool { return ids[i] >= id })
 	if i >= len(ids) || ids[i] != id {
 		return
 	}
 	ids = append(ids[:i], ids[i+1:]...)
 	if len(ids) == 0 {
-		delete(db.byService, svc)
+		delete(sh.byService, svc)
 	} else {
-		db.byService[svc] = ids
+		sh.byService[svc] = ids
 	}
 }
 
-// Append adds one point to the metric's series at time t. Points must be
-// appended in order; a point earlier than the series end is rejected. Gaps
-// are filled by repeating the last value so windows stay regularly spaced
-// (production systems interpolate similarly for scan alignment); the fill
-// extends the series in one bulk allocation, so a long-gapped series does
-// not pay O(gap) appends.
-func (db *DB) Append(id MetricID, t time.Time, v float64) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	e, ok := db.series[id]
+// appendLocked adds one point to the shard, creating the series on first
+// sight and gap-filling as Append documents. stale points (at or before
+// the series end) are either rejected or skipped per lenient. Caller
+// holds sh.mu. Reports whether the point was appended.
+func (sh *shard) appendLocked(step time.Duration, id MetricID, t time.Time, v float64, lenient bool) (bool, error) {
+	e, ok := sh.series[id]
 	if !ok {
-		e = &entry{series: timeseries.New(t.Truncate(db.step), db.step, nil)}
-		db.series[id] = e
-		db.indexAdd(id)
+		e = &entry{series: timeseries.New(t.Truncate(step), step, nil)}
+		sh.series[id] = e
+		sh.indexAdd(id)
 	}
 	s := e.series
 	// Compute the raw slot without IndexOf's clamping so gaps are visible.
-	slot := int(t.Sub(s.Start) / db.step)
+	slot := int(t.Sub(s.Start) / step)
 	switch {
 	case slot < s.Len():
-		return fmt.Errorf("tsdb: out-of-order append to %s at %s", id, t)
+		if lenient {
+			return false, nil
+		}
+		return false, fmt.Errorf("tsdb: out-of-order append to %s at %s", id, t)
 	case slot == s.Len():
 		s.Append(v)
 	default:
@@ -159,15 +233,97 @@ func (db *DB) Append(id MetricID, t time.Time, v float64) error {
 		s.Append(v)
 	}
 	e.version++
-	return nil
+	return true, nil
+}
+
+// Append adds one point to the metric's series at time t. Points must be
+// appended in order; a point earlier than the series end is rejected. Gaps
+// are filled by repeating the last value so windows stay regularly spaced
+// (production systems interpolate similarly for scan alignment); the fill
+// extends the series in one bulk allocation, so a long-gapped series does
+// not pay O(gap) appends.
+func (db *DB) Append(id MetricID, t time.Time, v float64) error {
+	sh := db.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	_, err := sh.appendLocked(db.step, id, t, v, false)
+	return err
+}
+
+// AppendBatch adds many points, grouping them by shard so each stripe
+// lock is taken once per batch instead of once per point. Within a
+// metric, points apply in their order in pts.
+//
+// Unlike Append, AppendBatch is idempotent: a point at or before its
+// series' current end is skipped silently rather than rejected. That is
+// the contract durable ingestion needs — WAL replay re-applies records
+// that may already be captured in a snapshot, and an ingest client whose
+// acknowledgment was lost in a crash re-sends batches the store already
+// holds; both must converge on the same content as an uninterrupted run.
+// The returned count is the number of points actually appended; the
+// remainder were stale duplicates.
+func (db *DB) AppendBatch(pts []Point) (int, error) {
+	if len(pts) == 0 {
+		return 0, nil
+	}
+	appended := 0
+	if len(db.shards) == 1 {
+		sh := db.shards[0]
+		sh.mu.Lock()
+		for _, p := range pts {
+			ok, _ := sh.appendLocked(db.step, p.ID, p.T, p.V, true)
+			if ok {
+				appended++
+			}
+		}
+		sh.mu.Unlock()
+		return appended, nil
+	}
+	// Bucket point indices per shard, preserving batch order within each.
+	buckets := make([][]int, len(db.shards))
+	for i, p := range pts {
+		s := p.ID.hash() & db.mask
+		buckets[s] = append(buckets[s], i)
+	}
+	for si, idx := range buckets {
+		if len(idx) == 0 {
+			continue
+		}
+		sh := db.shards[si]
+		sh.mu.Lock()
+		for _, i := range idx {
+			p := pts[i]
+			ok, _ := sh.appendLocked(db.step, p.ID, p.T, p.V, true)
+			if ok {
+				appended++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return appended, nil
+}
+
+// Restore installs a series wholesale under the given ID, replacing any
+// existing series — the bulk-load path snapshot recovery uses instead of
+// replaying one Append per point. The restored series starts at version 1
+// (a fresh process has no caches to invalidate).
+func (db *DB) Restore(id MetricID, s *timeseries.Series) {
+	sh := db.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.series[id]; !ok {
+		sh.indexAdd(id)
+	}
+	sh.series[id] = &entry{series: s, version: 1}
 }
 
 // Query returns a copy of the metric's series restricted to [from, to), or
 // an error if the metric is unknown.
 func (db *DB) Query(id MetricID, from, to time.Time) (*timeseries.Series, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	e, ok := db.series[id]
+	sh := db.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	e, ok := sh.series[id]
 	if !ok {
 		return nil, fmt.Errorf("tsdb: unknown metric %q", id)
 	}
@@ -182,9 +338,10 @@ func (db *DB) Query(id MetricID, from, to time.Time) (*timeseries.Series, error)
 // place. Callers must treat the view's Values as read-only; use Query for
 // a mutable copy.
 func (db *DB) QueryView(id MetricID, from, to time.Time) (*timeseries.Series, uint64, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	e, ok := db.series[id]
+	sh := db.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	e, ok := sh.series[id]
 	if !ok {
 		return nil, 0, fmt.Errorf("tsdb: unknown metric %q", id)
 	}
@@ -195,9 +352,10 @@ func (db *DB) QueryView(id MetricID, from, to time.Time) (*timeseries.Series, ui
 // metrics). The version increases on every mutation of the series, so an
 // unchanged version guarantees unchanged content.
 func (db *DB) Version(id MetricID) uint64 {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	if e, ok := db.series[id]; ok {
+	sh := db.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if e, ok := sh.series[id]; ok {
 		return e.version
 	}
 	return 0
@@ -205,9 +363,10 @@ func (db *DB) Version(id MetricID) uint64 {
 
 // Full returns a copy of the metric's complete series.
 func (db *DB) Full(id MetricID) (*timeseries.Series, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	e, ok := db.series[id]
+	sh := db.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	e, ok := sh.series[id]
 	if !ok {
 		return nil, fmt.Errorf("tsdb: unknown metric %q", id)
 	}
@@ -216,19 +375,24 @@ func (db *DB) Full(id MetricID) (*timeseries.Series, error) {
 
 // Metrics returns all metric IDs, sorted, optionally filtered to one
 // service ("" matches all). The per-service listing reads the maintained
-// index — no store walk, no ID parsing.
+// per-shard indexes — no store walk, no ID parsing — then merges the (at
+// most NumShards) sorted runs.
 func (db *DB) Metrics(service string) []MetricID {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	var out []MetricID
 	if service != "" {
-		ids := db.byService[service]
-		out := make([]MetricID, len(ids))
-		copy(out, ids)
-		return out
-	}
-	out := make([]MetricID, 0, len(db.series))
-	for id := range db.series {
-		out = append(out, id)
+		for _, sh := range db.shards {
+			sh.mu.RLock()
+			out = append(out, sh.byService[service]...)
+			sh.mu.RUnlock()
+		}
+	} else {
+		for _, sh := range db.shards {
+			sh.mu.RLock()
+			for id := range sh.series {
+				out = append(out, id)
+			}
+			sh.mu.RUnlock()
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
@@ -237,30 +401,34 @@ func (db *DB) Metrics(service string) []MetricID {
 // NumMetrics returns how many series the service has without copying the
 // index ("" counts the whole store).
 func (db *DB) NumMetrics(service string) int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	if service == "" {
-		return len(db.series)
+	n := 0
+	for _, sh := range db.shards {
+		sh.mu.RLock()
+		if service == "" {
+			n += len(sh.series)
+		} else {
+			n += len(sh.byService[service])
+		}
+		sh.mu.RUnlock()
 	}
-	return len(db.byService[service])
+	return n
 }
 
 // Len returns the number of stored series.
 func (db *DB) Len() int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return len(db.series)
+	return db.NumMetrics("")
 }
 
 // Drop removes a metric's series.
 func (db *DB) Drop(id MetricID) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if _, ok := db.series[id]; !ok {
+	sh := db.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.series[id]; !ok {
 		return
 	}
-	delete(db.series, id)
-	db.indexRemove(id)
+	delete(sh.series, id)
+	sh.indexRemove(id)
 }
 
 // Prune discards points older than the retention horizon for every series,
@@ -269,14 +437,16 @@ func (db *DB) Drop(id MetricID) {
 // stay valid; their versions advance so caches keyed on (metric, version)
 // invalidate.
 func (db *DB) Prune(before time.Time) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	for _, e := range db.series {
-		s := e.series
-		if !s.Start.Before(before) {
-			continue
+	for _, sh := range db.shards {
+		sh.mu.Lock()
+		for _, e := range sh.series {
+			s := e.series
+			if !s.Start.Before(before) {
+				continue
+			}
+			e.series = s.Slice(before, s.End()).Clone()
+			e.version++
 		}
-		e.series = s.Slice(before, s.End()).Clone()
-		e.version++
+		sh.mu.Unlock()
 	}
 }

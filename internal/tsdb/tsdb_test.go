@@ -230,7 +230,7 @@ func TestQueryViewMatchesQuery(t *testing.T) {
 		}
 	}
 	// The view shares the store's backing array — that is the point.
-	if &view.Values[0] != &db.series[id].series.Values[3] {
+	if &view.Values[0] != &db.shardFor(id).series[id].series.Values[3] {
 		t.Error("QueryView copied instead of sharing the backing array")
 	}
 }

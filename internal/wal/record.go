@@ -1,0 +1,115 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"fbdetect/internal/tsdb"
+)
+
+// On-disk record layout (little-endian):
+//
+//	[4B payload length][4B CRC-32C of payload][payload]
+//
+// payload:
+//
+//	[1B kind][4B point count] then per point:
+//	[2B metric-ID length][ID bytes][8B unix-nano timestamp][8B IEEE-754 bits]
+//
+// A record is one appended batch — group commit folds many caller batches
+// into one write(2), but each batch stays one checksummed unit so replay
+// can tell exactly which ingest acknowledgments the disk honored.
+
+const (
+	recordHeaderSize = 8
+	kindPoints       = 1
+	// maxRecordPayload bounds a single record so a corrupted length field
+	// cannot make replay attempt a multi-gigabyte allocation.
+	maxRecordPayload = 64 << 20
+)
+
+// castagnoli is the CRC-32C table (the polynomial storage systems
+// conventionally use; hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// appendRecord encodes one batch of points as a WAL record appended to b.
+func appendRecord(b []byte, pts []tsdb.Point) []byte {
+	payloadLen := 1 + 4
+	for _, p := range pts {
+		payloadLen += 2 + len(p.ID) + 8 + 8
+	}
+	start := len(b)
+	b = append(b, make([]byte, recordHeaderSize+payloadLen)...)
+	binary.LittleEndian.PutUint32(b[start:], uint32(payloadLen))
+	payload := b[start+recordHeaderSize:]
+	payload[0] = kindPoints
+	binary.LittleEndian.PutUint32(payload[1:], uint32(len(pts)))
+	off := 5
+	for _, p := range pts {
+		binary.LittleEndian.PutUint16(payload[off:], uint16(len(p.ID)))
+		off += 2
+		off += copy(payload[off:], p.ID)
+		binary.LittleEndian.PutUint64(payload[off:], uint64(p.T.UnixNano()))
+		off += 8
+		binary.LittleEndian.PutUint64(payload[off:], math.Float64bits(p.V))
+		off += 8
+	}
+	binary.LittleEndian.PutUint32(b[start+4:], crc32.Checksum(payload, castagnoli))
+	return b
+}
+
+// decodeRecord parses the record at the head of b. It returns the decoded
+// points and the total record size consumed. Any truncation or checksum
+// mismatch returns an error; the caller decides whether that means a torn
+// tail (stop replay) or corruption (fail recovery).
+func decodeRecord(b []byte) (pts []tsdb.Point, size int, err error) {
+	if len(b) < recordHeaderSize {
+		return nil, 0, fmt.Errorf("wal: truncated record header (%d bytes)", len(b))
+	}
+	payloadLen := int(binary.LittleEndian.Uint32(b))
+	if payloadLen < 5 || payloadLen > maxRecordPayload {
+		return nil, 0, fmt.Errorf("wal: implausible record payload length %d", payloadLen)
+	}
+	if len(b) < recordHeaderSize+payloadLen {
+		return nil, 0, fmt.Errorf("wal: truncated record payload (%d of %d bytes)",
+			len(b)-recordHeaderSize, payloadLen)
+	}
+	payload := b[recordHeaderSize : recordHeaderSize+payloadLen]
+	if got, want := crc32.Checksum(payload, castagnoli), binary.LittleEndian.Uint32(b[4:]); got != want {
+		return nil, 0, fmt.Errorf("wal: record checksum mismatch (got %08x, want %08x)", got, want)
+	}
+	if payload[0] != kindPoints {
+		return nil, 0, fmt.Errorf("wal: unknown record kind %d", payload[0])
+	}
+	count := int(binary.LittleEndian.Uint32(payload[1:]))
+	off := 5
+	// Each point needs at least 18 bytes; reject counts the payload
+	// cannot possibly hold before allocating.
+	if count < 0 || count > (payloadLen-off)/18 {
+		return nil, 0, fmt.Errorf("wal: implausible point count %d in %d-byte payload", count, payloadLen)
+	}
+	pts = make([]tsdb.Point, 0, count)
+	for i := 0; i < count; i++ {
+		if off+2 > payloadLen {
+			return nil, 0, fmt.Errorf("wal: point %d: truncated ID length", i)
+		}
+		idLen := int(binary.LittleEndian.Uint16(payload[off:]))
+		off += 2
+		if off+idLen+16 > payloadLen {
+			return nil, 0, fmt.Errorf("wal: point %d: truncated body", i)
+		}
+		id := tsdb.MetricID(payload[off : off+idLen])
+		off += idLen
+		nanos := int64(binary.LittleEndian.Uint64(payload[off:]))
+		off += 8
+		v := math.Float64frombits(binary.LittleEndian.Uint64(payload[off:]))
+		off += 8
+		pts = append(pts, tsdb.Point{ID: id, T: unixNano(nanos), V: v})
+	}
+	if off != payloadLen {
+		return nil, 0, fmt.Errorf("wal: %d trailing payload bytes after %d points", payloadLen-off, count)
+	}
+	return pts, recordHeaderSize + payloadLen, nil
+}

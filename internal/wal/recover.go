@@ -1,0 +1,142 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"fbdetect/internal/obs"
+	"fbdetect/internal/tsdb"
+)
+
+// RecoverStats summarizes what recovery found.
+type RecoverStats struct {
+	// SnapshotSeries is how many series the snapshot restored.
+	SnapshotSeries int
+	// ReplayedRecords and ReplayedPoints count WAL records applied on top
+	// of the snapshot (points already covered by the snapshot still count
+	// as replayed; tsdb.AppendBatch makes re-applying them a no-op).
+	ReplayedRecords int
+	ReplayedPoints  int
+	// TornTail reports that the final segment ended in a partial or
+	// corrupt record — the expected signature of a crash mid-write — and
+	// was truncated back to its last intact record.
+	TornTail bool
+}
+
+// Recover rebuilds a DB from dir's snapshot plus its WAL segments. The
+// final segment may end in a torn record (a crash landed mid-write);
+// everything after the last intact record in that segment is discarded
+// and the file truncated so subsequent appends extend a clean log. A
+// decode failure in any non-final segment is corruption, not a torn
+// tail, and fails recovery.
+//
+// reg (may be nil) receives the replay counters. dbOpts tunes the
+// rebuilt store (shard count).
+func Recover(dir string, step time.Duration, dbOpts tsdb.Options, reg *obs.Registry) (*tsdb.DB, RecoverStats, error) {
+	var stats RecoverStats
+	var replayedRecords, replayedPoints, tornTails *obs.Counter
+	if reg != nil {
+		replayedRecords = reg.NewCounter(MetricReplayedRecords,
+			"WAL records replayed during recovery.", nil)
+		replayedPoints = reg.NewCounter(MetricReplayedPoints,
+			"Points replayed from the WAL during recovery.", nil)
+		tornTails = reg.NewCounter(MetricTornTails,
+			"Recoveries that found (and truncated) a torn final record.", nil)
+	}
+
+	db := tsdb.NewWithOptions(step, dbOpts)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, stats, fmt.Errorf("wal: creating dir: %w", err)
+	}
+	n, err := loadSnapshot(dir, db)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.SnapshotSeries = n
+
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, stats, fmt.Errorf("wal: listing segments: %w", err)
+	}
+	for si, idx := range segs {
+		final := si == len(segs)-1
+		path := filepath.Join(dir, segmentName(idx))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, stats, fmt.Errorf("wal: reading segment %d: %w", idx, err)
+		}
+		off := 0
+		for off < len(data) {
+			pts, size, derr := decodeRecord(data[off:])
+			if derr != nil {
+				if !final {
+					return nil, stats, fmt.Errorf("wal: segment %d corrupt at offset %d: %w", idx, off, derr)
+				}
+				// Torn tail: drop everything from the first bad record and
+				// truncate the file so the log resumes from intact state.
+				stats.TornTail = true
+				tornTails.Inc()
+				if terr := os.Truncate(path, int64(off)); terr != nil {
+					return nil, stats, fmt.Errorf("wal: truncating torn tail of segment %d: %w", idx, terr)
+				}
+				break
+			}
+			if _, aerr := db.AppendBatch(pts); aerr != nil {
+				return nil, stats, fmt.Errorf("wal: replaying segment %d: %w", idx, aerr)
+			}
+			stats.ReplayedRecords++
+			stats.ReplayedPoints += len(pts)
+			replayedRecords.Inc()
+			replayedPoints.Add(float64(len(pts)))
+			off += size
+		}
+	}
+	return db, stats, nil
+}
+
+// Store couples a recovered DB with its open WAL: the durable ingestion
+// unit a worker serves. Append is WAL-first — a batch reaches the
+// in-memory store (and the caller's acknowledgment) only after the log
+// accepted it under its sync policy.
+type Store struct {
+	DB    *tsdb.DB
+	Log   *Log
+	Stats RecoverStats
+}
+
+// OpenStore recovers (or initializes) the store in dir and opens its WAL
+// for appending. dbOpts tunes the rebuilt DB; reg (may be nil) receives
+// both replay and append metrics.
+func OpenStore(dir string, step time.Duration, opts Options, dbOpts tsdb.Options, reg *obs.Registry) (*Store, error) {
+	db, stats, err := Recover(dir, step, dbOpts, reg)
+	if err != nil {
+		return nil, err
+	}
+	l, err := Open(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	l.Instrument(reg)
+	return &Store{DB: db, Log: l, Stats: stats}, nil
+}
+
+// AppendBatch logs pts durably (per the WAL's sync policy), then applies
+// them to the in-memory store. It returns how many points the store
+// actually appended — re-sent duplicates log again (the WAL is
+// append-only) but apply as no-ops, which keeps recovery idempotent. The
+// signature mirrors tsdb.DB.AppendBatch so ingestion endpoints can serve
+// either a durable or a purely in-memory store.
+func (s *Store) AppendBatch(pts []tsdb.Point) (int, error) {
+	if err := s.Log.Append(pts); err != nil {
+		return 0, err
+	}
+	return s.DB.AppendBatch(pts)
+}
+
+// Snapshot serializes the current DB and compacts replayed segments.
+func (s *Store) Snapshot() error { return s.Log.Snapshot(s.DB) }
+
+// Close flushes and closes the WAL. The DB stays readable.
+func (s *Store) Close() error { return s.Log.Close() }

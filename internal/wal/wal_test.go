@@ -1,0 +1,429 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"fbdetect/internal/obs"
+	"fbdetect/internal/tsdb"
+)
+
+var t0 = time.Date(2024, 8, 1, 0, 0, 0, 0, time.UTC)
+
+// testPoints builds a deterministic multi-metric batch stream.
+func testPoints(metrics, steps int) [][]tsdb.Point {
+	batches := make([][]tsdb.Point, 0, steps)
+	for i := 0; i < steps; i++ {
+		batch := make([]tsdb.Point, 0, metrics)
+		for m := 0; m < metrics; m++ {
+			batch = append(batch, tsdb.Point{
+				ID: tsdb.ID("svc", fmt.Sprintf("sub%d", m), "gcpu"),
+				T:  t0.Add(time.Duration(i) * time.Minute),
+				V:  float64(i*metrics + m),
+			})
+		}
+		batches = append(batches, batch)
+	}
+	return batches
+}
+
+// applyAll builds the reference store the recovered one must match.
+func applyAll(t *testing.T, batches [][]tsdb.Point) *tsdb.DB {
+	t.Helper()
+	db := tsdb.New(time.Minute)
+	for _, b := range batches {
+		if _, err := db.AppendBatch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func assertSameDB(t *testing.T, want, got *tsdb.DB) {
+	t.Helper()
+	wm, gm := want.Metrics(""), got.Metrics("")
+	if len(wm) != len(gm) {
+		t.Fatalf("metric count %d, want %d", len(gm), len(wm))
+	}
+	for i, id := range wm {
+		if gm[i] != id {
+			t.Fatalf("metric[%d] = %s, want %s", i, gm[i], id)
+		}
+		ws, _ := want.Full(id)
+		gs, err := got.Full(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ws.Start.Equal(gs.Start) || ws.Len() != gs.Len() {
+			t.Fatalf("%s: shape %v, want %v", id, gs, ws)
+		}
+		for j := range ws.Values {
+			if ws.Values[j] != gs.Values[j] {
+				t.Fatalf("%s[%d] = %v, want %v", id, j, gs.Values[j], ws.Values[j])
+			}
+		}
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	pts := testPoints(5, 3)[1]
+	b := appendRecord(nil, pts)
+	got, size, err := decodeRecord(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != len(b) {
+		t.Fatalf("size = %d, want %d", size, len(b))
+	}
+	for i, p := range pts {
+		g := got[i]
+		if g.ID != p.ID || !g.T.Equal(p.T) || g.V != p.V {
+			t.Fatalf("point %d = %+v, want %+v", i, g, p)
+		}
+	}
+	// Flipping any byte must fail the checksum or the header sanity
+	// checks — never decode silently.
+	for i := range b {
+		mut := append([]byte(nil), b...)
+		mut[i] ^= 0x40
+		if _, _, err := decodeRecord(mut); err == nil {
+			t.Fatalf("flipped byte %d decoded cleanly", i)
+		}
+	}
+}
+
+func TestAppendRecoverRoundTrip(t *testing.T) {
+	for _, sync := range []SyncPolicy{SyncAlways, SyncBatch, SyncNever} {
+		t.Run(sync.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			l, err := Open(dir, Options{Sync: sync})
+			if err != nil {
+				t.Fatal(err)
+			}
+			batches := testPoints(7, 20)
+			for _, b := range batches {
+				if err := l.Append(b); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			db, stats, err := Recover(dir, time.Minute, tsdb.Options{}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.TornTail {
+				t.Error("clean log reported a torn tail")
+			}
+			if stats.ReplayedRecords != len(batches) {
+				t.Errorf("replayed %d records, want %d", stats.ReplayedRecords, len(batches))
+			}
+			assertSameDB(t, applyAll(t, batches), db)
+		})
+	}
+}
+
+func TestConcurrentAppendGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	l, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Instrument(reg)
+	const writers = 8
+	const perWriter = 25
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			id := tsdb.ID("svc", fmt.Sprintf("w%d", w), "gcpu")
+			for i := 0; i < perWriter; i++ {
+				pts := []tsdb.Point{{ID: id, T: t0.Add(time.Duration(i) * time.Minute), V: float64(i)}}
+				if err := l.Append(pts); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db, stats, err := Recover(dir, time.Minute, tsdb.Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ReplayedRecords != writers*perWriter {
+		t.Errorf("replayed %d records, want %d", stats.ReplayedRecords, writers*perWriter)
+	}
+	if db.Len() != writers {
+		t.Errorf("series = %d, want %d", db.Len(), writers)
+	}
+	for _, w := range []int{0, writers - 1} {
+		s, err := db.Full(tsdb.ID("svc", fmt.Sprintf("w%d", w), "gcpu"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Len() != perWriter {
+			t.Errorf("writer %d series length %d, want %d", w, s.Len(), perWriter)
+		}
+	}
+	// Group commit means strictly fewer fsyncs than records under
+	// concurrency... but with one writer at a time it can degenerate to
+	// 1:1, so only sanity-check the counters exist and moved.
+	if snap := reg.NewCounter(MetricFsyncs, "", nil).Value(); snap <= 0 {
+		t.Errorf("fsync counter = %v, want > 0", snap)
+	}
+	if snap := reg.NewCounter(MetricAppendedRecords, "", nil).Value(); snap != writers*perWriter {
+		t.Errorf("appended records counter = %v, want %d", snap, writers*perWriter)
+	}
+}
+
+func TestTornTailTruncatedAndTolerated(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := testPoints(3, 10)
+	for _, b := range batches {
+		if err := l.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the final record: chop off its last 5 bytes.
+	seg := filepath.Join(dir, segmentName(1))
+	st, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(seg, st.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	db, stats, err := Recover(dir, time.Minute, tsdb.Options{}, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.TornTail {
+		t.Fatal("torn tail not detected")
+	}
+	if stats.ReplayedRecords != len(batches)-1 {
+		t.Errorf("replayed %d, want %d", stats.ReplayedRecords, len(batches)-1)
+	}
+	if got := reg.NewCounter(MetricTornTails, "", nil).Value(); got != 1 {
+		t.Errorf("torn tail counter = %v", got)
+	}
+	assertSameDB(t, applyAll(t, batches[:len(batches)-1]), db)
+
+	// The torn bytes were truncated away: appending and re-recovering
+	// yields the full clean state again.
+	l2, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Append(batches[len(batches)-1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, stats2, err := Recover(dir, time.Minute, tsdb.Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.TornTail {
+		t.Error("second recovery still sees a torn tail")
+	}
+	assertSameDB(t, applyAll(t, batches), db2)
+}
+
+func TestCorruptMiddleSegmentFailsRecovery(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments force rotation so the corruption lands mid-log.
+	l, err := Open(dir, Options{Sync: SyncAlways, MaxSegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range testPoints(4, 30) {
+		if err := l.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) < 3 {
+		t.Fatalf("want >= 3 segments, got %v (err %v)", segs, err)
+	}
+	// Flip a byte in the first segment's first record payload.
+	path := filepath.Join(dir, segmentName(segs[0]))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[recordHeaderSize+3] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Recover(dir, time.Minute, tsdb.Options{}, nil); err == nil {
+		t.Fatal("corrupt non-final segment recovered silently")
+	}
+}
+
+func TestSnapshotCompactAndRecover(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	store, err := OpenStore(dir, time.Minute, Options{Sync: SyncAlways, MaxSegmentBytes: 512}, tsdb.Options{}, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := testPoints(5, 40)
+	half := len(batches) / 2
+	for _, b := range batches[:half] {
+		if _, err := store.AppendBatch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := store.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	segsAfter, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segsAfter) != 1 {
+		t.Errorf("segments after compaction = %v, want exactly the fresh one", segsAfter)
+	}
+	if got := reg.NewCounter(MetricSnapshots, "", nil).Value(); got != 1 {
+		t.Errorf("snapshot counter = %v", got)
+	}
+	if reg.NewCounter(MetricCompactedSegments, "", nil).Value() == 0 {
+		t.Error("no segments compacted despite rotation-forcing appends")
+	}
+	for _, b := range batches[half:] {
+		if _, err := store.AppendBatch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	store2, err := OpenStore(dir, time.Minute, Options{}, tsdb.Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	if store2.Stats.SnapshotSeries == 0 {
+		t.Error("recovery ignored the snapshot")
+	}
+	assertSameDB(t, applyAll(t, batches), store2.DB)
+
+	// And appending after recovery keeps working.
+	extra := []tsdb.Point{{ID: tsdb.ID("svc", "sub0", "gcpu"), T: t0.Add(41 * time.Minute), V: 1}}
+	if n, err := store2.AppendBatch(extra); err != nil || n != 1 {
+		t.Fatalf("append after recovery: n=%d err=%v", n, err)
+	}
+}
+
+func TestSnapshotStepMismatchRejected(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenStore(dir, time.Minute, Options{}, tsdb.Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.AppendBatch(testPoints(2, 2)[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	store.Close()
+	if _, _, err := Recover(dir, time.Hour, tsdb.Options{}, nil); err == nil {
+		t.Fatal("snapshot with mismatched step recovered silently")
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncAlways, MaxSegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := testPoints(2, 25)
+	for _, b := range batches {
+		if err := l.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("no rotation happened: segments %v", segs)
+	}
+	db, _, err := Recover(dir, time.Minute, tsdb.Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameDB(t, applyAll(t, batches), db)
+}
+
+func TestClosedLogRejectsAppends(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(testPoints(1, 1)[0]); err == nil {
+		t.Fatal("append after close succeeded")
+	}
+	if err := l.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestBatchDelayFlushes(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncBatch, BatchDelay: 5 * time.Millisecond, BatchBytes: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(testPoints(1, 1)[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Without reaching BatchBytes, the delay timer must still flush.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		l.mu.Lock()
+		flushed := l.flushedSeq >= 1
+		l.mu.Unlock()
+		if flushed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("batch-delay flush never happened")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	l.Close()
+}

@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# Crash-recovery drill with the real binaries, the CI counterpart of
+# TestCrashRecoveryEquivalence.
+#
+# One fleetsim process generates deterministic telemetry (with an injected
+# regression) and streams the identical batches to two durable workers:
+#
+#   control: ingests uninterrupted; its /scan response is the reference.
+#   crash:   runs with fault-injected fsync delays (widening the kill
+#            window), is SIGKILLed mid-stream and restarted — the client
+#            retries every unacknowledged batch — then SIGKILLed again
+#            (no graceful shutdown) so the state it finally serves comes
+#            from WAL recovery alone.
+#
+# The two /scan responses must be identical modulo the worker's own name.
+# (A single generation feeds both workers because the simulator is not
+# bit-deterministic across process runs.)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+WORK="$(mktemp -d)"
+trap 'kill -9 $(jobs -p) 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+CONTROL_PORT="${CONTROL_PORT:-18091}"
+CRASH_PORT="${CRASH_PORT:-18092}"
+HOURS=9
+SCAN_REQ='{"service":"fleetsim","scan_time":"2024-08-01T09:00:00Z"}'
+
+echo "== building binaries"
+go build -o "$WORK/worker" ./cmd/fbdetect-worker
+go build -o "$WORK/fleetsim" ./cmd/fleetsim
+
+wait_up() { # port
+    for _ in $(seq 1 100); do
+        if curl -sf "http://127.0.0.1:$1/healthz" >/dev/null 2>&1; then return 0; fi
+        sleep 0.1
+    done
+    echo "worker on port $1 never came up" >&2
+    return 1
+}
+
+scan() { # port outfile — normalizes the self-reported worker name
+    curl -sf -X POST "http://127.0.0.1:$1/scan" -d "$SCAN_REQ" \
+        | sed 's/"worker":"[^"]*"/"worker":"W"/' >"$2"
+}
+
+echo "== starting control and crash workers"
+"$WORK/worker" -listen "127.0.0.1:$CONTROL_PORT" -data-dir "$WORK/control" \
+    -wal-sync always -hours $HOURS &>"$WORK/control.log" &
+CONTROL_PID=$!
+start_crash_worker() {
+    "$WORK/worker" -listen "127.0.0.1:$CRASH_PORT" -data-dir "$WORK/crash" \
+        -wal-sync always -fsync-delay 40ms -hours $HOURS &>>"$WORK/crash.log" &
+    CRASH_PID=$!
+    wait_up "$CRASH_PORT"
+}
+start_crash_worker
+wait_up "$CONTROL_PORT"
+
+echo "== streaming one generation to both workers"
+"$WORK/fleetsim" -hours $HOURS -stream-steps 5 -regress 2 -seed 5 \
+    -stream "http://127.0.0.1:$CONTROL_PORT,http://127.0.0.1:$CRASH_PORT" \
+    &>"$WORK/stream.log" &
+STREAM_PID=$!
+sleep 1
+echo "   SIGKILL crash worker (pid $CRASH_PID) with the stream in flight"
+kill -9 "$CRASH_PID"
+wait "$CRASH_PID" 2>/dev/null || true
+start_crash_worker
+echo "   restarted crash worker (pid $CRASH_PID); stream retries until acknowledged"
+if ! wait "$STREAM_PID"; then
+    echo "stream failed to complete after restart:" >&2
+    cat "$WORK/stream.log" >&2
+    exit 1
+fi
+cat "$WORK/stream.log"
+
+# No graceful shutdown: the state served next comes from recovery alone.
+kill -9 "$CRASH_PID"
+wait "$CRASH_PID" 2>/dev/null || true
+start_crash_worker
+grep -h "recovered" "$WORK/crash.log" | tail -1 || true
+
+echo "== scanning both workers"
+scan "$CONTROL_PORT" "$WORK/control.json"
+scan "$CRASH_PORT" "$WORK/crash.json"
+kill -9 "$CONTROL_PID" "$CRASH_PID" 2>/dev/null || true
+
+echo "== comparing /scan responses"
+if ! grep -q '"change_point_time"' "$WORK/control.json"; then
+    echo "FAIL: control scan reported no regression; the drill needs a non-trivial report" >&2
+    cat "$WORK/control.json"
+    exit 1
+fi
+if ! cmp "$WORK/control.json" "$WORK/crash.json"; then
+    echo "FAIL: recovered worker's scan differs from the uninterrupted control" >&2
+    echo "--- control"; cat "$WORK/control.json"
+    echo "--- crash";   cat "$WORK/crash.json"
+    exit 1
+fi
+echo "PASS: recovered scan identical to uninterrupted control ($(wc -c <"$WORK/control.json") bytes)"

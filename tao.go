@@ -10,6 +10,8 @@ import (
 	"fbdetect/internal/resilience"
 	"fbdetect/internal/tao"
 	"fbdetect/internal/tracing"
+	"fbdetect/internal/tsdb"
+	"fbdetect/internal/wal"
 )
 
 // TAO graph-store substrate (paper §3: FBDetect detects per-data-type I/O
@@ -136,4 +138,59 @@ func DefaultScanOptions() ScanOptions { return distributed.DefaultOptions() }
 // resilience options.
 func NewScanCoordinatorWithOptions(workerURLs []string, client *http.Client, opts ScanOptions) (*ScanCoordinator, error) {
 	return distributed.NewCoordinatorWithOptions(workerURLs, client, opts)
+}
+
+// Durable ingestion: a write-ahead-logged, snapshot-compacted store, plus
+// the streaming HTTP path that feeds it. A worker running with -data-dir
+// recovers the store on start, serves POST /ingest, and acknowledges a
+// batch only after the WAL accepted it — so a SIGKILL mid-ingest loses
+// nothing acknowledged, and re-sent batches apply idempotently.
+type (
+	// Point is one (metric, time, value) sample, the unit of batch
+	// ingestion.
+	Point = tsdb.Point
+	// DurableStore couples a recovered DB with its open write-ahead log.
+	DurableStore = wal.Store
+	// WALOptions tunes sync policy, group-commit batching, and segment
+	// rotation; WALSyncPolicy picks when fsync happens relative to acks.
+	WALOptions    = wal.Options
+	WALSyncPolicy = wal.SyncPolicy
+	// WALRecoverStats summarizes what recovery found.
+	WALRecoverStats = wal.RecoverStats
+	// IngestClient streams point batches to a worker's /ingest endpoint,
+	// honoring its Retry-After backpressure hints.
+	IngestClient = distributed.IngestClient
+	// IngestHandler serves /ingest; IngestOptions tunes its backpressure;
+	// IngestResult is the acknowledgment.
+	IngestHandler = distributed.IngestHandler
+	IngestOptions = distributed.IngestOptions
+	IngestResult  = distributed.IngestResult
+)
+
+// WAL sync policies.
+const (
+	WALSyncBatch  = wal.SyncBatch  // fsync on group-commit thresholds (default)
+	WALSyncAlways = wal.SyncAlways // fsync before every acknowledgment
+	WALSyncNever  = wal.SyncNever  // leave syncing to the OS
+)
+
+// ParseWALSyncPolicy maps "always", "batch", or "never" to a policy.
+func ParseWALSyncPolicy(s string) (WALSyncPolicy, error) { return wal.ParseSyncPolicy(s) }
+
+// OpenDurableStore recovers (or initializes) a durable store in dir and
+// opens its WAL for appending.
+func OpenDurableStore(dir string, step time.Duration, opts WALOptions) (*DurableStore, error) {
+	return wal.OpenStore(dir, step, opts, tsdb.Options{}, nil)
+}
+
+// NewIngestHandler wraps store (a *DB or a *DurableStore) as the /ingest
+// endpoint.
+func NewIngestHandler(store distributed.IngestStore, opts IngestOptions) *IngestHandler {
+	return distributed.NewIngestHandler(store, opts)
+}
+
+// NewIngestClient returns a streaming client for a worker base URL.
+// client may be nil (http.DefaultClient).
+func NewIngestClient(baseURL string, client *http.Client, policy ScanRetryPolicy) *IngestClient {
+	return distributed.NewIngestClient(baseURL, client, policy, nil, 1)
 }
