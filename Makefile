@@ -2,9 +2,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 # Packages that define Fuzz* targets (go can only fuzz one package at a time).
-FUZZ_PKGS = . ./internal/stacktrace ./internal/wal
+FUZZ_PKGS = . ./internal/stacktrace ./internal/wal ./internal/pprofparse
 
-.PHONY: build test vet race lint fuzz-smoke bench-obs bench bench-gate bench-baseline eval eval-gate eval-baseline crashtest check
+.PHONY: build test vet race lint fuzz-smoke bench-obs bench bench-gate bench-baseline eval eval-gate eval-baseline crashtest profdiff-demo check
 
 build:
 	$(GO) build ./...
@@ -63,9 +63,11 @@ bench-obs:
 # machines print a notice instead).
 BENCH_GATE = BenchmarkPipeline$$|BenchmarkScanThroughput$$
 BENCH_TSDB = BenchmarkAppendParallel$$|BenchmarkAppendParallelSingleLock$$|BenchmarkAppendBatch$$
+BENCH_PPROF = BenchmarkPprofParse$$
 bench-gate:
 	$(GO) test -run - -bench '$(BENCH_GATE)' -benchmem -benchtime 5x . | tee BENCH_current.txt
 	$(GO) test -run - -bench '$(BENCH_TSDB)' -benchmem -benchtime 5x ./internal/tsdb/ | tee -a BENCH_current.txt
+	$(GO) test -run - -bench '$(BENCH_PPROF)' -benchmem -benchtime 5x ./internal/pprofparse/ | tee -a BENCH_current.txt
 	$(GO) run ./cmd/benchdiff -baseline BENCH_baseline.txt -current BENCH_current.txt \
 		-speedup BenchmarkAppendParallelSingleLock:BenchmarkAppendParallel:2 $(BENCH_GATE_FLAGS)
 
@@ -74,6 +76,7 @@ bench-gate:
 bench-baseline:
 	$(GO) test -run - -bench '$(BENCH_GATE)' -benchmem -benchtime 5x . | tee BENCH_baseline.txt
 	$(GO) test -run - -bench '$(BENCH_TSDB)' -benchmem -benchtime 5x ./internal/tsdb/ | tee -a BENCH_baseline.txt
+	$(GO) test -run - -bench '$(BENCH_PPROF)' -benchmem -benchtime 5x ./internal/pprofparse/ | tee -a BENCH_baseline.txt
 
 # CI bench job: the overhead microbenchmark, the gated hot-path
 # benchmarks, plus the full evaluation report written to BENCH_report.json
@@ -102,5 +105,11 @@ eval-baseline:
 # byte-identical to an uninterrupted control worker's.
 crashtest:
 	bash scripts/crashtest.sh
+
+# Real-profile demo: profile an actual Go workload before and after an
+# injected slowdown, then require `fbdetect profdiff` to rank the slowed
+# function first.
+profdiff-demo:
+	bash scripts/profdiff_demo.sh
 
 check: build vet lint test race

@@ -10,8 +10,10 @@
 // With -data-dir the worker runs in durable mode: instead of simulating a
 // service at startup, it recovers a WAL+snapshot store from the directory,
 // serves POST /ingest for streaming NDJSON point batches (fleetsim
-// -stream produces them), and scans whatever series have been ingested.
-// Kill -9 it mid-ingest and restart: acknowledged batches survive.
+// -stream produces them) and POST /profiles for raw CPU profiles
+// (gzipped pprof protobuf or folded stacks, folded into per-subroutine
+// gCPU series), and scans whatever series have been ingested. Kill -9 it
+// mid-ingest and restart: acknowledged batches survive.
 package main
 
 import (
@@ -47,6 +49,7 @@ func main() {
 		dataDir       = flag.String("data-dir", "", "durable mode: recover a WAL+snapshot store from this directory, serve POST /ingest, and scan ingested series (disables the built-in simulation)")
 		walSync       = flag.String("wal-sync", "batch", "durable mode WAL sync policy: always, batch, or never")
 		snapshotEvery = flag.Duration("snapshot-every", 0, "durable mode: snapshot the store and compact the WAL at this interval (0 = only on shutdown)")
+		profileTopK   = flag.Int("profile-top-k", 0, "durable mode: cap on subroutines tracked per uploaded profile via POST /profiles (0 = default 200)")
 		fsyncDelay    = flag.Duration("fsync-delay", 0, "fault injection: artificial delay added to every WAL fsync, widening the crash window for recovery tests")
 		version       = flag.Bool("version", false, "print version and exit")
 	)
@@ -134,7 +137,9 @@ func main() {
 	if store != nil {
 		ingest := distributed.NewIngestHandler(store, distributed.IngestOptions{})
 		ingest.Instrument(reg)
-		handler = distributed.NewIngestMux(worker, ingest, reg, tracer)
+		profiles := distributed.NewProfilesHandler(store, distributed.ProfilesOptions{TopK: *profileTopK})
+		profiles.Instrument(reg)
+		handler = distributed.NewIngestMux(worker, ingest, profiles, reg, tracer)
 
 		if *snapshotEvery > 0 {
 			go func() {

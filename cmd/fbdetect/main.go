@@ -15,9 +15,16 @@ import (
 	"fbdetect"
 	"fbdetect/internal/core"
 	"fbdetect/internal/obs"
+	"fbdetect/internal/pprofparse"
+	"fbdetect/internal/report"
+	"fbdetect/internal/stacktrace"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "profdiff" {
+		runProfDiff(os.Args[2:])
+		return
+	}
 	var (
 		subroutines = flag.Int("subroutines", 300, "call-tree size")
 		servers     = flag.Int("servers", 10000, "fleet size")
@@ -246,6 +253,44 @@ func runCoordinator(workerList, serviceList, scanTimeStr string, hours int, opts
 		fmt.Fprintf(os.Stderr, "\nsweep errors:\n%v\n", err)
 		os.Exit(1)
 	}
+}
+
+// runProfDiff implements `fbdetect profdiff before after`: compare two
+// CPU profiles (gzipped pprof protobuf from runtime/pprof, or folded
+// stacks — formats may be mixed) and print the subroutines whose self
+// gCPU moved, worst regression first. The offline companion to the
+// monitor: same subroutine-level view, but from exactly two captures.
+func runProfDiff(args []string) {
+	fs := flag.NewFlagSet("profdiff", flag.ExitOnError)
+	minDelta := fs.Float64("min-delta", 0.0001, "smallest |self gCPU delta| to report (fraction of samples)")
+	topN := fs.Int("top", 20, "entries listed per direction (negative = unlimited)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: fbdetect profdiff [flags] before.pb.gz after.pb.gz")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	load := func(path string) *fbdetect.SampleSet {
+		data, err := os.ReadFile(path)
+		check(err)
+		ss, format, err := pprofparse.ReadAny(data, "", pprofparse.ConvertOptions{},
+			stacktrace.FoldedOptions{})
+		if err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		fmt.Printf("%s: %s, %.6g samples, %d subroutines\n",
+			path, format, ss.Total(), len(ss.Subroutines()))
+		return ss
+	}
+	before, after := load(fs.Arg(0)), load(fs.Arg(1))
+	fmt.Println()
+	d := report.DiffProfiles(before, after, report.DiffOptions{
+		MinDelta: *minDelta, TopN: *topN,
+	})
+	check(report.WriteProfileDiff(os.Stdout, d))
 }
 
 // splitNonEmpty splits a comma list, dropping empty elements.

@@ -1,0 +1,60 @@
+package distributed
+
+import (
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// errBodyTooLarge is the shared "split the batch / shrink the profile"
+// rejection: callers map it to 413, which clients must not retry
+// verbatim.
+var errBodyTooLarge = errors.New("request body too large")
+
+// readBody reads a request body subject to limit, honoring
+// `Content-Encoding: gzip`. The limit applies to the *decoded* size: a
+// tiny gzip bomb inflating past it is rejected exactly like an oversized
+// plain body (413), never buffered. Unknown encodings fail loudly rather
+// than being misparsed.
+func readBody(rw http.ResponseWriter, req *http.Request, limit int64) ([]byte, error) {
+	body := io.Reader(http.MaxBytesReader(rw, req.Body, limit))
+	switch enc := strings.ToLower(strings.TrimSpace(req.Header.Get("Content-Encoding"))); enc {
+	case "", "identity":
+	case "gzip", "x-gzip":
+		zr, err := gzip.NewReader(body)
+		if err != nil {
+			return nil, fmt.Errorf("bad gzip body: %w", err)
+		}
+		defer zr.Close()
+		// The wire-byte cap above still applies underneath; this cap
+		// bounds what the stream inflates to.
+		raw, err := io.ReadAll(io.LimitReader(zr, limit+1))
+		if err != nil {
+			return nil, decodeErr(err)
+		}
+		if int64(len(raw)) > limit {
+			return nil, errBodyTooLarge
+		}
+		return raw, nil
+	default:
+		return nil, fmt.Errorf("unsupported Content-Encoding %q (use gzip or identity)", enc)
+	}
+	raw, err := io.ReadAll(body)
+	if err != nil {
+		return nil, decodeErr(err)
+	}
+	return raw, nil
+}
+
+// decodeErr folds http.MaxBytesError into the shared sentinel so callers
+// need one branch for "too large" however it was detected.
+func decodeErr(err error) error {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		return errBodyTooLarge
+	}
+	return err
+}

@@ -206,13 +206,14 @@ func (h *IngestHandler) ServeHTTP(rw http.ResponseWriter, req *http.Request) {
 		return
 	}
 
-	// Read the whole (capped) body before parsing: a batch applies
-	// atomically or not at all, and reading first keeps "too large" (413,
-	// don't retry — split) distinct from a line truncated mid-stream.
-	raw, err := io.ReadAll(http.MaxBytesReader(rw, req.Body, h.opts.MaxBodyBytes))
+	// Read the whole (capped, possibly gzipped) body before parsing: a
+	// batch applies atomically or not at all, and reading first keeps
+	// "too large" (413, don't retry — split) distinct from a line
+	// truncated mid-stream. The size limit applies to the decompressed
+	// bytes, so a gzip bomb still draws the 413.
+	raw, err := readBody(rw, req, h.opts.MaxBodyBytes)
 	if err != nil {
-		var tooLarge *http.MaxBytesError
-		if errors.As(err, &tooLarge) {
+		if errors.Is(err, errBodyTooLarge) {
 			h.rejCounter(IngestReasonTooLarge).Inc()
 			http.Error(rw, fmt.Sprintf("body exceeds %d bytes; split the batch",
 				h.opts.MaxBodyBytes), http.StatusRequestEntityTooLarge)

@@ -1,6 +1,8 @@
 package distributed
 
 import (
+	"bytes"
+	"compress/gzip"
 	"context"
 	"math"
 	"net/http"
@@ -211,6 +213,72 @@ func TestIngestBadLinesRejected(t *testing.T) {
 	}
 	if db.Len() != 0 {
 		t.Fatal("rejected bodies must not touch the store")
+	}
+}
+
+// TestIngestGzipBody: a gzip-compressed NDJSON batch is transparently
+// inflated; the size limit applies to the decoded bytes, so a gzip bomb
+// draws the same 413 an oversized plain body would.
+func TestIngestGzipBody(t *testing.T) {
+	db := tsdb.New(time.Minute)
+	reg := obs.NewRegistry()
+	h := NewIngestHandler(db, IngestOptions{MaxBodyBytes: 4096})
+	h.Instrument(reg)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	gz := func(b []byte) *bytes.Buffer {
+		var buf bytes.Buffer
+		zw := gzip.NewWriter(&buf)
+		zw.Write(b)
+		zw.Close()
+		return &buf
+	}
+	post := func(body *bytes.Buffer, encoding string) *http.Response {
+		req, err := http.NewRequest(http.MethodPost, srv.URL, body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/x-ndjson")
+		if encoding != "" {
+			req.Header.Set("Content-Encoding", encoding)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	pts := ingestPoints(10)
+	if resp := post(gz(EncodeNDJSON(pts)), "gzip"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("gzip batch got %d, want 200", resp.StatusCode)
+	}
+	s, err := db.Full(tsdb.ID("svc", "sub", "gcpu"))
+	if err != nil || s.Len() != 10 {
+		t.Fatalf("gzip batch did not land: %v, len=%d", err, s.Len())
+	}
+
+	// Bomb: a few hundred wire bytes inflating to ~130 KiB of decoded
+	// NDJSON (repeated lines compress brutally well).
+	bomb := gz(bytes.Repeat(EncodeNDJSON(ingestPoints(1)[:1]), 2000))
+	if bomb.Len() >= 4096 {
+		t.Fatalf("bomb is %d wire bytes; make it smaller than the cap", bomb.Len())
+	}
+	if resp := post(bomb, "gzip"); resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("gzip bomb got %d, want 413", resp.StatusCode)
+	}
+	if got := reg.NewCounter(MetricIngestRejected, "", obs.Labels{"reason": IngestReasonTooLarge}).Value(); got != 1 {
+		t.Fatalf("too_large rejections = %v, want 1", got)
+	}
+
+	// Garbage under the gzip flag and an unsupported coding both 400.
+	if resp := post(bytes.NewBuffer([]byte("not gzip")), "gzip"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad gzip got %d, want 400", resp.StatusCode)
+	}
+	if resp := post(gz(EncodeNDJSON(pts)), "br"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unsupported encoding got %d, want 400", resp.StatusCode)
 	}
 }
 

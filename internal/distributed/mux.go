@@ -25,14 +25,19 @@ func NewMux(w *Worker, reg *obs.Registry, tracer *obs.Tracer) *http.ServeMux {
 	return mux
 }
 
-// NewIngestMux is NewMux plus a streaming ingestion route:
+// NewIngestMux is NewMux plus the streaming ingestion routes:
 //
 //	/ingest         NDJSON point batches appended to the worker's store
+//	/profiles       raw pprof / folded-stack profiles folded into
+//	                per-subroutine gCPU points (when prof != nil)
 //
 // used by workers running with a durable data dir, where series arrive
 // over HTTP instead of from a CSV loaded at startup.
-func NewIngestMux(w *Worker, ing *IngestHandler, reg *obs.Registry, tracer *obs.Tracer) *http.ServeMux {
+func NewIngestMux(w *Worker, ing *IngestHandler, prof *ProfilesHandler, reg *obs.Registry, tracer *obs.Tracer) *http.ServeMux {
 	mux := NewMux(w, reg, tracer)
 	mux.Handle("/ingest", obs.Middleware(reg, "/ingest", ing))
+	if prof != nil {
+		mux.Handle("/profiles", obs.Middleware(reg, "/profiles", prof))
+	}
 	return mux
 }

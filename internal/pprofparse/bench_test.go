@@ -1,0 +1,41 @@
+package pprofparse
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchProfile fabricates a profile shaped like a real service's CPU
+// profile: 400 distinct stacks, depth ~12, over a 600-function namespace.
+func benchProfile() []byte {
+	b := NewBuilder("cpu", "nanoseconds")
+	b.SetTimeNanos(1722470400e9)
+	b.SetPeriod(10e6)
+	for i := 0; i < 400; i++ {
+		stack := []string{"runtime.main", "main.main", "app.Run"}
+		for d := 0; d < 9; d++ {
+			stack = append(stack, fmt.Sprintf("svc/pkg%d.(*Worker%d).step%d", i%20, (i+d)%30, d))
+		}
+		b.Add(stack, int64(1+i%97)*10_000_000)
+	}
+	return b.Profile().MarshalGzip()
+}
+
+// BenchmarkPprofParse measures the full ingestion parse path — gunzip,
+// wire decode, symbol resolution, SampleSet conversion with frame
+// normalization — the per-upload cost of the /profiles endpoint.
+func BenchmarkPprofParse(bm *testing.B) {
+	data := benchProfile()
+	bm.SetBytes(int64(len(data)))
+	bm.ReportAllocs()
+	bm.ResetTimer()
+	for i := 0; i < bm.N; i++ {
+		p, err := Parse(data)
+		if err != nil {
+			bm.Fatal(err)
+		}
+		if _, err := p.SampleSet(ConvertOptions{}); err != nil {
+			bm.Fatal(err)
+		}
+	}
+}

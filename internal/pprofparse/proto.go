@@ -1,0 +1,212 @@
+package pprofparse
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+)
+
+// Protobuf wire types (proto.dev encoding spec). Groups (3, 4) are
+// rejected: profile.proto never uses them, and accepting them would only
+// widen the attack surface of a parser that feeds on uploaded bytes.
+const (
+	wireVarint  = 0
+	wireFixed64 = 1
+	wireBytes   = 2
+	wireFixed32 = 5
+)
+
+// decoder is a cursor over one protobuf message's bytes. All reads bound
+// themselves against len(buf); a truncated or corrupt field surfaces as an
+// error, never a panic or over-read.
+type decoder struct {
+	buf []byte
+	pos int
+}
+
+// varint reads one base-128 varint. Encodings longer than 10 bytes (the
+// maximum for 64 bits) are rejected rather than silently wrapped.
+func (d *decoder) varint() (uint64, error) {
+	var v uint64
+	for shift := uint(0); shift < 64; shift += 7 {
+		if d.pos >= len(d.buf) {
+			return 0, fmt.Errorf("truncated varint at offset %d", d.pos)
+		}
+		b := d.buf[d.pos]
+		d.pos++
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("varint overflows 64 bits at offset %d", d.pos)
+}
+
+// tag reads one field tag, returning the field number and wire type.
+func (d *decoder) tag() (int, int, error) {
+	v, err := d.varint()
+	if err != nil {
+		return 0, 0, err
+	}
+	field, wire := int(v>>3), int(v&7)
+	if field == 0 {
+		return 0, 0, fmt.Errorf("illegal field number 0 at offset %d", d.pos)
+	}
+	return field, wire, nil
+}
+
+// bytes reads one length-delimited payload without copying.
+func (d *decoder) bytes() ([]byte, error) {
+	n, err := d.varint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(d.buf)-d.pos) {
+		return nil, fmt.Errorf("length %d exceeds remaining %d bytes", n, len(d.buf)-d.pos)
+	}
+	out := d.buf[d.pos : d.pos+int(n)]
+	d.pos += int(n)
+	return out, nil
+}
+
+// skip discards one field's payload for the given wire type.
+func (d *decoder) skip(wire int) error {
+	switch wire {
+	case wireVarint:
+		_, err := d.varint()
+		return err
+	case wireFixed64:
+		if len(d.buf)-d.pos < 8 {
+			return fmt.Errorf("truncated fixed64 at offset %d", d.pos)
+		}
+		d.pos += 8
+		return nil
+	case wireBytes:
+		_, err := d.bytes()
+		return err
+	case wireFixed32:
+		if len(d.buf)-d.pos < 4 {
+			return fmt.Errorf("truncated fixed32 at offset %d", d.pos)
+		}
+		d.pos += 4
+		return nil
+	}
+	return fmt.Errorf("unsupported wire type %d at offset %d", wire, d.pos)
+}
+
+// done reports whether the cursor consumed the whole buffer.
+func (d *decoder) done() bool { return d.pos >= len(d.buf) }
+
+// int64Field coerces a varint payload to int64 (two's complement, the
+// encoding profile.proto uses for its plain int64 fields).
+func int64Field(v uint64) int64 { return int64(v) }
+
+// packedUint64 appends the values of a repeated uint64 field to dst. The
+// field may arrive packed (one length-delimited blob of varints) or as a
+// single unpacked varint; both occur in the wild.
+func packedUint64(dst []uint64, payload []byte, wire int, single uint64) ([]uint64, error) {
+	if wire == wireVarint {
+		return append(dst, single), nil
+	}
+	d := decoder{buf: payload}
+	for !d.done() {
+		v, err := d.varint()
+		if err != nil {
+			return dst, err
+		}
+		dst = append(dst, v)
+	}
+	return dst, nil
+}
+
+// packedInt64 is packedUint64 for int64-typed repeated fields.
+func packedInt64(dst []int64, payload []byte, wire int, single uint64) ([]int64, error) {
+	if wire == wireVarint {
+		return append(dst, int64Field(single)), nil
+	}
+	d := decoder{buf: payload}
+	for !d.done() {
+		v, err := d.varint()
+		if err != nil {
+			return dst, err
+		}
+		dst = append(dst, int64Field(v))
+	}
+	return dst, nil
+}
+
+// encoder builds protobuf bytes. It is the minimal mirror of decoder that
+// Marshal needs: varints, tags, and length-delimited payloads.
+type encoder struct {
+	buf []byte
+}
+
+func (e *encoder) varint(v uint64) {
+	e.buf = binary.AppendUvarint(e.buf, v)
+}
+
+func (e *encoder) tag(field, wire int) {
+	e.varint(uint64(field)<<3 | uint64(wire))
+}
+
+// int64Fld emits a varint field unless v is zero (proto3 omits defaults).
+func (e *encoder) int64Fld(field int, v int64) {
+	if v == 0 {
+		return
+	}
+	e.tag(field, wireVarint)
+	e.varint(uint64(v))
+}
+
+func (e *encoder) uint64Fld(field int, v uint64) {
+	if v == 0 {
+		return
+	}
+	e.tag(field, wireVarint)
+	e.varint(v)
+}
+
+// bytesFld emits a length-delimited field. Empty payloads are still
+// emitted when emitEmpty is set (string table slot 0 is the empty string
+// and must occupy its index).
+func (e *encoder) bytesFld(field int, payload []byte, emitEmpty bool) {
+	if len(payload) == 0 && !emitEmpty {
+		return
+	}
+	e.tag(field, wireBytes)
+	e.varint(uint64(len(payload)))
+	e.buf = append(e.buf, payload...)
+}
+
+// packedUint64Fld emits a repeated uint64 field in packed form.
+func (e *encoder) packedUint64Fld(field int, vs []uint64) {
+	if len(vs) == 0 {
+		return
+	}
+	n := 0
+	for _, v := range vs {
+		n += varintLen(v)
+	}
+	e.tag(field, wireBytes)
+	e.varint(uint64(n))
+	for _, v := range vs {
+		e.varint(v)
+	}
+}
+
+// packedInt64Fld emits a repeated int64 field in packed form.
+func (e *encoder) packedInt64Fld(field int, vs []int64) {
+	if len(vs) == 0 {
+		return
+	}
+	us := make([]uint64, len(vs))
+	for i, v := range vs {
+		us[i] = uint64(v)
+	}
+	e.packedUint64Fld(field, us)
+}
+
+// varintLen returns the encoded size of v.
+func varintLen(v uint64) int {
+	return (bits.Len64(v|1) + 6) / 7
+}

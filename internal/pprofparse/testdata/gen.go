@@ -1,0 +1,54 @@
+//go:build ignore
+
+// gen.go regenerates cpu.pb.gz, the real runtime/pprof CPU profile the
+// parser tests and fuzz corpus are seeded with. Run from this directory:
+//
+//	go run gen.go
+//
+// The profile's exact samples depend on the machine that recorded it;
+// tests only assert structural properties (the hog functions appear, the
+// sample type is cpu/nanoseconds), so re-recording is always safe.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"runtime/pprof"
+	"time"
+)
+
+var sink float64
+
+//go:noinline
+func hogInner(n int) float64 {
+	s := 0.0
+	for i := 0; i < n; i++ {
+		s += float64(i%7) * 1.000001
+	}
+	return s
+}
+
+//go:noinline
+func hogOuter(rounds int) {
+	for i := 0; i < rounds; i++ {
+		sink += hogInner(200_000)
+	}
+}
+
+func main() {
+	f, err := os.Create("cpu.pb.gz")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := pprof.StartCPUProfile(f); err != nil {
+		log.Fatal(err)
+	}
+	deadline := time.Now().Add(1500 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		hogOuter(10)
+	}
+	pprof.StopCPUProfile()
+	fmt.Println("wrote cpu.pb.gz; sink =", sink)
+}

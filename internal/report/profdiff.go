@@ -1,0 +1,204 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"fbdetect/internal/core"
+	"fbdetect/internal/stacktrace"
+)
+
+// ProfileDiffEntry is one subroutine's before→after movement between two
+// profiles.
+type ProfileDiffEntry struct {
+	Subroutine string
+	// Before and After are the subroutine's inclusive gCPU (fraction of
+	// stack samples containing it) in each profile; Delta = After −
+	// Before. Inclusive deltas propagate to every ancestor — a leaf
+	// regressing drags its whole call chain up — so entries are ranked
+	// and floored by SelfDelta instead.
+	Before, After, Delta float64
+	// SelfBefore and SelfAfter are the exclusive gCPU (fraction of
+	// samples where the subroutine is the innermost frame): the cost the
+	// subroutine burns itself rather than inherits. SelfDelta = SelfAfter
+	// − SelfBefore is what the diff ranks by, pinning the actually
+	// regressed code above its merely-affected callers.
+	SelfBefore, SelfAfter, SelfDelta float64
+	// Callers are the subroutine's direct callers in the "after" profile
+	// (falling back to "before" for subroutines that vanished), sorted —
+	// where the new cost is being charged from.
+	Callers []string
+	// Verdict is the matching monitor regression, when the diff was
+	// linked against scan results (nil otherwise). A profile pair shows
+	// *that* cost moved; the verdict shows the fleet's time series agreed
+	// it was a statistically significant change point.
+	Verdict *core.Regression
+}
+
+// ProfileDiff is a full subroutine-level comparison of two profiles —
+// the offline twin of the monitor's gCPU scan: where the fleet pipeline
+// watches per-subroutine series over hours, the diff answers the same
+// "who got more expensive" question from exactly two captures (e.g. the
+// before/after of one deploy).
+type ProfileDiff struct {
+	// Regressed holds subroutines whose self gCPU grew by at least
+	// MinDelta, sorted by self delta descending (worst first, ties by
+	// name); Improved the mirror image.
+	Regressed []ProfileDiffEntry
+	Improved  []ProfileDiffEntry
+	// TotalBefore and TotalAfter are the profiles' sample totals, a scale
+	// sanity check: gCPU is a fraction, so wildly different totals mean
+	// different capture durations, not necessarily different cost.
+	TotalBefore, TotalAfter float64
+}
+
+// DiffOptions tunes DiffProfiles. The zero value is usable.
+type DiffOptions struct {
+	// MinDelta is the smallest |self gCPU delta| worth listing (default
+	// 0.0001, i.e. 0.01% of samples — FBDetect's smallest detectable
+	// in-production regressions are of this order).
+	MinDelta float64
+	// TopN caps each direction's list (default 20, 0 keeps the default;
+	// negative means unlimited).
+	TopN int
+	// Verdicts links entries against monitor scan results: an entry whose
+	// subroutine matches a regression's Entity gets that verdict
+	// attached.
+	Verdicts []*core.Regression
+}
+
+func (o DiffOptions) withDefaults() DiffOptions {
+	if o.MinDelta <= 0 {
+		o.MinDelta = 0.0001
+	}
+	if o.TopN == 0 {
+		o.TopN = 20
+	}
+	return o
+}
+
+// DiffProfiles compares two sample sets subroutine by subroutine.
+func DiffProfiles(before, after *stacktrace.SampleSet, opts DiffOptions) *ProfileDiff {
+	opts = opts.withDefaults()
+	bAll, aAll := before.GCPUAll(), after.GCPUAll()
+	bSelf, aSelf := selfGCPU(before), selfGCPU(after)
+	subs := make(map[string]bool, len(bAll)+len(aAll))
+	for sub := range bAll {
+		subs[sub] = true
+	}
+	for sub := range aAll {
+		subs[sub] = true
+	}
+
+	verdictFor := make(map[string]*core.Regression, len(opts.Verdicts))
+	for _, r := range opts.Verdicts {
+		if r != nil && r.Entity != "" {
+			verdictFor[r.Entity] = r
+		}
+	}
+
+	d := &ProfileDiff{TotalBefore: before.Total(), TotalAfter: after.Total()}
+	for sub := range subs {
+		sb, sa := bSelf[sub], aSelf[sub]
+		selfDelta := sa - sb
+		if selfDelta < opts.MinDelta && selfDelta > -opts.MinDelta {
+			continue
+		}
+		callers := after.Callers(sub)
+		if len(callers) == 0 {
+			callers = before.Callers(sub)
+		}
+		sort.Strings(callers)
+		e := ProfileDiffEntry{Subroutine: sub,
+			Before: bAll[sub], After: aAll[sub], Delta: aAll[sub] - bAll[sub],
+			SelfBefore: sb, SelfAfter: sa, SelfDelta: selfDelta,
+			Callers: callers, Verdict: verdictFor[sub]}
+		if selfDelta > 0 {
+			d.Regressed = append(d.Regressed, e)
+		} else {
+			d.Improved = append(d.Improved, e)
+		}
+	}
+	sortEntries(d.Regressed, false)
+	sortEntries(d.Improved, true)
+	if opts.TopN > 0 {
+		if len(d.Regressed) > opts.TopN {
+			d.Regressed = d.Regressed[:opts.TopN]
+		}
+		if len(d.Improved) > opts.TopN {
+			d.Improved = d.Improved[:opts.TopN]
+		}
+	}
+	return d
+}
+
+// selfGCPU computes each subroutine's exclusive gCPU: the weight
+// fraction of samples whose innermost frame it is.
+func selfGCPU(ss *stacktrace.SampleSet) map[string]float64 {
+	total := ss.Total()
+	out := map[string]float64{}
+	if total <= 0 {
+		return out
+	}
+	for _, s := range ss.Samples() {
+		out[s.Trace.Leaf().Subroutine] += s.Weight / total
+	}
+	return out
+}
+
+// sortEntries orders by |self delta| descending — most movement first —
+// with name as the deterministic tiebreak.
+func sortEntries(es []ProfileDiffEntry, ascending bool) {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].SelfDelta != es[j].SelfDelta {
+			if ascending {
+				return es[i].SelfDelta < es[j].SelfDelta
+			}
+			return es[i].SelfDelta > es[j].SelfDelta
+		}
+		return es[i].Subroutine < es[j].Subroutine
+	})
+}
+
+// WriteProfileDiff renders d as the plain-text report `fbdetect profdiff`
+// prints. Output is deterministic: same profile pair, same bytes.
+func WriteProfileDiff(w io.Writer, d *ProfileDiff) error {
+	if _, err := fmt.Fprintf(w, "profile diff: %.6g samples before, %.6g after\n",
+		d.TotalBefore, d.TotalAfter); err != nil {
+		return err
+	}
+	if len(d.Regressed) == 0 && len(d.Improved) == 0 {
+		_, err := fmt.Fprintln(w, "\nno subroutine moved past the delta floor")
+		return err
+	}
+	if err := writeSection(w, "regressed (gCPU up)", d.Regressed); err != nil {
+		return err
+	}
+	return writeSection(w, "improved (gCPU down)", d.Improved)
+}
+
+func writeSection(w io.Writer, title string, es []ProfileDiffEntry) error {
+	if len(es) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "\n%s:\n", title); err != nil {
+		return err
+	}
+	for i, e := range es {
+		line := fmt.Sprintf("  %2d. %-40s self %+.4f%%  (%.4f%% -> %.4f%%)  incl %+.4f%%",
+			i+1, e.Subroutine, e.SelfDelta*100, e.SelfBefore*100, e.SelfAfter*100, e.Delta*100)
+		if len(e.Callers) > 0 {
+			line += "  callers: " + strings.Join(e.Callers, ", ")
+		}
+		if e.Verdict != nil {
+			line += fmt.Sprintf("  [confirmed by monitor: %+.4f%% at %s]",
+				e.Verdict.Delta*100, e.Verdict.ChangePointTime.Format("2006-01-02T15:04:05Z07:00"))
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}

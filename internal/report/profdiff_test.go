@@ -1,0 +1,163 @@
+package report
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"fbdetect/internal/core"
+	"fbdetect/internal/pprofparse"
+	"fbdetect/internal/stacktrace"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// loadProfile parses one committed testdata profile into a sample set.
+func loadProfile(t *testing.T, name string) *stacktrace.SampleSet {
+	t.Helper()
+	data, err := os.ReadFile("testdata/" + name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := pprofparse.Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := p.SampleSet(pprofparse.ConvertOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ss
+}
+
+// TestDiffProfilesRanksInjectedRegression: on the committed pair,
+// app.compress (gCPU 10% -> 18%) must rank first among regressions with
+// the expected delta, and app.alloc first among improvements.
+func TestDiffProfilesRanksInjectedRegression(t *testing.T) {
+	before, after := loadProfile(t, "before.pb.gz"), loadProfile(t, "after.pb.gz")
+	d := DiffProfiles(before, after, DiffOptions{})
+
+	if len(d.Regressed) == 0 {
+		t.Fatal("no regressions found")
+	}
+	top := d.Regressed[0]
+	if top.Subroutine != "app.compress" {
+		t.Fatalf("top regression is %q, want app.compress (full list: %+v)", top.Subroutine, d.Regressed)
+	}
+	if !almostEqual(top.SelfBefore, 0.10, 1e-9) || !almostEqual(top.SelfAfter, 0.18, 1e-9) ||
+		!almostEqual(top.SelfDelta, 0.08, 1e-9) {
+		t.Fatalf("app.compress self moved %.4f -> %.4f (delta %.4f), want 0.10 -> 0.18",
+			top.SelfBefore, top.SelfAfter, top.SelfDelta)
+	}
+	// compress is a leaf, so inclusive == self for it.
+	if !almostEqual(top.Delta, 0.08, 1e-9) {
+		t.Fatalf("app.compress inclusive delta = %v, want 0.08", top.Delta)
+	}
+	// The merely-affected ancestors (Handle, main) burn no self time;
+	// self ranking must keep them out entirely.
+	for _, e := range append(d.Regressed, d.Improved...) {
+		if e.Subroutine == "app.(*Server).Handle" || e.Subroutine == "app.main" {
+			t.Fatalf("pass-through ancestor %q listed: %+v", e.Subroutine, e)
+		}
+	}
+	// Caller attribution: compress is only ever called from render.
+	if len(top.Callers) != 1 || top.Callers[0] != "app.render" {
+		t.Fatalf("app.compress callers = %v, want [app.render]", top.Callers)
+	}
+	// render moved itself (15% -> 16%) AND contains compress; it must
+	// appear, ranked below compress.
+	found := false
+	for _, e := range d.Regressed[1:] {
+		if e.Subroutine == "app.render" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("app.render missing from regressions: %+v", d.Regressed)
+	}
+
+	if len(d.Improved) == 0 || d.Improved[0].Subroutine != "app.alloc" {
+		t.Fatalf("top improvement = %+v, want app.alloc", d.Improved)
+	}
+	if !almostEqual(d.Improved[0].SelfDelta, -0.07, 1e-9) {
+		t.Fatalf("app.alloc self delta = %v, want -0.07", d.Improved[0].SelfDelta)
+	}
+}
+
+// TestDiffProfilesOptions: the delta floor hides noise, TopN caps the
+// list, and verdict linkage attaches monitor confirmations by entity.
+func TestDiffProfilesOptions(t *testing.T) {
+	before, after := loadProfile(t, "before.pb.gz"), loadProfile(t, "after.pb.gz")
+
+	// A floor above render's 1% self movement hides it.
+	d := DiffProfiles(before, after, DiffOptions{MinDelta: 0.02})
+	for _, e := range append(d.Regressed, d.Improved...) {
+		if e.SelfDelta < 0.02 && e.SelfDelta > -0.02 {
+			t.Fatalf("entry %+v under the 0.02 floor survived", e)
+		}
+	}
+
+	d = DiffProfiles(before, after, DiffOptions{TopN: 1})
+	if len(d.Regressed) != 1 || len(d.Improved) != 1 {
+		t.Fatalf("TopN=1 kept %d/%d entries", len(d.Regressed), len(d.Improved))
+	}
+
+	verdict := &core.Regression{Entity: "app.compress", Delta: 0.08,
+		ChangePointTime: time.Date(2024, 8, 1, 7, 0, 0, 0, time.UTC)}
+	d = DiffProfiles(before, after, DiffOptions{Verdicts: []*core.Regression{verdict, nil}})
+	if d.Regressed[0].Verdict != verdict {
+		t.Fatal("verdict not linked to app.compress")
+	}
+	for _, e := range d.Regressed[1:] {
+		if e.Verdict != nil {
+			t.Fatalf("verdict leaked onto %q", e.Subroutine)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteProfileDiff(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "confirmed by monitor") {
+		t.Fatalf("rendered diff lacks the verdict line:\n%s", buf.String())
+	}
+}
+
+// TestProfileDiffGolden: the rendered report for the committed pair is
+// byte-identical to the committed golden — profile diffing must be
+// deterministic or CI comparisons of its output are meaningless.
+func TestProfileDiffGolden(t *testing.T) {
+	before, after := loadProfile(t, "before.pb.gz"), loadProfile(t, "after.pb.gz")
+	var buf bytes.Buffer
+	if err := WriteProfileDiff(&buf, DiffProfiles(before, after, DiffOptions{})); err != nil {
+		t.Fatal(err)
+	}
+	const golden = "testdata/profdiff.golden"
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("report drifted from golden (run `go test ./internal/report -run Golden -update`):\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+	// Render twice: same bytes (no map-order leakage).
+	var again bytes.Buffer
+	if err := WriteProfileDiff(&again, DiffProfiles(before, after, DiffOptions{})); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("two renders of the same pair differ")
+	}
+}
+
+func almostEqual(a, b, eps float64) bool {
+	d := a - b
+	return d < eps && d > -eps
+}

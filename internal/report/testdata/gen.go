@@ -1,0 +1,45 @@
+//go:build ignore
+
+// Generates the committed before/after profile pair profdiff tests and
+// the golden report run against:
+//
+//	go run gen.go
+//
+// The pair simulates one deploy of a small web service: app.compress
+// regresses hard (10% -> 18% of samples), app.render regresses slightly,
+// app.alloc improves (an optimization shipped in the same deploy), and
+// everything else holds still. Profiles are built with the deterministic
+// pprofparse Builder, so re-running this emits byte-identical files.
+package main
+
+import (
+	"log"
+	"os"
+
+	"fbdetect/internal/pprofparse"
+)
+
+func build(compress, render, alloc int64) []byte {
+	b := pprofparse.NewBuilder("cpu", "nanoseconds")
+	b.SetPeriod(10_000_000) // 100 Hz sampling
+	b.Add([]string{"app.main", "app.(*Server).Handle", "app.render"}, render)
+	b.Add([]string{"app.main", "app.(*Server).Handle", "app.render", "app.compress"}, compress)
+	b.Add([]string{"app.main", "app.(*Server).Handle", "app.fetch"}, 200)
+	b.Add([]string{"app.main", "app.(*Server).Handle", "app.fetch", "app.decode"}, 100)
+	b.Add([]string{"app.main", "app.gc", "app.alloc"}, alloc)
+	b.Add([]string{"app.main", "app.idle"}, 1000-render-compress-200-100-alloc)
+	return b.Profile().MarshalGzip()
+}
+
+func main() {
+	// 1000 samples each: compress 100->180, render 150->160, alloc 120->50.
+	for name, data := range map[string][]byte{
+		"before.pb.gz": build(100, 150, 120),
+		"after.pb.gz":  build(180, 160, 50),
+	} {
+		if err := os.WriteFile(name, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s (%d bytes)", name, len(data))
+	}
+}

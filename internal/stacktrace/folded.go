@@ -2,24 +2,54 @@ package stacktrace
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
 	"strings"
 )
 
+// DefaultMaxLineBytes is the folded-line length cap ReadFolded applies
+// when FoldedOptions.MaxLineBytes is unset (1 MiB — thousands of frames,
+// far beyond any real stack).
+const DefaultMaxLineBytes = 1 << 20
+
+// FoldedOptions tunes ReadFoldedOptions. The zero value matches
+// ReadFolded's defaults.
+type FoldedOptions struct {
+	// MaxLineBytes caps one folded line (default DefaultMaxLineBytes).
+	// Lines beyond it fail with a "folded line N too long" error naming
+	// the offending line instead of bufio's opaque "token too long".
+	MaxLineBytes int
+}
+
 // ReadFolded parses collapsed ("folded") stack traces — the interchange
 // format emitted by perf/pprof flame-graph tooling and by this
 // repository's PyPerf sampler — and accumulates them into a SampleSet.
-// Each line is "frame;frame;frame count" (root first); a missing count
-// defaults to 1. Blank lines and lines starting with '#' are skipped.
+// Each line is "frame;frame;frame count" (root first); the count may be
+// separated by spaces or tabs and a missing count defaults to 1. CRLF
+// line endings are accepted. Blank lines and lines starting with '#' are
+// skipped.
 //
 // This is the integration point for feeding real profiler output (e.g.
 // from pprof or perf script | stackcollapse) into FBDetect.
 func ReadFolded(r io.Reader) (*SampleSet, error) {
+	return ReadFoldedOptions(r, FoldedOptions{})
+}
+
+// ReadFoldedOptions is ReadFolded with explicit limits.
+func ReadFoldedOptions(r io.Reader, opts FoldedOptions) (*SampleSet, error) {
+	maxLine := opts.MaxLineBytes
+	if maxLine <= 0 {
+		maxLine = DefaultMaxLineBytes
+	}
 	ss := NewSampleSet()
 	scanner := bufio.NewScanner(r)
-	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	initial := 64 * 1024
+	if initial > maxLine {
+		initial = maxLine
+	}
+	scanner.Buffer(make([]byte, 0, initial), maxLine)
 	lineNo := 0
 	for scanner.Scan() {
 		lineNo++
@@ -34,6 +64,10 @@ func ReadFolded(r io.Reader) (*SampleSet, error) {
 		ss.Add(stack, weight)
 	}
 	if err := scanner.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			return nil, fmt.Errorf("stacktrace: folded line %d too long (limit %d bytes; raise FoldedOptions.MaxLineBytes)",
+				lineNo+1, maxLine)
+		}
 		return nil, fmt.Errorf("stacktrace: reading folded stacks: %w", err)
 	}
 	return ss, nil
@@ -42,12 +76,14 @@ func ReadFolded(r io.Reader) (*SampleSet, error) {
 func parseFoldedLine(line string) (Trace, float64, error) {
 	frames := line
 	weight := 1.0
-	// The count, if present, is the final whitespace-separated token and
-	// must be numeric; frame names may contain spaces otherwise.
-	if i := strings.LastIndexByte(line, ' '); i >= 0 {
+	// The count, if present, is the final space- or tab-separated token
+	// and must be numeric; frame names may contain spaces otherwise (a
+	// final numeric frame with no separator-delimited count stays a
+	// frame).
+	if i := strings.LastIndexAny(line, " \t"); i >= 0 {
 		if w, err := strconv.ParseFloat(strings.TrimSpace(line[i+1:]), 64); err == nil {
 			weight = w
-			frames = line[:i]
+			frames = strings.TrimRight(line[:i], " \t")
 		}
 	}
 	if weight <= 0 {

@@ -91,3 +91,87 @@ func TestReadFoldedEmptyInput(t *testing.T) {
 		t.Errorf("empty input: %v, %v", ss, err)
 	}
 }
+
+// TestReadFoldedSpacesThenNumericFinalFrame: a frame name containing
+// spaces followed by a purely numeric final frame. The numeric token
+// after the last separator is the count; the spaced frame survives, and
+// a numeric frame with no following count stays a frame.
+func TestReadFoldedSpacesThenNumericFinalFrame(t *testing.T) {
+	ss, err := ReadFolded(strings.NewReader("main;operator new;42 7\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ss.Total(); got != 7 {
+		t.Errorf("total = %v, want 7 (final token is the count)", got)
+	}
+	if g := ss.GCPU("42"); g != 1 {
+		t.Errorf("gCPU(42) = %v, want 1 (numeric frame kept)", g)
+	}
+	if g := ss.GCPU("operator new"); g != 1 {
+		t.Errorf("gCPU(operator new) = %v, want 1", g)
+	}
+
+	// No separator before the numeric leaf: it is a frame, weight 1.
+	ss, err = ReadFolded(strings.NewReader("main;1234\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.Total() != 1 || ss.GCPU("1234") != 1 {
+		t.Errorf("numeric leaf without count: total=%v gCPU(1234)=%v", ss.Total(), ss.GCPU("1234"))
+	}
+}
+
+// TestReadFoldedTabSeparatedCount: perf script post-processors often emit
+// "stack\tcount".
+func TestReadFoldedTabSeparatedCount(t *testing.T) {
+	ss, err := ReadFolded(strings.NewReader("main;render\t12\nmain;fetch\t 8\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.Total() != 20 {
+		t.Errorf("total = %v, want 20", ss.Total())
+	}
+	if g := ss.GCPU("render"); !almostEqual(g, 12.0/20, 1e-9) {
+		t.Errorf("gCPU(render) = %v", g)
+	}
+}
+
+// TestReadFoldedCRLF: Windows-recorded profiles parse identically.
+func TestReadFoldedCRLF(t *testing.T) {
+	ss, err := ReadFolded(strings.NewReader("main;render 5\r\nmain;fetch 3\r\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.Total() != 8 {
+		t.Errorf("total = %v, want 8", ss.Total())
+	}
+	if g := ss.GCPU("fetch"); !almostEqual(g, 3.0/8, 1e-9) {
+		t.Errorf("gCPU(fetch) = %v", g)
+	}
+}
+
+// TestReadFoldedLineCap: over-long lines fail with a clear, numbered
+// error instead of bufio's opaque "token too long", and the cap is
+// adjustable.
+func TestReadFoldedLineCap(t *testing.T) {
+	long := "ok 1\n" + strings.Repeat("x", 300) + ";leaf 2\n"
+	_, err := ReadFoldedOptions(strings.NewReader(long), FoldedOptions{MaxLineBytes: 128})
+	if err == nil {
+		t.Fatal("expected line-too-long error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "line 2") || !strings.Contains(msg, "too long") || !strings.Contains(msg, "128") {
+		t.Errorf("error %q should name line 2 and the 128-byte limit", msg)
+	}
+	if strings.Contains(msg, "token too long") {
+		t.Errorf("error %q leaks bufio internals", msg)
+	}
+	// The same input parses once the cap is raised.
+	ss, err := ReadFoldedOptions(strings.NewReader(long), FoldedOptions{MaxLineBytes: 1024})
+	if err != nil {
+		t.Fatalf("raised cap: %v", err)
+	}
+	if ss.Total() != 3 {
+		t.Errorf("raised cap: total = %v, want 3", ss.Total())
+	}
+}

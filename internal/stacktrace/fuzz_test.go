@@ -41,6 +41,10 @@ func FuzzReadFolded(f *testing.F) {
 	f.Add("# comment\n\nmain;a;b\n")
 	f.Add("bad -1\n")
 	f.Add("frame with spaces;leaf 2.5\n")
+	f.Add("main;render\t12\n")
+	f.Add("main;fetch 3\r\nmain;render 5\r\n")
+	f.Add("main;operator new;42 7\n")
+	f.Add("main;1234\n")
 	f.Fuzz(func(t *testing.T, s string) {
 		ss, err := ReadFolded(strings.NewReader(s))
 		if err != nil {

@@ -1,0 +1,198 @@
+package fbdetect
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"runtime/pprof"
+	"strings"
+	"testing"
+	"time"
+
+	"fbdetect/internal/distributed"
+	"fbdetect/internal/pprofparse"
+	"fbdetect/internal/tsdb"
+)
+
+// profileSink wires a ProfilesHandler over a fresh in-memory store, the
+// serving shape of a durable worker's POST /profiles.
+func profileSink(t *testing.T, opts distributed.ProfilesOptions) (*tsdb.DB, *httptest.Server) {
+	t.Helper()
+	db := tsdb.New(time.Minute)
+	srv := httptest.NewServer(distributed.NewProfilesHandler(db, opts))
+	t.Cleanup(srv.Close)
+	return db, srv
+}
+
+func postProfile(t *testing.T, url, service string, at time.Time, contentType string, body []byte) {
+	t.Helper()
+	resp, err := http.Post(fmt.Sprintf("%s?service=%s&time=%s", url, service,
+		at.UTC().Format(time.RFC3339)), contentType, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /profiles at %s: status %d", at, resp.StatusCode)
+	}
+}
+
+//go:noinline
+func burnCPU(n int) float64 {
+	s := 0.0
+	for i := 1; i <= n; i++ {
+		s += float64(i%7) / float64(i%13+1)
+	}
+	return s
+}
+
+// TestRealProfileRoundTrip captures an actual runtime/pprof CPU profile
+// of this test binary, uploads it through POST /profiles exactly as a
+// production profiler sidecar would, and checks the hot function arrived
+// in the TSDB as a gCPU series — the paper's in-production monitoring
+// loop, minus the fleet.
+func TestRealProfileRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		t.Skipf("cannot start CPU profiling here: %v", err)
+	}
+	deadline := time.Now().Add(500 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		burnCPU(1 << 16)
+	}
+	pprof.StopCPUProfile()
+
+	// Sanity: the capture itself must contain samples (a starved CI
+	// machine may deliver none; that is an environment problem, not a
+	// pipeline one).
+	p, err := pprofparse.Parse(buf.Bytes())
+	if err != nil {
+		t.Fatalf("runtime/pprof output did not parse: %v", err)
+	}
+	if len(p.Samples) == 0 {
+		t.Skip("CPU profiler delivered no samples on this machine")
+	}
+
+	db, srv := profileSink(t, distributed.ProfilesOptions{})
+	at := time.Date(2024, 8, 1, 9, 0, 0, 0, time.UTC)
+	postProfile(t, srv.URL, "realsvc", at, "application/octet-stream", buf.Bytes())
+
+	if db.Len() == 0 {
+		t.Fatal("no series materialized from a real profile")
+	}
+	s, err := db.Full(ID("realsvc", "fbdetect.burnCPU", "gcpu"))
+	if err != nil {
+		t.Fatalf("hot function missing from the store (have %d series): %v", db.Len(), err)
+	}
+	if s.Len() != 1 || s.Values[0] <= 0 || s.Values[0] > 1 {
+		t.Fatalf("burnCPU gCPU series = %v, want one value in (0, 1]", s.Values)
+	}
+	if !s.Start.Equal(at) {
+		t.Fatalf("series starts %v, want the explicit upload time %v", s.Start, at)
+	}
+}
+
+// syntheticProfile renders one minute's folded capture of a small
+// service. victimWeight is app.victim's sample count out of ~10000;
+// jitter perturbs every bucket so the series carry realistic noise.
+func syntheticProfile(rng *rand.Rand, victimWeight int) []byte {
+	jitter := func(n int) int { return n + rng.Intn(n/20+1) - n/40 }
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "app.main;app.handler;app.render %d\n", jitter(3000))
+	fmt.Fprintf(&sb, "app.main;app.handler;app.render;app.victim %d\n", jitter(victimWeight))
+	fmt.Fprintf(&sb, "app.main;app.handler;app.fetch %d\n", jitter(2500))
+	fmt.Fprintf(&sb, "app.main;app.gc %d\n", jitter(800))
+	fmt.Fprintf(&sb, "app.main;app.idle %d\n", jitter(10000-3000-2500-800-victimWeight))
+	return []byte(sb.String())
+}
+
+// TestProfilesToDetectionEndToEnd drives the whole front door: nine hours
+// of minute-by-minute profile uploads with a subroutine slowdown injected
+// two hours before the end, then a detector scan over the ingested gCPU
+// series. The injected victim must be reported at subroutine granularity
+// with roughly the injected delta.
+func TestProfilesToDetectionEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("540 profile uploads")
+	}
+	db, srv := profileSink(t, distributed.ProfilesOptions{})
+	rng := rand.New(rand.NewSource(7))
+
+	start := time.Date(2024, 8, 1, 0, 0, 0, 0, time.UTC)
+	end := start.Add(9 * time.Hour)
+	changeAt := end.Add(-2 * time.Hour)
+	for at := start; at.Before(end); at = at.Add(time.Minute) {
+		weight := 800 // victim at ~8% gCPU
+		if !at.Before(changeAt) {
+			weight = 1200 // slowdown: ~12%
+		}
+		postProfile(t, srv.URL, "prodsvc", at, "text/plain", syntheticProfile(rng, weight))
+	}
+
+	det, err := NewDetector(Config{
+		Threshold: 0.001,
+		Windows: WindowConfig{
+			Historic: 5 * time.Hour,
+			Analysis: 3 * time.Hour,
+			Extended: time.Hour,
+		},
+	}, db, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := det.Scan("prodsvc", end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reported) == 0 {
+		t.Fatalf("nothing reported; funnel: %+v", res.Funnel)
+	}
+	// The victim must survive every filter stage at subroutine
+	// granularity. Its regressed ancestors (app.render, app.handler — the
+	// same 4% propagates up the inclusive gCPU of the whole call chain)
+	// legitimately detect too, and PairwiseDedup folds the chain into one
+	// reported group; the victim is acceptable either as the group's
+	// representative or as a member of a reported group.
+	var victim *Regression
+	for _, r := range res.Reported {
+		if r.Entity == "app.victim" {
+			victim = r
+		}
+	}
+	if victim == nil {
+		for _, g := range det.Groups() {
+			var hasReported bool
+			for _, m := range g.Members {
+				for _, r := range res.Reported {
+					if m == r {
+						hasReported = true
+					}
+				}
+			}
+			if !hasReported {
+				continue
+			}
+			for _, m := range g.Members {
+				if m.Entity == "app.victim" {
+					victim = m
+				}
+			}
+		}
+	}
+	if victim == nil {
+		var got []string
+		for _, r := range res.Reported {
+			got = append(got, r.Entity)
+		}
+		t.Fatalf("injected app.victim slowdown neither reported nor grouped with a report; reported entities: %v, groups: %d",
+			got, len(det.Groups()))
+	}
+	if victim.Delta < 0.02 || victim.Delta > 0.06 {
+		t.Errorf("victim delta = %v, want ~0.04 (8%% -> 12%% gCPU)", victim.Delta)
+	}
+	if gap := victim.ChangePointTime.Sub(changeAt); gap < -30*time.Minute || gap > 30*time.Minute {
+		t.Errorf("change point located at %v, want within 30m of %v", victim.ChangePointTime, changeAt)
+	}
+}

@@ -1,0 +1,65 @@
+// Command profdemo is the workload for `make profdiff-demo`: a small CPU
+// burner that profiles itself with runtime/pprof and writes the capture
+// to -o. With -slow, the checksum function does 3x the work — the
+// "regression" the demo expects `fbdetect profdiff` to catch between two
+// runs of this binary.
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"runtime/pprof"
+	"time"
+)
+
+// checksum is the demo's victim: the function whose cost -slow inflates.
+//
+//go:noinline
+func checksum(data []byte, rounds int) uint64 {
+	var h uint64 = 1469598103934665603
+	for r := 0; r < rounds; r++ {
+		for _, b := range data {
+			h = (h ^ uint64(b)) * 1099511628211
+		}
+	}
+	return h
+}
+
+// transform is steady-state work that must NOT move between runs.
+//
+//go:noinline
+func transform(data []byte) {
+	for i := range data {
+		data[i] = data[i]*31 + 7
+	}
+}
+
+func main() {
+	out := flag.String("o", "cpu.pb.gz", "profile output path")
+	slow := flag.Bool("slow", false, "inflate checksum's work 3x (the injected regression)")
+	dur := flag.Duration("duration", 2*time.Second, "how long to run the workload")
+	flag.Parse()
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := pprof.StartCPUProfile(f); err != nil {
+		log.Fatal(err)
+	}
+	defer pprof.StopCPUProfile()
+
+	rounds := 1
+	if *slow {
+		rounds = 3
+	}
+	data := make([]byte, 64<<10)
+	var sink uint64
+	for deadline := time.Now().Add(*dur); time.Now().Before(deadline); {
+		transform(data)
+		sink += checksum(data, rounds)
+	}
+	log.Printf("workload done (sink=%d, slow=%v) -> %s", sink, *slow, *out)
+}

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Real-profile regression demo, the CI counterpart of the profdiff golden
+# test but with live runtime/pprof captures instead of committed
+# fixtures:
+#
+#   1. run scripts/profdemo twice — once normal, once with -slow, which
+#      triples the work inside main.checksum;
+#   2. diff the two captures with `fbdetect profdiff`;
+#   3. require main.checksum to top the regressed list.
+#
+# Profiler sampling is statistical, so the exact deltas vary run to run;
+# the ranking must not.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+DURATION="${DURATION:-2s}"
+
+echo "== building binaries"
+go build -o "$WORK/profdemo" ./scripts/profdemo
+go build -o "$WORK/fbdetect" ./cmd/fbdetect
+
+echo "== capturing baseline profile ($DURATION)"
+"$WORK/profdemo" -o "$WORK/before.pb.gz" -duration "$DURATION"
+echo "== capturing slowed profile ($DURATION, checksum x3)"
+"$WORK/profdemo" -o "$WORK/after.pb.gz" -duration "$DURATION" -slow
+
+echo "== diffing"
+"$WORK/fbdetect" profdiff "$WORK/before.pb.gz" "$WORK/after.pb.gz" | tee "$WORK/diff.txt"
+
+echo "== checking that main.checksum tops the regressed list"
+top_regressed="$(awk '/^regressed/{flag=1; next} flag && /^ *1\./{print $2; exit}' "$WORK/diff.txt")"
+if [ "$top_regressed" != "main.checksum" ]; then
+    echo "FAIL: top regressed subroutine is '$top_regressed', want main.checksum" >&2
+    exit 1
+fi
+echo "PASS: main.checksum ranked first"

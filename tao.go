@@ -1,13 +1,17 @@
 package fbdetect
 
 import (
+	"io"
 	"net/http"
 	"time"
 
 	"fbdetect/internal/canary"
 	"fbdetect/internal/core"
 	"fbdetect/internal/distributed"
+	"fbdetect/internal/pprofparse"
+	"fbdetect/internal/report"
 	"fbdetect/internal/resilience"
+	"fbdetect/internal/stacktrace"
 	"fbdetect/internal/tao"
 	"fbdetect/internal/tracing"
 	"fbdetect/internal/tsdb"
@@ -193,4 +197,56 @@ func NewIngestHandler(store distributed.IngestStore, opts IngestOptions) *Ingest
 // client may be nil (http.DefaultClient).
 func NewIngestClient(baseURL string, client *http.Client, policy ScanRetryPolicy) *IngestClient {
 	return distributed.NewIngestClient(baseURL, client, policy, nil, 1)
+}
+
+// Real-profile front door: raw CPU profiles — gzipped pprof protobuf
+// straight from runtime/pprof, or Brendan-Gregg folded stacks — parsed
+// without external dependencies, folded into per-subroutine gCPU series,
+// and diffed offline.
+type (
+	// PprofProfile is a decoded pprof protobuf profile.
+	PprofProfile = pprofparse.Profile
+	// PprofConvertOptions tunes the profile -> SampleSet conversion.
+	PprofConvertOptions = pprofparse.ConvertOptions
+	// ProfilesHandler serves POST /profiles on a worker; ProfilesOptions
+	// tunes its backpressure and top-K cap; ProfilesResult is the
+	// acknowledgment.
+	ProfilesHandler = distributed.ProfilesHandler
+	ProfilesOptions = distributed.ProfilesOptions
+	ProfilesResult  = distributed.ProfilesResult
+	// ProfileDiff is a subroutine-level comparison of two profiles;
+	// ProfileDiffEntry one subroutine's movement; ProfileDiffOptions the
+	// floors and caps.
+	ProfileDiff        = report.ProfileDiff
+	ProfileDiffEntry   = report.ProfileDiffEntry
+	ProfileDiffOptions = report.DiffOptions
+)
+
+// ParsePprof decodes a pprof protobuf profile (gzipped or raw).
+func ParsePprof(data []byte) (*PprofProfile, error) { return pprofparse.Parse(data) }
+
+// ReadProfile parses either wire format (sniffed from contentType and the
+// payload; pass contentType "" for pure sniffing) into a SampleSet,
+// reporting which format it saw ("pprof" or "folded").
+func ReadProfile(data []byte, contentType string) (*SampleSet, string, error) {
+	return pprofparse.ReadAny(data, contentType, pprofparse.ConvertOptions{},
+		stacktrace.FoldedOptions{})
+}
+
+// NewProfilesHandler wraps store (a *DB or a *DurableStore) as the
+// /profiles endpoint, turning each uploaded profile into per-subroutine
+// gCPU points.
+func NewProfilesHandler(store distributed.IngestStore, opts ProfilesOptions) *ProfilesHandler {
+	return distributed.NewProfilesHandler(store, opts)
+}
+
+// DiffProfiles compares two profiles subroutine by subroutine, ranking
+// by self-gCPU movement.
+func DiffProfiles(before, after *SampleSet, opts ProfileDiffOptions) *ProfileDiff {
+	return report.DiffProfiles(before, after, opts)
+}
+
+// WriteProfileDiff renders a profile diff as deterministic plain text.
+func WriteProfileDiff(w io.Writer, d *ProfileDiff) error {
+	return report.WriteProfileDiff(w, d)
 }
