@@ -2,9 +2,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 # Packages that define Fuzz* targets (go can only fuzz one package at a time).
-FUZZ_PKGS = . ./internal/stacktrace ./internal/wal ./internal/pprofparse
+FUZZ_PKGS = . ./internal/stacktrace ./internal/wal ./internal/pprofparse ./internal/evalharness/replay
 
-.PHONY: build test vet race lint fuzz-smoke bench-obs bench bench-gate bench-baseline eval eval-gate eval-baseline crashtest profdiff-demo check
+.PHONY: build test vet race lint fuzz-smoke bench-obs bench bench-gate bench-baseline eval eval-gate eval-baseline eval-replay eval-replay-baseline crashtest profdiff-demo check
 
 build:
 	$(GO) build ./...
@@ -64,10 +64,12 @@ bench-obs:
 BENCH_GATE = BenchmarkPipeline$$|BenchmarkScanThroughput$$
 BENCH_TSDB = BenchmarkAppendParallel$$|BenchmarkAppendParallelSingleLock$$|BenchmarkAppendBatch$$
 BENCH_PPROF = BenchmarkPprofParse$$
+BENCH_EDIV = BenchmarkEDivisive$$|BenchmarkEDivisiveStreamAppend$$
 bench-gate:
 	$(GO) test -run - -bench '$(BENCH_GATE)' -benchmem -benchtime 5x . | tee BENCH_current.txt
 	$(GO) test -run - -bench '$(BENCH_TSDB)' -benchmem -benchtime 5x ./internal/tsdb/ | tee -a BENCH_current.txt
 	$(GO) test -run - -bench '$(BENCH_PPROF)' -benchmem -benchtime 5x ./internal/pprofparse/ | tee -a BENCH_current.txt
+	$(GO) test -run - -bench '$(BENCH_EDIV)' -benchmem -benchtime 5x ./internal/edivisive/ | tee -a BENCH_current.txt
 	$(GO) run ./cmd/benchdiff -baseline BENCH_baseline.txt -current BENCH_current.txt \
 		-speedup BenchmarkAppendParallelSingleLock:BenchmarkAppendParallel:2 $(BENCH_GATE_FLAGS)
 
@@ -77,6 +79,7 @@ bench-baseline:
 	$(GO) test -run - -bench '$(BENCH_GATE)' -benchmem -benchtime 5x . | tee BENCH_baseline.txt
 	$(GO) test -run - -bench '$(BENCH_TSDB)' -benchmem -benchtime 5x ./internal/tsdb/ | tee -a BENCH_baseline.txt
 	$(GO) test -run - -bench '$(BENCH_PPROF)' -benchmem -benchtime 5x ./internal/pprofparse/ | tee -a BENCH_baseline.txt
+	$(GO) test -run - -bench '$(BENCH_EDIV)' -benchmem -benchtime 5x ./internal/edivisive/ | tee -a BENCH_baseline.txt
 
 # CI bench job: the overhead microbenchmark, the gated hot-path
 # benchmarks, plus the full evaluation report written to BENCH_report.json
@@ -99,6 +102,20 @@ eval-gate:
 # intentional detection-quality change; review and commit the result).
 eval-baseline:
 	$(GO) run ./cmd/fbdetect-eval -seed $(EVAL_SEED) -write-baseline EVAL_baseline.json -margin 0.1
+
+# CI-regression replay: score the batch detector families (E-divisive,
+# CUSUM, DP) against the committed Mozilla-format sample with its
+# sheriff-labeled alerts, write REPLAY_report.json, and fail when any
+# per-family floor in REPLAY_baseline.json is violated.
+REPLAY_DATA ?= internal/evalharness/replay/testdata/mozsample
+eval-replay:
+	$(GO) run ./cmd/fbdetect ci -data $(REPLAY_DATA) -report REPLAY_report.json \
+		-baseline REPLAY_baseline.json -gate
+
+# Re-derive the committed replay floors (after an intentional batch
+# detector change; review and commit the result).
+eval-replay-baseline:
+	$(GO) run ./cmd/fbdetect ci -data $(REPLAY_DATA) -write-baseline REPLAY_baseline.json -margin 0.05
 
 # Crash-recovery drill with the real binaries: SIGKILL a durable worker
 # mid-ingest, restart it, and require its recovered /scan response to be

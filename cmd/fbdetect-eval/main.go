@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"fbdetect/internal/evalharness"
 )
@@ -77,10 +78,16 @@ func run(args []string) error {
 		} else {
 			fmt.Printf("accuracy gate FAIL (baseline %s):\n", *baselinePath)
 			for _, v := range violations {
-				fmt.Printf("  - %s\n", v)
+				fmt.Printf("  - %-24s measured %8.3f  limit %8.3f  diff %+.3f\n    %s\n",
+					v.Floor, v.Measured, v.Limit, v.Diff, v.Detail)
 			}
 			if *gate {
-				return fmt.Errorf("%d accuracy floor(s) violated", len(violations))
+				floors := make([]string, len(violations))
+				for i, v := range violations {
+					floors[i] = fmt.Sprintf("%s (%+.3f)", v.Floor, v.Diff)
+				}
+				return fmt.Errorf("%d accuracy floor(s) violated: %s",
+					len(violations), strings.Join(floors, ", "))
 			}
 		}
 	}

@@ -1,0 +1,194 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fbdetect/internal/changepoint"
+	"fbdetect/internal/edivisive"
+	"fbdetect/internal/evalharness/replay"
+)
+
+// runCI is the `fbdetect ci` subcommand: offline CI-regression mode.
+// Instead of scanning a live fleet it replays sparse commit-indexed
+// benchmark series (the Mozilla performance-alerts artifact format)
+// through the batch detector families, attributes each change point to
+// candidate commits via the push log, and — when labeled alerts are
+// present — scores precision/recall/time-to-detect per family, with an
+// optional committed-baseline gate for CI.
+func runCI(args []string) {
+	fs := flag.NewFlagSet("fbdetect ci", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), `usage: fbdetect ci -data DIR [flags]
+
+Replay a CI benchmark dataset (series CSV/JSON + alerts + pushes.json)
+through the batch change-point detector families and score them against
+the sheriff-labeled alerts.
+
+`)
+		fs.PrintDefaults()
+	}
+	var (
+		data          = fs.String("data", "", "dataset directory (required): series files, alerts.json|csv, optional pushes.json")
+		familiesFlag  = fs.String("families", "", "comma-separated detector families to run (default: all of edivisive,cusum,dp)")
+		tolerance     = fs.Int("tolerance", replay.DefaultTolerance, "max runs between a change point and a labeled alert to count as a match")
+		reportPath    = fs.String("report", "", "write the full replay report JSON here (REPLAY_report.json)")
+		baselinePath  = fs.String("baseline", "", "committed replay baseline JSON with per-family floors")
+		gate          = fs.Bool("gate", false, "exit non-zero when any baseline floor is violated")
+		writeBaseline = fs.String("write-baseline", "", "derive a fresh baseline from this run and write it here")
+		margin        = fs.Float64("margin", 0.05, "relative back-off applied by -write-baseline")
+		verbose       = fs.Bool("v", false, "print every change point with its attributed commits")
+	)
+	fs.Parse(args)
+	if *data == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	if *gate && *baselinePath == "" {
+		fmt.Fprintln(os.Stderr, "fbdetect ci: -gate requires -baseline")
+		os.Exit(2)
+	}
+	detectors, err := ciFamilies(*familiesFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fbdetect ci:", err)
+		os.Exit(2)
+	}
+
+	ds, err := replay.ReadDataset(*data)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fbdetect ci:", err)
+		os.Exit(1)
+	}
+	rep, err := replay.Run(ds, detectors, *tolerance)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fbdetect ci:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("dataset %s: %d series, %d samples, %d valid regressions, %d ignorable alerts",
+		rep.Dataset, rep.SeriesCount, rep.Samples, rep.ValidRegressions, rep.IgnorableAlerts)
+	if rep.UnmappedLabels > 0 {
+		fmt.Printf(", %d unmapped labels", rep.UnmappedLabels)
+	}
+	fmt.Printf(" (match tolerance %d runs)\n\n", rep.Tolerance)
+	printFamilyTable(rep)
+	if *verbose {
+		printChangePoints(rep)
+	}
+
+	if *reportPath != "" {
+		if err := replay.WriteReport(rep, *reportPath); err != nil {
+			fmt.Fprintln(os.Stderr, "fbdetect ci:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nreport written to %s\n", *reportPath)
+	}
+	if *writeBaseline != "" {
+		b := replay.BaselineFromReport(rep, *margin)
+		if err := b.WriteFile(*writeBaseline); err != nil {
+			fmt.Fprintln(os.Stderr, "fbdetect ci:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("baseline written to %s\n", *writeBaseline)
+	}
+	if *baselinePath != "" {
+		baseline, err := replay.ReadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fbdetect ci:", err)
+			os.Exit(1)
+		}
+		violations := baseline.Check(rep)
+		if len(violations) == 0 {
+			fmt.Printf("\nreplay gate PASS (baseline %s)\n", *baselinePath)
+			return
+		}
+		fmt.Printf("\nreplay gate FAIL (baseline %s):\n", *baselinePath)
+		for _, v := range violations {
+			fmt.Printf("  - %-24s measured %8.3f  limit %8.3f  diff %+.3f\n    %s\n",
+				v.Floor, v.Measured, v.Limit, v.Diff, v.Detail)
+		}
+		if *gate {
+			fmt.Fprintf(os.Stderr, "fbdetect ci: %d replay floor(s) violated\n", len(violations))
+			os.Exit(1)
+		}
+	}
+}
+
+// ciFamilies resolves a comma-separated family list to detectors; empty
+// means all families.
+func ciFamilies(spec string) ([]changepoint.BatchDetector, error) {
+	if strings.TrimSpace(spec) == "" {
+		return replay.Families(), nil
+	}
+	byName := map[string]changepoint.BatchDetector{}
+	for _, d := range replay.Families() {
+		byName[d.Name()] = d
+	}
+	var out []changepoint.BatchDetector
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		d, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown detector family %q (have edivisive, cusum, dp)", name)
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+func printFamilyTable(rep *replay.Report) {
+	fmt.Printf("%-10s %4s %4s %4s %4s  %9s %7s %6s %9s %10s\n",
+		"family", "tp", "fp", "fn", "ign", "precision", "recall", "f1", "mean-ttd", "attributed")
+	for _, fam := range rep.Families {
+		fmt.Printf("%-10s %4d %4d %4d %4d  %9.3f %7.3f %6.3f %9.2f %10d\n",
+			fam.Family, fam.TruePositives, fam.FalsePositives, fam.FalseNegatives,
+			fam.Ignored, fam.Precision, fam.Recall, fam.F1, fam.MeanTTDRuns, fam.Attributed)
+	}
+}
+
+func printChangePoints(rep *replay.Report) {
+	for _, res := range rep.Results {
+		if len(res.Points) == 0 {
+			continue
+		}
+		fmt.Printf("\nsignature %s (%s):\n", res.Signature, res.Family)
+		attrByIndex := map[int]edivisive.Attribution{}
+		for _, a := range res.Attributions {
+			attrByIndex[a.Point.Index] = a
+		}
+		for _, p := range res.Points {
+			fmt.Printf("  run %4d  delta %+10.3f  score %10.3f  p %.4f\n",
+				p.Index, p.Delta, p.Score, p.P)
+			a, ok := attrByIndex[p.Index]
+			if !ok {
+				continue
+			}
+			fmt.Printf("    window (%s, %s]: %d push(es)\n",
+				orDash(a.LastGood), a.FirstBad, len(a.Window))
+			for i, c := range a.Candidates {
+				if i == 3 {
+					fmt.Printf("    ... %d more candidates\n", len(a.Candidates)-i)
+					break
+				}
+				via := ""
+				if c.Via != "" {
+					via = " via " + c.Via
+				}
+				fmt.Printf("    %.0f%% commit %s (push %s%s)\n",
+					100*c.Confidence, c.Commit, c.Push, via)
+			}
+		}
+		if res.AttribErr != "" {
+			fmt.Printf("    attribution failed: %s\n", res.AttribErr)
+		}
+	}
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

@@ -25,6 +25,10 @@ func main() {
 		runProfDiff(os.Args[2:])
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "ci" {
+		runCI(os.Args[2:])
+		return
+	}
 	var (
 		subroutines = flag.Int("subroutines", 300, "call-tree size")
 		servers     = flag.Int("servers", 10000, "fleet size")

@@ -1,0 +1,177 @@
+package edivisive
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"fbdetect/internal/changepoint"
+)
+
+// Commit is one commit landed by a push. A merge commit that carried a
+// batch of changes lists them in Merged; attribution expands the merge
+// into its constituent commits, splitting the merge's confidence share
+// among them (the merge itself is then reported as the Via of each).
+type Commit struct {
+	ID     string   `json:"id"`
+	Author string   `json:"author,omitempty"`
+	Title  string   `json:"title,omitempty"`
+	Merge  bool     `json:"merge,omitempty"`
+	Merged []string `json:"merged,omitempty"`
+}
+
+// Push is one push (a deployable unit of one or more commits) in the
+// repository's push log. The log is ordered; benchmark series index into
+// it by push ID, usually sparsely — failed or skipped runs leave pushes
+// with no sample, which is exactly what widens attribution windows.
+type Push struct {
+	ID      string    `json:"id"`
+	Time    time.Time `json:"time,omitempty"`
+	Commits []Commit  `json:"commits"`
+}
+
+// Candidate is one commit that may have caused a change point, with the
+// confidence mass attribution assigns it. Confidences over one
+// attribution's candidates sum to 1 (commits are uniform within a push,
+// pushes uniform within the window; pushes carrying no commits cannot be
+// a cause and receive no mass).
+type Candidate struct {
+	Push       string  `json:"push"`
+	Commit     string  `json:"commit"`
+	Via        string  `json:"via,omitempty"` // merge commit that landed Commit
+	Confidence float64 `json:"confidence"`
+}
+
+// Attribution maps one detected change point to its candidate pushes.
+// The window is every push after the last sampled-good push up to and
+// including the first sampled-bad push: with per-push benchmark coverage
+// it is a single push; gaps (skipped or failed runs) widen it, and a
+// change point on the first sample has no last-good anchor at all, so
+// the window covers the whole recorded history up to the first bad
+// sample.
+type Attribution struct {
+	// Point is the detected change point being attributed.
+	Point changepoint.BatchPoint `json:"point"`
+	// FirstBad is the push of the first sample in the new regime;
+	// LastGood the push of the last sample before it ("" when the change
+	// point is at the first sample).
+	FirstBad string `json:"first_bad"`
+	LastGood string `json:"last_good,omitempty"`
+	// Window lists the candidate push IDs, oldest first.
+	Window []string `json:"window"`
+	// Candidates are the commits in the window, highest confidence first.
+	Candidates []Candidate `json:"candidates"`
+}
+
+// Top returns the best candidate, or a zero Candidate when the window
+// held no commits.
+func (a Attribution) Top() Candidate {
+	if len(a.Candidates) == 0 {
+		return Candidate{}
+	}
+	return a.Candidates[0]
+}
+
+// Attribute maps each detected change point to candidate commits.
+// samplePushes[i] is the push ID of sample i (parallel to the series the
+// detector segmented); log is the full ordered push log, including
+// pushes no benchmark ran on. Points may come from any detector family.
+//
+// Two change points landing in one push window (two regressions between
+// consecutive benchmark runs, which batch detectors can resolve when the
+// series re-steps later) each get their own attribution over the same
+// candidate set — the caller sees both, with identical windows.
+func Attribute(samplePushes []string, log []Push, points []changepoint.BatchPoint) ([]Attribution, error) {
+	pos := make(map[string]int, len(log))
+	for i, p := range log {
+		if _, dup := pos[p.ID]; dup {
+			return nil, fmt.Errorf("edivisive: duplicate push %q in log", p.ID)
+		}
+		pos[p.ID] = i
+	}
+	out := make([]Attribution, 0, len(points))
+	for _, pt := range points {
+		t := pt.Index
+		if t < 0 || t >= len(samplePushes) {
+			return nil, fmt.Errorf("edivisive: change point index %d outside series of %d samples", t, len(samplePushes))
+		}
+		firstBad := samplePushes[t]
+		fbPos, ok := pos[firstBad]
+		if !ok {
+			return nil, fmt.Errorf("edivisive: sample push %q not in push log", firstBad)
+		}
+		start := 0
+		lastGood := ""
+		if t > 0 {
+			lastGood = samplePushes[t-1]
+			lgPos, ok := pos[lastGood]
+			if !ok {
+				return nil, fmt.Errorf("edivisive: sample push %q not in push log", lastGood)
+			}
+			if lgPos >= fbPos {
+				return nil, fmt.Errorf("edivisive: pushes %q and %q out of log order", lastGood, firstBad)
+			}
+			start = lgPos + 1
+		}
+		window := log[start : fbPos+1]
+		a := Attribution{
+			Point:    pt,
+			FirstBad: firstBad,
+			LastGood: lastGood,
+			Window:   make([]string, len(window)),
+		}
+		for i, p := range window {
+			a.Window[i] = p.ID
+		}
+		a.Candidates = windowCandidates(window)
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// windowCandidates distributes one unit of confidence over the commits
+// of the window's pushes: uniform across pushes that carry commits, then
+// uniform across each push's commits, with merge commits expanded into
+// their constituent changes. The result is sorted by confidence, ties
+// broken in log order.
+func windowCandidates(window []Push) []Candidate {
+	withCommits := 0
+	for _, p := range window {
+		if len(p.Commits) > 0 {
+			withCommits++
+		}
+	}
+	if withCommits == 0 {
+		return nil
+	}
+	pushShare := 1.0 / float64(withCommits)
+	var out []Candidate
+	order := map[string]int{}
+	for _, p := range window {
+		if len(p.Commits) == 0 {
+			continue
+		}
+		commitShare := pushShare / float64(len(p.Commits))
+		for _, c := range p.Commits {
+			if c.Merge && len(c.Merged) > 0 {
+				share := commitShare / float64(len(c.Merged))
+				for _, id := range c.Merged {
+					order[id] = len(order)
+					out = append(out, Candidate{
+						Push: p.ID, Commit: id, Via: c.ID, Confidence: share,
+					})
+				}
+				continue
+			}
+			order[c.ID] = len(order)
+			out = append(out, Candidate{Push: p.ID, Commit: c.ID, Confidence: commitShare})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Confidence != out[j].Confidence {
+			return out[i].Confidence > out[j].Confidence
+		}
+		return order[out[i].Commit] < order[out[j].Commit]
+	})
+	return out
+}

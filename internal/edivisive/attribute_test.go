@@ -1,0 +1,227 @@
+package edivisive
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"fbdetect/internal/changepoint"
+)
+
+// pushLog builds a linear log p0..p(n-1), one commit "c<i>" per push.
+func pushLog(n int) []Push {
+	log := make([]Push, n)
+	for i := range log {
+		log[i] = Push{
+			ID:      pid(i),
+			Commits: []Commit{{ID: cid(i)}},
+		}
+	}
+	return log
+}
+
+func pid(i int) string { return "p" + string(rune('0'+i/10)) + string(rune('0'+i%10)) }
+func cid(i int) string { return "c" + string(rune('0'+i/10)) + string(rune('0'+i%10)) }
+
+func pt(idx int) changepoint.BatchPoint { return changepoint.BatchPoint{Index: idx, Delta: 1} }
+
+func confidenceSum(a Attribution) float64 {
+	var s float64
+	for _, c := range a.Candidates {
+		s += c.Confidence
+	}
+	return s
+}
+
+func TestAttributeDensePerPushCoverage(t *testing.T) {
+	log := pushLog(10)
+	samples := make([]string, 10)
+	for i := range samples {
+		samples[i] = pid(i)
+	}
+	attrs, err := Attribute(samples, log, []changepoint.BatchPoint{pt(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := attrs[0]
+	if a.FirstBad != pid(4) || a.LastGood != pid(3) {
+		t.Errorf("window anchors = (%s, %s), want (p03, p04)", a.LastGood, a.FirstBad)
+	}
+	if len(a.Window) != 1 || a.Window[0] != pid(4) {
+		t.Errorf("Window = %v, want [p04]", a.Window)
+	}
+	if top := a.Top(); top.Commit != cid(4) || top.Confidence != 1 {
+		t.Errorf("Top = %+v, want c04 at confidence 1", top)
+	}
+}
+
+func TestAttributeGapFromSkippedRuns(t *testing.T) {
+	// Pushes p00..p09, but benchmarks only ran on even pushes (odd runs
+	// failed/skipped): a change point at sample 3 (push p06) must blame
+	// the gap window (p05, p06], both candidates at half confidence.
+	log := pushLog(10)
+	samples := []string{pid(0), pid(2), pid(4), pid(6), pid(8)}
+	attrs, err := Attribute(samples, log, []changepoint.BatchPoint{pt(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := attrs[0]
+	if a.LastGood != pid(4) || a.FirstBad != pid(6) {
+		t.Fatalf("anchors = (%s, %s), want (p04, p06)", a.LastGood, a.FirstBad)
+	}
+	if len(a.Window) != 2 || a.Window[0] != pid(5) || a.Window[1] != pid(6) {
+		t.Fatalf("Window = %v, want [p05 p06]", a.Window)
+	}
+	if len(a.Candidates) != 2 {
+		t.Fatalf("Candidates = %+v, want 2", a.Candidates)
+	}
+	for _, c := range a.Candidates {
+		if math.Abs(c.Confidence-0.5) > 1e-12 {
+			t.Errorf("candidate %s confidence = %v, want 0.5", c.Commit, c.Confidence)
+		}
+	}
+	if math.Abs(confidenceSum(a)-1) > 1e-12 {
+		t.Errorf("confidences sum to %v, want 1", confidenceSum(a))
+	}
+}
+
+func TestAttributeMergeCommitExpansion(t *testing.T) {
+	log := []Push{
+		{ID: "p1", Commits: []Commit{{ID: "c1"}}},
+		{ID: "p2", Commits: []Commit{
+			{ID: "m1", Merge: true, Merged: []string{"ca", "cb", "cc"}},
+		}},
+	}
+	samples := []string{"p1", "p1", "p1", "p1", "p1", "p2", "p2", "p2", "p2", "p2"}
+	attrs, err := Attribute(samples, log, []changepoint.BatchPoint{pt(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := attrs[0]
+	if len(a.Candidates) != 3 {
+		t.Fatalf("Candidates = %+v, want the 3 merged commits", a.Candidates)
+	}
+	for _, c := range a.Candidates {
+		if c.Via != "m1" {
+			t.Errorf("candidate %s Via = %q, want m1", c.Commit, c.Via)
+		}
+		if math.Abs(c.Confidence-1.0/3) > 1e-12 {
+			t.Errorf("candidate %s confidence = %v, want 1/3", c.Commit, c.Confidence)
+		}
+	}
+	if math.Abs(confidenceSum(a)-1) > 1e-12 {
+		t.Errorf("confidences sum to %v, want 1", confidenceSum(a))
+	}
+}
+
+func TestAttributeChangePointOnFirstSample(t *testing.T) {
+	// No last-good anchor: the window is the whole recorded history up
+	// to the first bad sample.
+	log := pushLog(5)
+	samples := []string{pid(2), pid(3), pid(4)}
+	attrs, err := Attribute(samples, log, []changepoint.BatchPoint{pt(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := attrs[0]
+	if a.LastGood != "" {
+		t.Errorf("LastGood = %q, want empty", a.LastGood)
+	}
+	if len(a.Window) != 3 { // p00, p01, p02
+		t.Errorf("Window = %v, want full history up to p02", a.Window)
+	}
+}
+
+func TestAttributeChangePointOnLastSample(t *testing.T) {
+	log := pushLog(6)
+	samples := []string{pid(0), pid(1), pid(2), pid(5)}
+	attrs, err := Attribute(samples, log, []changepoint.BatchPoint{pt(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := attrs[0]
+	if a.FirstBad != pid(5) || a.LastGood != pid(2) {
+		t.Errorf("anchors = (%s, %s), want (p02, p05)", a.LastGood, a.FirstBad)
+	}
+	if len(a.Window) != 3 { // p03, p04, p05
+		t.Errorf("Window = %v, want [p03 p04 p05]", a.Window)
+	}
+}
+
+func TestAttributeTwoRegressionsInOnePushWindow(t *testing.T) {
+	// Two change points whose windows overlap the same push gap: both
+	// must be attributed, each with its own (identical) candidate set.
+	log := pushLog(8)
+	samples := []string{pid(0), pid(1), pid(6), pid(7)}
+	points := []changepoint.BatchPoint{pt(2), pt(3)}
+	attrs, err := Attribute(samples, log, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(attrs) != 2 {
+		t.Fatalf("got %d attributions, want 2", len(attrs))
+	}
+	if attrs[0].FirstBad != pid(6) || attrs[1].FirstBad != pid(7) {
+		t.Errorf("first-bad pushes = (%s, %s), want (p06, p07)",
+			attrs[0].FirstBad, attrs[1].FirstBad)
+	}
+	// The first window spans the gap p02..p06; both attributions exist
+	// independently even though the underlying gap is shared.
+	if len(attrs[0].Window) != 5 {
+		t.Errorf("first window = %v, want 5 pushes", attrs[0].Window)
+	}
+	if len(attrs[1].Window) != 1 || attrs[1].Window[0] != pid(7) {
+		t.Errorf("second window = %v, want [p07]", attrs[1].Window)
+	}
+	for i, a := range attrs {
+		if math.Abs(confidenceSum(a)-1) > 1e-12 {
+			t.Errorf("attribution %d confidences sum to %v", i, confidenceSum(a))
+		}
+	}
+}
+
+func TestAttributeEmptyPushesCarryNoMass(t *testing.T) {
+	log := []Push{
+		{ID: "p1", Commits: []Commit{{ID: "c1"}}},
+		{ID: "p2"}, // e.g. a backout push recorded with no commits
+		{ID: "p3", Commits: []Commit{{ID: "c3"}}},
+	}
+	samples := []string{"p1", "p1", "p1", "p1", "p1", "p3", "p3", "p3", "p3", "p3"}
+	attrs, err := Attribute(samples, log, []changepoint.BatchPoint{pt(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := attrs[0]
+	if len(a.Window) != 2 {
+		t.Fatalf("Window = %v, want [p2 p3]", a.Window)
+	}
+	if len(a.Candidates) != 1 || a.Candidates[0].Commit != "c3" {
+		t.Fatalf("Candidates = %+v, want only c3", a.Candidates)
+	}
+	if a.Candidates[0].Confidence != 1 {
+		t.Errorf("c3 confidence = %v, want 1 (empty push absorbs nothing)",
+			a.Candidates[0].Confidence)
+	}
+}
+
+func TestAttributeErrors(t *testing.T) {
+	log := pushLog(4)
+	samples := []string{pid(0), pid(1), pid(2)}
+	for name, tc := range map[string]struct {
+		samples []string
+		log     []Push
+		points  []changepoint.BatchPoint
+		substr  string
+	}{
+		"index out of range": {samples, log, []changepoint.BatchPoint{pt(7)}, "outside series"},
+		"negative index":     {samples, log, []changepoint.BatchPoint{pt(-1)}, "outside series"},
+		"unknown push":       {[]string{pid(0), "zz", pid(2)}, log, []changepoint.BatchPoint{pt(1)}, "not in push log"},
+		"duplicate push":     {samples, append(pushLog(4), Push{ID: pid(0)}), []changepoint.BatchPoint{pt(1)}, "duplicate push"},
+		"out of order": {[]string{pid(2), pid(1), pid(0)}, log,
+			[]changepoint.BatchPoint{pt(1)}, "out of log order"},
+	} {
+		if _, err := Attribute(tc.samples, tc.log, tc.points); err == nil || !strings.Contains(err.Error(), tc.substr) {
+			t.Errorf("%s: err = %v, want containing %q", name, err, tc.substr)
+		}
+	}
+}

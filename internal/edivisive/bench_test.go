@@ -1,0 +1,39 @@
+package edivisive
+
+import "testing"
+
+// BenchmarkEDivisive measures the full hierarchical batch detection —
+// row-sum builds plus the permutation significance tests — over a
+// 240-run series with two real steps, the shape of one busy CI
+// signature. Gated in BENCH_baseline.txt via `make bench-gate`.
+func BenchmarkEDivisive(b *testing.B) {
+	xs := stepSeries(240, 150, 1.2, 17, map[int]float64{90: 8, 170: -5})
+	b.ReportAllocs()
+	b.ResetTimer()
+	var found int
+	for i := 0; i < b.N; i++ {
+		found = len(Detect(xs, Options{}))
+	}
+	if found != 2 {
+		b.Fatalf("detected %d change points, want 2", found)
+	}
+}
+
+// BenchmarkEDivisiveStreamAppend measures the incremental per-run cost:
+// one Append plus the O(n) BestSplit screen at a steady series length,
+// the operation a CI pipeline pays on every new benchmark result.
+func BenchmarkEDivisiveStreamAppend(b *testing.B) {
+	warm := stepSeries(500, 150, 1.2, 23, nil)
+	s := NewStream(warm...)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Append(150 + float64(i%7))
+		s.BestSplit(5)
+		if s.Len() > 600 {
+			b.StopTimer()
+			s = NewStream(warm...)
+			b.StartTimer()
+		}
+	}
+}

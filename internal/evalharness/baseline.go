@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 )
 
 // Baseline is the committed accuracy floor (EVAL_baseline.json): the
@@ -53,15 +54,45 @@ func (b *Baseline) WriteFile(path string) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-// Check returns one human-readable violation per floor the report fails
-// to clear; empty means the gate passes.
-func (b *Baseline) Check(r *Report) []string {
-	var bad []string
-	fail := func(format string, args ...any) {
-		bad = append(bad, fmt.Sprintf(format, args...))
-	}
+// Violation is one floor a gate found violated. The structured fields
+// (which floor, measured vs limit, signed distance) let CI logs show a
+// per-floor diff instead of one aggregate failure line; Detail carries
+// the human sentence.
+type Violation struct {
+	// Floor names the violated floor (e.g. "precision", "transient
+	// suppression").
+	Floor string `json:"floor"`
+	// Measured is the report's value; Limit the committed floor (or
+	// ceiling); Diff the signed distance from the allowed side, always
+	// negative by the amount of the violation.
+	Measured float64 `json:"measured"`
+	Limit    float64 `json:"limit"`
+	Diff     float64 `json:"diff"`
+	// Detail is the full human-readable sentence.
+	Detail string `json:"detail"`
+}
+
+func (v Violation) String() string { return v.Detail }
+
+// floorViolation builds a Violation for a measured value that fell below
+// its floor; ceilingViolation for one that rose above its ceiling.
+func floorViolation(name string, measured, floor float64, format string, args ...any) Violation {
+	return Violation{Floor: name, Measured: measured, Limit: floor,
+		Diff: measured - floor, Detail: fmt.Sprintf(format, args...)}
+}
+
+func ceilingViolation(name string, measured, ceiling float64, format string, args ...any) Violation {
+	return Violation{Floor: name, Measured: measured, Limit: ceiling,
+		Diff: ceiling - measured, Detail: fmt.Sprintf(format, args...)}
+}
+
+// Check returns one violation per floor the report fails to clear; empty
+// means the gate passes.
+func (b *Baseline) Check(r *Report) []Violation {
+	var bad []Violation
 	if r.Precision < b.Precision {
-		fail("precision %.3f below floor %.3f", r.Precision, b.Precision)
+		bad = append(bad, floorViolation("precision", r.Precision, b.Precision,
+			"precision %.3f below floor %.3f", r.Precision, b.Precision))
 	}
 	recall, found := r.Recall, b.MinMagnitude <= 0
 	if !found {
@@ -73,34 +104,48 @@ func (b *Baseline) Check(r *Report) []string {
 		}
 	}
 	if !found {
-		fail("report has no recall band at magnitude >= %g (suite ran with %g)",
-			b.MinMagnitude, r.FleetScaleMagnitude)
+		bad = append(bad, Violation{Floor: "recall_fleet_scale",
+			Limit: b.RecallFleetScale,
+			Detail: fmt.Sprintf("report has no recall band at magnitude >= %g (suite ran with %g)",
+				b.MinMagnitude, r.FleetScaleMagnitude)})
 	} else if recall < b.RecallFleetScale {
-		fail("recall %.3f (magnitude >= %g) below floor %.3f",
-			recall, b.MinMagnitude, b.RecallFleetScale)
+		bad = append(bad, floorViolation("recall_fleet_scale", recall, b.RecallFleetScale,
+			"recall %.3f (magnitude >= %g) below floor %.3f",
+			recall, b.MinMagnitude, b.RecallFleetScale))
 	}
-	for class, floor := range b.Suppression {
+	classes := make([]Class, 0, len(b.Suppression))
+	for class := range b.Suppression {
+		classes = append(classes, class)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	for _, class := range classes {
+		floor := b.Suppression[class]
 		cr := r.Classes[class]
 		if cr == nil || cr.Scenarios == 0 {
-			fail("no %s scenarios ran (suppression floor %.2f unverifiable)", class, floor)
+			bad = append(bad, Violation{Floor: string(class) + " suppression", Limit: floor,
+				Detail: fmt.Sprintf("no %s scenarios ran (suppression floor %.2f unverifiable)", class, floor)})
 			continue
 		}
 		if cr.SuppressionRate < floor {
-			fail("%s suppression %.3f below floor %.3f (leaks: %v)",
-				class, cr.SuppressionRate, floor, cr.Leaks)
+			bad = append(bad, floorViolation(string(class)+" suppression", cr.SuppressionRate, floor,
+				"%s suppression %.3f below floor %.3f (leaks: %v)",
+				class, cr.SuppressionRate, floor, cr.Leaks))
 		}
 	}
 	if b.TopKRootCause > 0 && r.TopKRootCause < b.TopKRootCause {
-		fail("top-%d root-cause rate %.3f below floor %.3f",
-			r.TopK, r.TopKRootCause, b.TopKRootCause)
+		bad = append(bad, floorViolation("topk_root_cause", r.TopKRootCause, b.TopKRootCause,
+			"top-%d root-cause rate %.3f below floor %.3f",
+			r.TopK, r.TopKRootCause, b.TopKRootCause))
 	}
 	if b.DedupCollapse > 0 && r.DedupCollapseRate < b.DedupCollapse {
-		fail("dedup collapse rate %.3f below floor %.3f",
-			r.DedupCollapseRate, b.DedupCollapse)
+		bad = append(bad, floorViolation("dedup_collapse", r.DedupCollapseRate, b.DedupCollapse,
+			"dedup collapse rate %.3f below floor %.3f",
+			r.DedupCollapseRate, b.DedupCollapse))
 	}
 	if b.MaxMeanTimeToDetectMinutes > 0 && r.MeanTimeToDetect > b.MaxMeanTimeToDetectMinutes {
-		fail("mean time-to-detect %.1f min above ceiling %.1f min",
-			r.MeanTimeToDetect, b.MaxMeanTimeToDetectMinutes)
+		bad = append(bad, ceilingViolation("mean_time_to_detect", r.MeanTimeToDetect, b.MaxMeanTimeToDetectMinutes,
+			"mean time-to-detect %.1f min above ceiling %.1f min",
+			r.MeanTimeToDetect, b.MaxMeanTimeToDetectMinutes))
 	}
 	return bad
 }

@@ -1,0 +1,159 @@
+package replay
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"fbdetect/internal/evalharness"
+)
+
+// FamilyFloors are one detector family's committed accuracy floors.
+type FamilyFloors struct {
+	Precision float64 `json:"precision"`
+	Recall    float64 `json:"recall"`
+	// MaxMeanTTDRuns bounds the mean detection lag in runs (0 disables).
+	MaxMeanTTDRuns float64 `json:"max_mean_ttd_runs,omitempty"`
+	// MinAttributed is the minimum number of true positives that must
+	// carry a commit attribution (0 disables; only meaningful when the
+	// dataset ships a push log).
+	MinAttributed int `json:"min_attributed,omitempty"`
+}
+
+// Baseline is the committed replay floor set (REPLAY_baseline.json),
+// keyed by detector family. Families present in the baseline but absent
+// from the report fail the gate; families in the report but not the
+// baseline are informational only.
+type Baseline struct {
+	// MinValidRegressions guards the dataset itself: the gate is
+	// meaningless if the committed sample lost its positive labels.
+	MinValidRegressions int                     `json:"min_valid_regressions"`
+	Families            map[string]FamilyFloors `json:"families"`
+}
+
+// ReadBaseline loads a committed replay baseline file.
+func ReadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("replay: parsing %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// WriteFile writes the baseline as indented JSON.
+func (b *Baseline) WriteFile(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Check returns one violation per floor the report fails to clear, in
+// deterministic (family, floor) order; empty means the gate passes. The
+// violations share evalharness.Violation so fbdetect-eval prints the
+// same per-floor diff for both gates.
+func (b *Baseline) Check(r *Report) []evalharness.Violation {
+	var bad []evalharness.Violation
+	if r.ValidRegressions < b.MinValidRegressions {
+		bad = append(bad, evalharness.Violation{
+			Floor:    "valid_regressions",
+			Measured: float64(r.ValidRegressions),
+			Limit:    float64(b.MinValidRegressions),
+			Diff:     float64(r.ValidRegressions - b.MinValidRegressions),
+			Detail: fmt.Sprintf("dataset carries %d valid regression labels, floor %d",
+				r.ValidRegressions, b.MinValidRegressions),
+		})
+	}
+	families := make([]string, 0, len(b.Families))
+	for name := range b.Families {
+		families = append(families, name)
+	}
+	sort.Strings(families)
+	for _, name := range families {
+		floors := b.Families[name]
+		fam := r.Family(name)
+		if fam == nil {
+			bad = append(bad, evalharness.Violation{
+				Floor: name + ".missing",
+				Detail: fmt.Sprintf("family %q in baseline but absent from report (floors unverifiable)",
+					name),
+			})
+			continue
+		}
+		if fam.Precision < floors.Precision {
+			bad = append(bad, evalharness.Violation{
+				Floor: name + ".precision", Measured: fam.Precision, Limit: floors.Precision,
+				Diff: fam.Precision - floors.Precision,
+				Detail: fmt.Sprintf("%s precision %.3f below floor %.3f (tp=%d fp=%d)",
+					name, fam.Precision, floors.Precision, fam.TruePositives, fam.FalsePositives),
+			})
+		}
+		if fam.Recall < floors.Recall {
+			bad = append(bad, evalharness.Violation{
+				Floor: name + ".recall", Measured: fam.Recall, Limit: floors.Recall,
+				Diff: fam.Recall - floors.Recall,
+				Detail: fmt.Sprintf("%s recall %.3f below floor %.3f (tp=%d fn=%d)",
+					name, fam.Recall, floors.Recall, fam.TruePositives, fam.FalseNegatives),
+			})
+		}
+		if floors.MaxMeanTTDRuns > 0 && fam.MeanTTDRuns > floors.MaxMeanTTDRuns {
+			bad = append(bad, evalharness.Violation{
+				Floor: name + ".mean_ttd_runs", Measured: fam.MeanTTDRuns, Limit: floors.MaxMeanTTDRuns,
+				Diff: floors.MaxMeanTTDRuns - fam.MeanTTDRuns,
+				Detail: fmt.Sprintf("%s mean time-to-detect %.2f runs above ceiling %.2f",
+					name, fam.MeanTTDRuns, floors.MaxMeanTTDRuns),
+			})
+		}
+		if floors.MinAttributed > 0 && fam.Attributed < floors.MinAttributed {
+			bad = append(bad, evalharness.Violation{
+				Floor:    name + ".attributed",
+				Measured: float64(fam.Attributed), Limit: float64(floors.MinAttributed),
+				Diff: float64(fam.Attributed - floors.MinAttributed),
+				Detail: fmt.Sprintf("%s attributed %d true positives to commits, floor %d",
+					name, fam.Attributed, floors.MinAttributed),
+			})
+		}
+	}
+	return bad
+}
+
+// BaselineFromReport derives a committed baseline from a measured
+// report, backing precision/recall floors off by the given relative
+// margin and the TTD ceiling up by it, so run-to-run jitter does not
+// trip the gate.
+func BaselineFromReport(r *Report, margin float64) *Baseline {
+	b := &Baseline{
+		MinValidRegressions: r.ValidRegressions,
+		Families:            map[string]FamilyFloors{},
+	}
+	for _, fam := range r.Families {
+		f := FamilyFloors{
+			Precision: fam.Precision * (1 - margin),
+			Recall:    fam.Recall * (1 - margin),
+		}
+		if fam.MeanTTDRuns > 0 {
+			f.MaxMeanTTDRuns = fam.MeanTTDRuns * (1 + margin)
+		}
+		if fam.Attributed > 0 {
+			f.MinAttributed = fam.Attributed
+		}
+		b.Families[fam.Family] = f
+	}
+	return b
+}
+
+// WriteReport writes the replay report as indented JSON
+// (REPLAY_report.json).
+func WriteReport(r *Report, path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,78 @@
+package replay
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzReplayParse drives every artifact parser over arbitrary bytes: the
+// parsers must return an error or a well-formed result, never panic, and
+// anything they accept must round through scoring without blowing up.
+func FuzzReplayParse(f *testing.F) {
+	f.Add("signature_id,push_id,push_timestamp,value\n1,p1,100,2.5\n1,p2,200,2.6\n")
+	f.Add(`[{"signature_id": 1, "push_id": 2, "value": 3}]`)
+	f.Add(`{"alerts": [{"signature_id": "1", "push_id": "p1", "is_regression": true}]}`)
+	f.Add(`[{"push_id": "p1", "commits": [{"revision": "abc", "merge": true, "merged": ["x","y"]}]}]`)
+	f.Add("push_id,value\n")
+	f.Add(`{"measurements": []}`)
+	f.Add("\xff\xfe")
+	f.Fuzz(func(t *testing.T, in string) {
+		if series, err := ParseSeriesCSV(strings.NewReader(in)); err == nil {
+			checkSeries(t, series)
+		}
+		if series, err := ParseSeriesJSON(strings.NewReader(in)); err == nil {
+			checkSeries(t, series)
+		}
+		if alerts, err := ParseAlertsJSON(strings.NewReader(in)); err == nil {
+			for _, a := range alerts {
+				if a.Signature == "" || a.Push == "" {
+					t.Fatalf("accepted alert with empty keys: %+v", a)
+				}
+			}
+		}
+		if alerts, err := ParseAlertsCSV(strings.NewReader(in)); err == nil {
+			for _, a := range alerts {
+				if a.Signature == "" || a.Push == "" {
+					t.Fatalf("accepted alert with empty keys: %+v", a)
+				}
+			}
+		}
+		if pushes, err := ParsePushesJSON(strings.NewReader(in)); err == nil {
+			seen := map[string]bool{}
+			for _, p := range pushes {
+				if p.ID == "" || seen[p.ID] {
+					t.Fatalf("accepted empty or duplicate push id %q", p.ID)
+				}
+				seen[p.ID] = true
+			}
+		}
+	})
+}
+
+// checkSeries scores whatever a parser accepted: accepted series must
+// carry finite values and survive a full Run against an empty alert set.
+func checkSeries(t *testing.T, series []Series) {
+	t.Helper()
+	for _, s := range series {
+		for _, sm := range s.Samples {
+			if math.IsNaN(sm.Value) || math.IsInf(sm.Value, 0) {
+				t.Fatalf("accepted non-finite value in %q", s.Signature)
+			}
+			if sm.Push == "" {
+				t.Fatalf("accepted empty push in %q", s.Signature)
+			}
+		}
+	}
+	total := 0
+	for _, s := range series {
+		total += len(s.Samples)
+	}
+	if total > 4096 {
+		return // keep fuzz iterations fast; Run is O(n²) per series
+	}
+	ds := &Dataset{Name: "fuzz", Series: series}
+	if _, err := Run(ds, nil, -1); err != nil {
+		t.Fatalf("Run on accepted series: %v", err)
+	}
+}

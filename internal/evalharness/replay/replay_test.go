@@ -1,0 +1,366 @@
+package replay
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"fbdetect/internal/changepoint"
+)
+
+// -update regenerates testdata/mozsample from WriteSampleDataset.
+var update = flag.Bool("update", false, "regenerate committed sample dataset")
+
+func sampleDir(t *testing.T) string {
+	t.Helper()
+	dir := filepath.Join("testdata", "mozsample")
+	if *update {
+		if err := WriteSampleDataset(dir); err != nil {
+			t.Fatalf("regenerating sample: %v", err)
+		}
+	}
+	return dir
+}
+
+func TestSampleDatasetInSync(t *testing.T) {
+	committed := sampleDir(t)
+	fresh := t.TempDir()
+	if err := WriteSampleDataset(fresh); err != nil {
+		t.Fatalf("WriteSampleDataset: %v", err)
+	}
+	for _, name := range []string{"series.csv", "alerts.json", "pushes.json"} {
+		want, err := os.ReadFile(filepath.Join(fresh, name))
+		if err != nil {
+			t.Fatalf("reading generated %s: %v", name, err)
+		}
+		got, err := os.ReadFile(filepath.Join(committed, name))
+		if err != nil {
+			t.Fatalf("reading committed %s: %v (run go test ./internal/evalharness/replay -run InSync -update)", name, err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("%s drifted from WriteSampleDataset; rerun with -update", name)
+		}
+	}
+}
+
+func TestReadSampleDataset(t *testing.T) {
+	ds, err := ReadDataset(sampleDir(t))
+	if err != nil {
+		t.Fatalf("ReadDataset: %v", err)
+	}
+	if len(ds.Series) != 8 {
+		t.Fatalf("parsed %d series, want 8", len(ds.Series))
+	}
+	if len(ds.Alerts) != 7 {
+		t.Errorf("parsed %d alerts, want 7", len(ds.Alerts))
+	}
+	if len(ds.Pushes) != samplePushes {
+		t.Errorf("parsed %d pushes, want %d", len(ds.Pushes), samplePushes)
+	}
+	s := ds.SeriesBySignature("101")
+	if s == nil || len(s.Samples) != 120 {
+		t.Fatalf("signature 101 = %+v", s)
+	}
+	if s.Samples[0].Push != "push-0001" || s.Samples[119].Push != "push-0120" {
+		t.Errorf("101 pushes = %s..%s", s.Samples[0].Push, s.Samples[119].Push)
+	}
+	if !s.Samples[1].Time.After(s.Samples[0].Time) {
+		t.Errorf("samples not time-ordered: %v then %v", s.Samples[0].Time, s.Samples[1].Time)
+	}
+	// Sparse series: signature 108 measures every other push.
+	s108 := ds.SeriesBySignature("108")
+	if s108.Samples[1].Push != "push-0003" {
+		t.Errorf("108 second sample push = %s, want push-0003", s108.Samples[1].Push)
+	}
+	// The merge push survived parsing with its constituents.
+	var merge bool
+	for _, p := range ds.Pushes {
+		if p.ID == "push-0061" {
+			if len(p.Commits) == 1 && p.Commits[0].Merge && len(p.Commits[0].Merged) == 3 {
+				merge = true
+			}
+		}
+	}
+	if !merge {
+		t.Errorf("push-0061 merge commit not parsed as a 3-way merge")
+	}
+}
+
+func TestRunScoresSample(t *testing.T) {
+	ds, err := ReadDataset(sampleDir(t))
+	if err != nil {
+		t.Fatalf("ReadDataset: %v", err)
+	}
+	rep, err := Run(ds, nil, -1)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.ValidRegressions != 5 {
+		t.Errorf("ValidRegressions = %d, want 5 (101, 102, 104x2, 108)", rep.ValidRegressions)
+	}
+	if rep.IgnorableAlerts != 2 {
+		t.Errorf("IgnorableAlerts = %d, want 2", rep.IgnorableAlerts)
+	}
+	if len(rep.Families) != 3 {
+		t.Fatalf("scored %d families, want 3", len(rep.Families))
+	}
+	ed := rep.Family("edivisive")
+	if ed == nil {
+		t.Fatal("no edivisive family in report")
+	}
+	if ed.Recall < 0.99 {
+		t.Errorf("edivisive recall = %.3f on the sample, want 1.0 (matches: %+v)", ed.Recall, ed.Matches)
+	}
+	if ed.Precision < 0.8 {
+		t.Errorf("edivisive precision = %.3f, want >= 0.8", ed.Precision)
+	}
+	if ed.Attributed != ed.TruePositives {
+		t.Errorf("edivisive attributed %d of %d true positives", ed.Attributed, ed.TruePositives)
+	}
+	// The improvement (105) and invalidated alert (106) steps are real:
+	// detectors that fire there must land in Ignored, not FalsePositives.
+	if ed.Ignored < 2 {
+		t.Errorf("edivisive Ignored = %d, want >= 2 (improvement + invalid alert)", ed.Ignored)
+	}
+	// The merge push-0061 regression must attribute through the merge.
+	var sawVia bool
+	for _, res := range rep.Results {
+		if res.Family != "edivisive" || res.Signature != "101" {
+			continue
+		}
+		for _, a := range res.Attributions {
+			if a.FirstBad == "push-0061" && a.Top().Via != "" {
+				sawVia = true
+			}
+		}
+	}
+	if !sawVia {
+		t.Errorf("signature 101 change point did not attribute through the merge commit")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	ds, err := ReadDataset(sampleDir(t))
+	if err != nil {
+		t.Fatalf("ReadDataset: %v", err)
+	}
+	a, err := Run(ds, nil, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(ds, nil, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Families {
+		if a.Families[i].TruePositives != b.Families[i].TruePositives ||
+			a.Families[i].FalsePositives != b.Families[i].FalsePositives ||
+			a.Families[i].MeanTTDRuns != b.Families[i].MeanTTDRuns {
+			t.Errorf("family %s not deterministic: %+v vs %+v",
+				a.Families[i].Family, a.Families[i], b.Families[i])
+		}
+	}
+}
+
+func TestBaselineGateOnSample(t *testing.T) {
+	ds, err := ReadDataset(sampleDir(t))
+	if err != nil {
+		t.Fatalf("ReadDataset: %v", err)
+	}
+	rep, err := Run(ds, nil, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := BaselineFromReport(rep, 0.05)
+	if v := b.Check(rep); len(v) != 0 {
+		t.Errorf("derived baseline violated by its own report: %v", v)
+	}
+	// Tighten one floor past the measurement: exactly that floor trips.
+	ed := b.Families["edivisive"]
+	ed.Precision = 1.01
+	b.Families["edivisive"] = ed
+	v := b.Check(rep)
+	if len(v) != 1 || v[0].Floor != "edivisive.precision" {
+		t.Fatalf("Check = %+v, want single edivisive.precision violation", v)
+	}
+	if v[0].Diff >= 0 {
+		t.Errorf("violation Diff = %v, want negative", v[0].Diff)
+	}
+	// A family in the baseline but missing from the report fails loudly.
+	b.Families["ghost"] = FamilyFloors{Precision: 0.1}
+	found := false
+	for _, viol := range b.Check(rep) {
+		if viol.Floor == "ghost.missing" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing family not reported")
+	}
+	// Committed gate file round-trips.
+	path := filepath.Join(t.TempDir(), "REPLAY_baseline.json")
+	delete(b.Families, "ghost")
+	if err := b.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	rb, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rb.Check(rep)) != 1 {
+		t.Errorf("reloaded baseline disagrees with original")
+	}
+}
+
+func TestCommittedReplayBaselinePasses(t *testing.T) {
+	// The repository's committed gate must pass against a fresh replay of
+	// the committed sample — the same check CI's eval-replay job runs.
+	b, err := ReadBaseline(filepath.Join("..", "..", "..", "REPLAY_baseline.json"))
+	if err != nil {
+		t.Skipf("no committed REPLAY_baseline.json yet: %v", err)
+	}
+	ds, err := ReadDataset(sampleDir(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(ds, nil, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := b.Check(rep); len(v) != 0 {
+		t.Errorf("committed baseline violated:\n%v", v)
+	}
+}
+
+func TestParseSeriesCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"no header cols": "a,b\n1,2\n",
+		"bad value":      "push_id,value\np1,abc\n",
+		"empty push":     "push_id,value\n,3\n",
+		"nan value":      "push_id,value\np1,NaN\n",
+		"bad timestamp":  "push_id,push_timestamp,value\np1,notatime,3\n",
+		"short row":      "signature_id,push_id,value\n1,p1\n",
+		"huge timestamp": "push_id,push_timestamp,value\np1,1e300,3\n",
+		"inf value":      "push_id,value\np1,+Inf\n",
+	}
+	for name, in := range cases {
+		if _, err := ParseSeriesCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+func TestParseSeriesCSVGrouping(t *testing.T) {
+	in := "signature_id,push_id,push_timestamp,value\n" +
+		"2,p3,300,5\n" +
+		"1,p1,100,1\n" +
+		"2,p2,200,4\n" +
+		"1,p2,2024-01-01T00:00:00Z,2\n"
+	series, err := ParseSeriesCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("got %d series", len(series))
+	}
+	bySig := map[string]Series{}
+	for _, s := range series {
+		bySig[s.Signature] = s
+	}
+	// Within each signature, samples sort by time; RFC3339 parses too.
+	if s2 := bySig["2"]; s2.Samples[0].Push != "p2" || s2.Samples[1].Push != "p3" {
+		t.Errorf("signature 2 order = %+v", s2.Samples)
+	}
+	if s1 := bySig["1"]; s1.Samples[1].Time != time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC) {
+		t.Errorf("RFC3339 timestamp = %v", s1.Samples[1].Time)
+	}
+}
+
+func TestParseSeriesJSONForms(t *testing.T) {
+	raw := `[{"signature_id": 7, "push_id": 12, "push_timestamp": 100.5, "value": 3.5}]`
+	for _, in := range []string{raw, `{"measurements": ` + raw + `}`} {
+		series, err := ParseSeriesJSON(strings.NewReader(in))
+		if err != nil {
+			t.Fatalf("%s: %v", in, err)
+		}
+		if len(series) != 1 || series[0].Signature != "7" || series[0].Samples[0].Push != "12" {
+			t.Errorf("parsed %+v", series)
+		}
+	}
+	for name, in := range map[string]string{
+		"not array": `{"x": 1}`,
+		"no value":  `[{"push_id": 1}]`,
+		"no push":   `[{"value": 2}]`,
+		"bad json":  `[{`,
+	} {
+		if _, err := ParseSeriesJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+func TestParseAlertsForms(t *testing.T) {
+	js := `{"alerts": [{"id": 5, "signature_id": 1, "push_id": 9, "is_regression": true, "status": "invalid"}]}`
+	alerts, err := ParseAlertsJSON(strings.NewReader(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alerts) != 1 || alerts[0].ID != 5 || !alerts[0].IsRegression || alerts[0].Valid() {
+		t.Errorf("parsed %+v", alerts)
+	}
+	csvIn := "id,signature_id,push_id,is_regression,status,amount_pct\n5,1,9,true,valid,2.5\n"
+	alerts, err = ParseAlertsCSV(strings.NewReader(csvIn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alerts) != 1 || !alerts[0].Valid() || alerts[0].AmountPct != 2.5 {
+		t.Errorf("parsed %+v", alerts)
+	}
+	if _, err := ParseAlertsCSV(strings.NewReader("id,value\n1,2\n")); err == nil {
+		t.Error("missing columns: no error")
+	}
+	if _, err := ParseAlertsJSON(strings.NewReader(`[{"signature_id": 1}]`)); err == nil {
+		t.Error("missing push: no error")
+	}
+}
+
+func TestParsePushesJSONErrors(t *testing.T) {
+	for name, in := range map[string]string{
+		"duplicate":     `[{"push_id": "p1"}, {"push_id": "p1"}]`,
+		"missing id":    `[{"push_timestamp": 5}]`,
+		"commit no rev": `[{"push_id": "p1", "commits": [{"author": "x"}]}]`,
+		"not array":     `17`,
+	} {
+		if _, err := ParsePushesJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+func TestRunRejectsDuplicateFamilies(t *testing.T) {
+	ds := &Dataset{Series: []Series{{Signature: "1"}}}
+	_, err := Run(ds, []changepoint.BatchDetector{changepoint.DPBatch{}, changepoint.DPBatch{}}, -1)
+	if err == nil {
+		t.Fatal("duplicate families accepted")
+	}
+}
+
+func TestRunUnmappedLabels(t *testing.T) {
+	ds := &Dataset{
+		Series: []Series{{Signature: "1", Samples: []Sample{{Push: "p1", Value: 1}}}},
+		Alerts: []Alert{
+			{Signature: "1", Push: "p-notinseries", IsRegression: true},
+			{Signature: "ghost", Push: "p1", IsRegression: true},
+		},
+	}
+	rep, err := Run(ds, []changepoint.BatchDetector{changepoint.DPBatch{}}, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.UnmappedLabels != 2 || rep.ValidRegressions != 0 {
+		t.Errorf("UnmappedLabels = %d ValidRegressions = %d, want 2/0", rep.UnmappedLabels, rep.ValidRegressions)
+	}
+}

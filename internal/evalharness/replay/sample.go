@@ -1,0 +1,153 @@
+package replay
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// sampleBase is the first push's timestamp in the generated sample
+// (fixed so the dataset is byte-for-byte reproducible).
+var sampleBase = time.Date(2024, 11, 4, 0, 0, 0, 0, time.UTC)
+
+// samplePushes is how many pushes the generated push log covers.
+const samplePushes = 200
+
+// sampleSeries describes one generated signature.
+type sampleSeries struct {
+	sig    string
+	base   float64
+	noise  float64
+	seed   int64
+	runs   int
+	stride int // run i measures push i*stride + 1
+	// steps maps run index -> level delta applied from that run on.
+	steps map[int]float64
+	drift float64 // per-run slope
+	// alerts maps run index -> (isRegression, status) labels to emit.
+	alerts map[int]sampleAlert
+}
+
+type sampleAlert struct {
+	isRegression bool
+	status       string
+}
+
+// sampleSpec is the committed Mozilla-format sample: eight signatures
+// exercising the corpus shapes the replay must score — clean and noisy
+// steps, multiple regressions, an improvement, a sheriff-invalidated
+// alert, drift, and a small step on a sparse (every-other-push) series.
+func sampleSpec() []sampleSeries {
+	return []sampleSeries{
+		{sig: "101", base: 120, noise: 1.2, seed: 1101, runs: 120, stride: 1,
+			steps:  map[int]float64{60: 12},
+			alerts: map[int]sampleAlert{60: {true, "valid"}}},
+		{sig: "102", base: 250, noise: 3, seed: 1102, runs: 100, stride: 2,
+			steps:  map[int]float64{45: 9},
+			alerts: map[int]sampleAlert{45: {true, "acknowledged"}}},
+		{sig: "103", base: 64, noise: 0.9, seed: 1103, runs: 90, stride: 1},
+		{sig: "104", base: 980, noise: 6, seed: 1104, runs: 130, stride: 1,
+			steps:  map[int]float64{40: 55, 80: 40},
+			alerts: map[int]sampleAlert{40: {true, "valid"}, 80: {true, "valid"}}},
+		{sig: "105", base: 410, noise: 4, seed: 1105, runs: 100, stride: 1,
+			steps:  map[int]float64{50: -35},
+			alerts: map[int]sampleAlert{50: {false, "valid"}}},
+		{sig: "106", base: 75, noise: 1, seed: 1106, runs: 100, stride: 1,
+			steps:  map[int]float64{55: 5},
+			alerts: map[int]sampleAlert{55: {true, "invalid"}}},
+		{sig: "107", base: 300, noise: 2.5, seed: 1107, runs: 100, stride: 1,
+			drift: 0.015},
+		{sig: "108", base: 55, noise: 1.5, seed: 1108, runs: 100, stride: 2,
+			steps:  map[int]float64{50: 4},
+			alerts: map[int]sampleAlert{50: {true, "valid"}}},
+	}
+}
+
+func samplePushID(i int) string { return fmt.Sprintf("push-%04d", i) }
+
+func samplePushTime(i int) time.Time {
+	return sampleBase.Add(time.Duration(i-1) * time.Hour)
+}
+
+// WriteSampleDataset deterministically generates the committed
+// Mozilla-format replay sample (series.csv, alerts.json, pushes.json)
+// into dir. Tests regenerate it and diff against testdata/mozsample so
+// the committed artifact can never drift from this function.
+func WriteSampleDataset(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	spec := sampleSpec()
+
+	var csvb strings.Builder
+	csvb.WriteString("signature_id,push_id,push_timestamp,value\n")
+	var alerts []string
+	alertID := 9000
+	for _, s := range spec {
+		rng := rand.New(rand.NewSource(s.seed))
+		level := s.base
+		for i := 0; i < s.runs; i++ {
+			if d, ok := s.steps[i]; ok {
+				level += d
+			}
+			push := i*s.stride + 1
+			if push > samplePushes {
+				return fmt.Errorf("sample: signature %s run %d needs push %d > %d", s.sig, i, push, samplePushes)
+			}
+			v := level + float64(i)*s.drift + rng.NormFloat64()*s.noise
+			fmt.Fprintf(&csvb, "%s,%s,%d,%.4f\n",
+				s.sig, samplePushID(push), samplePushTime(push).Unix(), v)
+			if a, ok := s.alerts[i]; ok {
+				alertID++
+				alerts = append(alerts, fmt.Sprintf(
+					"  {\"id\": %d, \"signature_id\": %q, \"push_id\": %q, \"is_regression\": %v, \"status\": %q, \"amount_pct\": %.2f}",
+					alertID, s.sig, samplePushID(push), a.isRegression, a.status,
+					100*s.steps[i]/s.base))
+			}
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, "series.csv"), []byte(csvb.String()), 0o644); err != nil {
+		return err
+	}
+	alertsJSON := "[\n" + strings.Join(alerts, ",\n") + "\n]\n"
+	if err := os.WriteFile(filepath.Join(dir, "alerts.json"), []byte(alertsJSON), 0o644); err != nil {
+		return err
+	}
+
+	// Push log: every push carries 1-3 commits except a few empty CI-only
+	// pushes, and push-0061 (signature 101's regression push: its step at
+	// run 60 measures push 60*stride+1) lands as a merge of three
+	// constituent commits so attribution exercises merge expansion on
+	// real replay data.
+	prng := rand.New(rand.NewSource(42))
+	authors := []string{"ana@example.org", "bo@example.org", "cy@example.org", "dee@example.org"}
+	var pushes []string
+	for i := 1; i <= samplePushes; i++ {
+		id := samplePushID(i)
+		ts := samplePushTime(i).Unix()
+		var commits []string
+		switch {
+		case i == 61:
+			commits = append(commits, fmt.Sprintf(
+				"    {\"revision\": \"m%04d\", \"author\": %q, \"title\": \"Merge autoland to central\", \"merge\": true, \"merged\": [\"c%04da\", \"c%04db\", \"c%04dc\"]}",
+				i, authors[0], i, i, i))
+		case i%37 == 0:
+			// CI-only push: no commits, cannot be a cause.
+		default:
+			n := 1 + prng.Intn(3)
+			for k := 0; k < n; k++ {
+				commits = append(commits, fmt.Sprintf(
+					"    {\"revision\": \"c%04d%c\", \"author\": %q, \"title\": \"Change %d.%d\"}",
+					i, 'a'+k, authors[(i+k)%len(authors)], i, k))
+			}
+		}
+		pushes = append(pushes, fmt.Sprintf(
+			"  {\"push_id\": %q, \"push_timestamp\": %d, \"commits\": [\n%s\n  ]}",
+			id, ts, strings.Join(commits, ",\n")))
+	}
+	pushesJSON := "[\n" + strings.Join(pushes, ",\n") + "\n]\n"
+	return os.WriteFile(filepath.Join(dir, "pushes.json"), []byte(pushesJSON), 0o644)
+}

@@ -1,0 +1,272 @@
+package replay
+
+import (
+	"fmt"
+	"sort"
+
+	"fbdetect/internal/changepoint"
+	"fbdetect/internal/edivisive"
+)
+
+// DefaultTolerance is how many runs a detected change point may sit from
+// a labeled alert's push and still count as the same event. Batch
+// detectors place the cut at the first sample of the new regime; sheriff
+// alerts sometimes anchor one run earlier or later, so ±2 runs absorbs
+// the labeling jitter without letting unrelated noise cuts claim credit.
+const DefaultTolerance = 2
+
+// Families returns the detector families the replay compares, in report
+// order: E-divisive means, CUSUM binary segmentation, DP normal-loss.
+func Families() []changepoint.BatchDetector {
+	return []changepoint.BatchDetector{
+		edivisive.Detector{},
+		changepoint.CUSUMBatch{},
+		changepoint.DPBatch{},
+	}
+}
+
+// Match pairs one detected change point with the labeled alert it
+// claimed (REPLAY_report.json detail rows).
+type Match struct {
+	Signature string `json:"signature"`
+	AlertID   int    `json:"alert_id"`
+	// LabelIndex is the labeled push's sample index; DetectedIndex the
+	// change point's; TTD the detection lag in runs (0 when the detector
+	// fired at or before the labeled run).
+	LabelIndex    int     `json:"label_index"`
+	DetectedIndex int     `json:"detected_index"`
+	TTD           int     `json:"ttd_runs"`
+	Delta         float64 `json:"delta"`
+}
+
+// SeriesResult is one (series, family) replay outcome, carrying the raw
+// change points and — when the dataset ships a push log — their commit
+// attributions.
+type SeriesResult struct {
+	Signature    string                   `json:"signature"`
+	Family       string                   `json:"family"`
+	Points       []changepoint.BatchPoint `json:"points,omitempty"`
+	Attributions []edivisive.Attribution  `json:"attributions,omitempty"`
+	AttribErr    string                   `json:"attribution_error,omitempty"`
+}
+
+// FamilyReport scores one detector family over the whole dataset.
+type FamilyReport struct {
+	Family         string `json:"family"`
+	TruePositives  int    `json:"true_positives"`
+	FalsePositives int    `json:"false_positives"`
+	FalseNegatives int    `json:"false_negatives"`
+	// Ignored counts change points matching an ignorable label (an
+	// improvement or a sheriff-invalidated alert): the series really
+	// steps there, so the detection is neither credited nor penalized.
+	Ignored   int     `json:"ignored"`
+	Precision float64 `json:"precision"`
+	Recall    float64 `json:"recall"`
+	F1        float64 `json:"f1"`
+	// MeanTTDRuns is the mean detection lag in runs over true positives.
+	MeanTTDRuns float64 `json:"mean_ttd_runs"`
+	// Attributed counts true positives whose attribution window produced
+	// at least one candidate commit (0 when the dataset has no push log).
+	Attributed int     `json:"attributed"`
+	Matches    []Match `json:"matches,omitempty"`
+}
+
+// Report is the full replay scorecard (REPLAY_report.json).
+type Report struct {
+	Dataset          string `json:"dataset"`
+	SeriesCount      int    `json:"series"`
+	Samples          int    `json:"samples"`
+	ValidRegressions int    `json:"valid_regressions"`
+	IgnorableAlerts  int    `json:"ignorable_alerts"`
+	// UnmappedLabels counts alerts whose push never appears in their
+	// signature's series (artifact inconsistencies; excluded from
+	// scoring).
+	UnmappedLabels int            `json:"unmapped_labels,omitempty"`
+	Tolerance      int            `json:"tolerance_runs"`
+	Families       []FamilyReport `json:"families"`
+	Results        []SeriesResult `json:"results,omitempty"`
+}
+
+// Family returns the named family's scorecard, or nil.
+func (r *Report) Family(name string) *FamilyReport {
+	for i := range r.Families {
+		if r.Families[i].Family == name {
+			return &r.Families[i]
+		}
+	}
+	return nil
+}
+
+// label is one alert resolved to a sample index within its series.
+type label struct {
+	alert    Alert
+	index    int
+	positive bool // valid regression (scored); otherwise ignorable
+	matched  bool
+}
+
+// Run replays every series in the dataset through each detector family
+// and scores the detected change points against the labeled alerts. A
+// change point matches a label when their sample indices are within
+// tolerance runs (pass tolerance < 0 for DefaultTolerance); matching is
+// greedy one-to-one, nearest label first.
+func Run(ds *Dataset, detectors []changepoint.BatchDetector, tolerance int) (*Report, error) {
+	if len(detectors) == 0 {
+		detectors = Families()
+	}
+	if tolerance < 0 {
+		tolerance = DefaultTolerance
+	}
+	rep := &Report{
+		Dataset:     ds.Name,
+		SeriesCount: len(ds.Series),
+		Samples:     ds.Samples(),
+		Tolerance:   tolerance,
+	}
+	names := map[string]bool{}
+	for _, d := range detectors {
+		if names[d.Name()] {
+			return nil, fmt.Errorf("replay: duplicate detector family %q", d.Name())
+		}
+		names[d.Name()] = true
+	}
+
+	// Resolve each alert to a sample index in its series, once.
+	labelsBySig := map[string][]label{}
+	for _, a := range ds.Alerts {
+		s := ds.SeriesBySignature(a.Signature)
+		if s == nil {
+			rep.UnmappedLabels++
+			continue
+		}
+		idx := -1
+		for i, sm := range s.Samples {
+			if sm.Push == a.Push {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			rep.UnmappedLabels++
+			continue
+		}
+		pos := a.IsRegression && a.Valid()
+		labelsBySig[a.Signature] = append(labelsBySig[a.Signature], label{alert: a, index: idx, positive: pos})
+		if pos {
+			rep.ValidRegressions++
+		} else {
+			rep.IgnorableAlerts++
+		}
+	}
+	for _, ls := range labelsBySig {
+		sort.Slice(ls, func(i, j int) bool { return ls[i].index < ls[j].index })
+	}
+
+	for _, det := range detectors {
+		fam := FamilyReport{Family: det.Name()}
+		var ttdSum int
+		for _, s := range ds.Series {
+			points := det.Segment(s.Values())
+			res := SeriesResult{Signature: s.Signature, Family: det.Name(), Points: points}
+			if len(ds.Pushes) > 0 && len(points) > 0 {
+				attrs, err := edivisive.Attribute(s.Pushes(), ds.Pushes, points)
+				if err != nil {
+					res.AttribErr = err.Error()
+				} else {
+					res.Attributions = attrs
+				}
+			}
+			rep.Results = append(rep.Results, res)
+
+			labels := append([]label(nil), labelsBySig[s.Signature]...)
+			claimed := make([]bool, len(points))
+			// Positive labels claim their nearest unclaimed point.
+			for li := range labels {
+				if !labels[li].positive {
+					continue
+				}
+				best, bestDist := -1, tolerance+1
+				for pi, p := range points {
+					if claimed[pi] {
+						continue
+					}
+					d := p.Index - labels[li].index
+					if d < 0 {
+						d = -d
+					}
+					if d < bestDist {
+						best, bestDist = pi, d
+					}
+				}
+				if best >= 0 {
+					claimed[best] = true
+					labels[li].matched = true
+					fam.TruePositives++
+					ttd := points[best].Index - labels[li].index
+					if ttd < 0 {
+						ttd = 0
+					}
+					ttdSum += ttd
+					fam.Matches = append(fam.Matches, Match{
+						Signature:     s.Signature,
+						AlertID:       labels[li].alert.ID,
+						LabelIndex:    labels[li].index,
+						DetectedIndex: points[best].Index,
+						TTD:           ttd,
+						Delta:         points[best].Delta,
+					})
+					if res.AttribErr == "" {
+						for _, a := range res.Attributions {
+							if a.Point.Index == points[best].Index && len(a.Candidates) > 0 {
+								fam.Attributed++
+								break
+							}
+						}
+					}
+				} else {
+					fam.FalseNegatives++
+				}
+			}
+			// Unclaimed points near an ignorable label are ignored;
+			// everything else is a false positive.
+			for pi, p := range points {
+				if claimed[pi] {
+					continue
+				}
+				ignorable := false
+				for _, l := range labels {
+					if l.positive {
+						continue
+					}
+					d := p.Index - l.index
+					if d < 0 {
+						d = -d
+					}
+					if d <= tolerance {
+						ignorable = true
+						break
+					}
+				}
+				if ignorable {
+					fam.Ignored++
+				} else {
+					fam.FalsePositives++
+				}
+			}
+		}
+		if fam.TruePositives+fam.FalsePositives > 0 {
+			fam.Precision = float64(fam.TruePositives) / float64(fam.TruePositives+fam.FalsePositives)
+		}
+		if fam.TruePositives+fam.FalseNegatives > 0 {
+			fam.Recall = float64(fam.TruePositives) / float64(fam.TruePositives+fam.FalseNegatives)
+		}
+		if fam.Precision+fam.Recall > 0 {
+			fam.F1 = 2 * fam.Precision * fam.Recall / (fam.Precision + fam.Recall)
+		}
+		if fam.TruePositives > 0 {
+			fam.MeanTTDRuns = float64(ttdSum) / float64(fam.TruePositives)
+		}
+		rep.Families = append(rep.Families, fam)
+	}
+	return rep, nil
+}
