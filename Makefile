@@ -2,7 +2,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 # Packages that define Fuzz* targets (go can only fuzz one package at a time).
-FUZZ_PKGS = . ./internal/stacktrace ./internal/wal ./internal/pprofparse ./internal/evalharness/replay
+FUZZ_PKGS = . ./internal/stacktrace ./internal/wal ./internal/pprofparse ./internal/evalharness/replay ./internal/timeseries
 
 .PHONY: build test vet race lint fuzz-smoke bench-obs bench bench-gate bench-baseline eval eval-gate eval-baseline eval-replay eval-replay-baseline crashtest profdiff-demo check
 
@@ -55,14 +55,18 @@ bench-obs:
 	$(GO) test -run - -bench BenchmarkObsOverhead -benchmem ./internal/core/
 
 # Scan hot-path benchmarks, gated against the committed baseline: more
-# than a 20% ns/op regression on either benchmark fails the build.
+# than a 20% ns/op regression on any benchmark fails the build.
 # BENCH_GATE_FLAGS can relax the threshold (e.g. -threshold 0.5 on noisy
 # shared runners). The tsdb append benchmarks join the run so the
 # -speedup gate can require the sharded DB to beat a single-lock one by
 # 2x under parallel load (only enforced at GOMAXPROCS >= 4; 1-2 core
-# machines print a notice instead).
-BENCH_GATE = BenchmarkPipeline$$|BenchmarkScanThroughput$$
-BENCH_TSDB = BenchmarkAppendParallel$$|BenchmarkAppendParallelSingleLock$$|BenchmarkAppendBatch$$
+# machines print a notice instead). Two further in-run gates are
+# machine-independent and always enforced: warm checkpointed scans must
+# beat the no-checkpoint control by 5x (:any — an algorithmic win, no
+# cores needed), and the chunked store must hold fleet-shaped data at
+# <= 2 bytes/point.
+BENCH_GATE = BenchmarkPipeline$$|BenchmarkScanThroughput$$|BenchmarkScanThroughputNoCheckpoint$$|BenchmarkWarmScanIncremental$$
+BENCH_TSDB = BenchmarkAppendParallel$$|BenchmarkAppendParallelSingleLock$$|BenchmarkAppendBatch$$|BenchmarkChunkAppend$$|BenchmarkChunkIterate$$
 BENCH_PPROF = BenchmarkPprofParse$$
 BENCH_EDIV = BenchmarkEDivisive$$|BenchmarkEDivisiveStreamAppend$$
 bench-gate:
@@ -71,7 +75,8 @@ bench-gate:
 	$(GO) test -run - -bench '$(BENCH_PPROF)' -benchmem -benchtime 5x ./internal/pprofparse/ | tee -a BENCH_current.txt
 	$(GO) test -run - -bench '$(BENCH_EDIV)' -benchmem -benchtime 5x ./internal/edivisive/ | tee -a BENCH_current.txt
 	$(GO) run ./cmd/benchdiff -baseline BENCH_baseline.txt -current BENCH_current.txt \
-		-speedup BenchmarkAppendParallelSingleLock:BenchmarkAppendParallel:2 $(BENCH_GATE_FLAGS)
+		-speedup BenchmarkAppendParallelSingleLock:BenchmarkAppendParallel:2,BenchmarkScanThroughputNoCheckpoint:BenchmarkScanThroughput:5:any \
+		-bytes-per-point BenchmarkChunkAppend:2 $(BENCH_GATE_FLAGS)
 
 # Re-record the committed baseline (run on the reference machine after an
 # intentional performance change, and commit the result).

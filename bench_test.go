@@ -343,6 +343,119 @@ func BenchmarkScanThroughput(b *testing.B) {
 	b.ReportMetric(nMetrics, "metrics-per-scan")
 }
 
+// warmFleet seeds the 500-metric fleet BenchmarkScanThroughput and its
+// no-checkpoint control share, and returns a detector over it.
+func warmFleet(b *testing.B, cfg Config) (*Detector, time.Time) {
+	b.Helper()
+	const nMetrics = 500
+	db := NewDB(time.Minute)
+	start := time.Date(2024, 8, 1, 0, 0, 0, 0, time.UTC)
+	rng := rand.New(rand.NewSource(7))
+	for m := 0; m < nMetrics; m++ {
+		id := ID("warm", fmt.Sprintf("sub_%04d", m), "gcpu")
+		base := 0.001 * (1 + rng.Float64())
+		amp := base * 0.1 * rng.Float64() // some metrics mildly seasonal
+		for i := 0; i < 540; i++ {
+			v := base + amp*math.Sin(2*math.Pi*float64(i)/120) + rng.NormFloat64()*base*0.02
+			if err := db.Append(id, start.Add(time.Duration(i)*time.Minute), v); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	det, err := NewDetector(cfg, db, nil, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return det, start.Add(9 * time.Hour)
+}
+
+// BenchmarkScanThroughputNoCheckpoint is the in-run control for the
+// detector-checkpoint speedup gate: the same fleet, config, and warm
+// schedule as BenchmarkScanThroughput, but with checkpointing disabled so
+// every warm scan re-reads and re-detects each series (the pre-checkpoint
+// warm path — decomposition cache still on). The bench gate requires
+// BenchmarkScanThroughput to beat this by at least 5x.
+func BenchmarkScanThroughputNoCheckpoint(b *testing.B) {
+	cfg := Config{
+		Threshold: 0.0001,
+		LongTerm:  true,
+		Windows: WindowConfig{
+			Historic: 5 * time.Hour, Analysis: 3 * time.Hour, Extended: time.Hour,
+		},
+		CheckpointCacheSize: -1,
+	}
+	det, end := warmFleet(b, cfg)
+	if _, err := det.Scan("warm", end); err != nil { // warm the stl cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := det.Scan("warm", end); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWarmScanIncremental measures the continuous-scanning steady
+// state: each iteration appends one new point per metric and re-scans one
+// step later, so every window slides by a single point. Checkpoints miss
+// by design (the window changed); the cost under measurement is the
+// incremental re-read plus re-detection, with the STL seasonal-extension
+// path enabled as it would be on a live deployment.
+func BenchmarkWarmScanIncremental(b *testing.B) {
+	const nMetrics = 100
+	db := NewDB(time.Minute)
+	start := time.Date(2024, 8, 1, 0, 0, 0, 0, time.UTC)
+	rng := rand.New(rand.NewSource(11))
+	ids := make([]MetricID, nMetrics)
+	bases := make([]float64, nMetrics)
+	amps := make([]float64, nMetrics)
+	for m := 0; m < nMetrics; m++ {
+		ids[m] = ID("warm", fmt.Sprintf("sub_%04d", m), "gcpu")
+		bases[m] = 0.001 * (1 + rng.Float64())
+		amps[m] = bases[m] * 0.1 * rng.Float64()
+	}
+	emit := func(m, i int) float64 {
+		return bases[m] + amps[m]*math.Sin(2*math.Pi*float64(i)/120) + rng.NormFloat64()*bases[m]*0.02
+	}
+	for m := 0; m < nMetrics; m++ {
+		for i := 0; i < 540; i++ {
+			if err := db.Append(ids[m], start.Add(time.Duration(i)*time.Minute), emit(m, i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	cfg := Config{
+		Threshold: 0.0001,
+		LongTerm:  true,
+		Windows: WindowConfig{
+			Historic: 5 * time.Hour, Analysis: 3 * time.Hour, Extended: time.Hour,
+		},
+		STLExtend: true,
+	}
+	det, err := NewDetector(cfg, db, nil, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := det.Scan("warm", start.Add(9*time.Hour)); err != nil { // cold scan anchors
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step := 540 + i
+		at := start.Add(time.Duration(step) * time.Minute)
+		for m := 0; m < nMetrics; m++ {
+			if err := db.Append(ids[m], at, emit(m, step)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := det.Scan("warm", at.Add(time.Minute)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(nMetrics, "metrics-per-scan")
+}
+
 // BenchmarkRCAAccuracy reproduces the §6.3 root-cause accuracy study.
 func BenchmarkRCAAccuracy(b *testing.B) {
 	var acc float64

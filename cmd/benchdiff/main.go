@@ -14,10 +14,18 @@
 // -speedup BASE:CUR:FACTOR (repeatable via commas) additionally requires
 // benchmark CUR to be at least FACTOR times faster than benchmark BASE
 // within the *current* file — an in-run A/B gate (e.g. sharded vs
-// single-lock append). The requirement is only enforced when the
-// benchmarks ran with GOMAXPROCS >= 4 (the -N name suffix): parallelism
-// wins cannot materialize on fewer cores, so smaller runs print a notice
-// instead of failing.
+// single-lock append). By default the requirement is only enforced when
+// the benchmarks ran with GOMAXPROCS >= 4 (the -N name suffix):
+// parallelism wins cannot materialize on fewer cores, so smaller runs
+// print a notice instead of failing. A BASE:CUR:FACTOR:any spec enforces
+// at any GOMAXPROCS — for algorithmic wins (caching, incremental reuse)
+// that do not depend on core count.
+//
+// -bytes-per-point NAME:MAX (repeatable via commas) requires benchmark
+// NAME's reported "bytes/point" metric in the *current* file to be at
+// most MAX — the storage-compression ceiling. Unlike ns/op this metric is
+// deterministic for a fixed workload, so it is gated absolutely rather
+// than against the baseline.
 package main
 
 import (
@@ -33,6 +41,7 @@ func main() {
 	currentPath := flag.String("current", "BENCH_current.txt", "freshly measured `go test -bench` output")
 	threshold := flag.Float64("threshold", 0.20, "maximum tolerated ns/op regression (0.20 = +20%)")
 	speedup := flag.String("speedup", "", "comma-separated BASE:CUR:FACTOR specs: in the current file, CUR must be >= FACTOR times faster than BASE (enforced only at GOMAXPROCS >= 4)")
+	bytesPerPoint := flag.String("bytes-per-point", "", "comma-separated NAME:MAX specs: benchmark NAME's bytes/point metric in the current file must be <= MAX")
 	flag.Parse()
 
 	baseline, err := parseFile(*baselinePath)
@@ -61,8 +70,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 		os.Exit(2)
 	}
+	ceilingFailures, err := checkBytesPerPoint(current, *bytesPerPoint)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
 
-	if len(failures) > 0 || len(speedupFailures) > 0 {
+	if len(failures) > 0 || len(speedupFailures) > 0 || len(ceilingFailures) > 0 {
 		if len(failures) > 0 {
 			fmt.Printf("\nFAIL: %d benchmark(s) regressed more than %.0f%% ns/op:\n", len(failures), *threshold*100)
 			for _, f := range failures {
@@ -70,6 +84,9 @@ func main() {
 			}
 		}
 		for _, msg := range speedupFailures {
+			fmt.Printf("\nFAIL: %s\n", msg)
+		}
+		for _, msg := range ceilingFailures {
 			fmt.Printf("\nFAIL: %s\n", msg)
 		}
 		os.Exit(1)
@@ -89,8 +106,13 @@ func checkSpeedups(current map[string]result, specs string) ([]string, error) {
 			continue
 		}
 		parts := strings.Split(spec, ":")
+		anyProcs := false
+		if len(parts) == 4 && parts[3] == "any" {
+			anyProcs = true
+			parts = parts[:3]
+		}
 		if len(parts) != 3 {
-			return nil, fmt.Errorf("bad -speedup spec %q: want BASE:CUR:FACTOR", spec)
+			return nil, fmt.Errorf("bad -speedup spec %q: want BASE:CUR:FACTOR[:any]", spec)
 		}
 		factor, err := strconv.ParseFloat(parts[2], 64)
 		if err != nil || factor <= 0 {
@@ -109,7 +131,7 @@ func checkSpeedups(current map[string]result, specs string) ([]string, error) {
 		if cur.procs < procs {
 			procs = cur.procs
 		}
-		if procs < 4 {
+		if procs < 4 && !anyProcs {
 			fmt.Printf("speedup %s vs %s: %.2fx at GOMAXPROCS=%d (>= %gx required only at >= 4 procs; not enforced)\n",
 				parts[1], parts[0], got, procs, factor)
 			continue
@@ -120,6 +142,43 @@ func checkSpeedups(current map[string]result, specs string) ([]string, error) {
 			continue
 		}
 		fmt.Printf("speedup %s vs %s: %.2fx (>= %gx required): ok\n", parts[1], parts[0], got, factor)
+	}
+	return failures, nil
+}
+
+// checkBytesPerPoint evaluates -bytes-per-point specs against the current
+// results. As with -speedup, a spec naming a missing benchmark or metric
+// is a hard error — a gate that cannot find its subject must not pass.
+func checkBytesPerPoint(current map[string]result, specs string) ([]string, error) {
+	const unit = "bytes/point"
+	var failures []string
+	for _, spec := range strings.Split(specs, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		parts := strings.Split(spec, ":")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("bad -bytes-per-point spec %q: want NAME:MAX", spec)
+		}
+		max, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil || max <= 0 {
+			return nil, fmt.Errorf("bad -bytes-per-point ceiling in %q", spec)
+		}
+		r, ok := current[parts[0]]
+		if !ok {
+			return nil, fmt.Errorf("-bytes-per-point: benchmark %s not in current results", parts[0])
+		}
+		got, ok := r.custom[unit]
+		if !ok {
+			return nil, fmt.Errorf("-bytes-per-point: benchmark %s reported no %s metric", parts[0], unit)
+		}
+		if got > max {
+			failures = append(failures, fmt.Sprintf("compression gate: %s stores %.3f %s, ceiling is %g",
+				parts[0], got, unit, max))
+			continue
+		}
+		fmt.Printf("bytes/point %s: %.3f (<= %g required): ok\n", parts[0], got, max)
 	}
 	return failures, nil
 }

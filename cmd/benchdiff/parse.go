@@ -11,7 +11,8 @@ type result struct {
 	nsPerOp     float64
 	bytesPerOp  float64
 	allocsPerOp float64
-	procs       int // GOMAXPROCS suffix of the benchmark name (1 if absent)
+	procs       int                // GOMAXPROCS suffix of the benchmark name (1 if absent)
+	custom      map[string]float64 // ReportMetric units, e.g. "bytes/point"
 }
 
 // parseBench extracts benchmark results from `go test -bench` output.
@@ -20,9 +21,10 @@ type result struct {
 //	BenchmarkScanThroughput-8   3   38871552 ns/op   75.0 stl-cache-hit-%   9791920 B/op   12451 allocs/op
 //
 // i.e. a name (with an optional -GOMAXPROCS suffix, which is stripped),
-// an iteration count, then value/unit pairs. Custom ReportMetric units are
-// ignored. A benchmark appearing several times (e.g. -count) keeps its
-// last measurement.
+// an iteration count, then value/unit pairs. Custom ReportMetric units
+// (anything besides ns/op, B/op, allocs/op) land in result.custom so
+// gates like -bytes-per-point can read them. A benchmark appearing
+// several times (e.g. -count) keeps its last measurement.
 func parseBench(out string) map[string]result {
 	results := map[string]result{}
 	for _, line := range strings.Split(out, "\n") {
@@ -59,6 +61,11 @@ func parseBench(out string) map[string]result {
 				r.bytesPerOp = v
 			case "allocs/op":
 				r.allocsPerOp = v
+			default:
+				if r.custom == nil {
+					r.custom = map[string]float64{}
+				}
+				r.custom[fields[i+1]] = v
 			}
 		}
 		if r.nsPerOp > 0 {

@@ -23,7 +23,39 @@ func TestParseBench(t *testing.T) {
 	}
 	s := got["BenchmarkScanThroughput"]
 	if s.nsPerOp != 38871552 || s.allocsPerOp != 12451 {
-		t.Errorf("BenchmarkScanThroughput = %+v (custom units must be skipped)", s)
+		t.Errorf("BenchmarkScanThroughput = %+v", s)
+	}
+	if s.custom["metrics-per-scan"] != 500 || s.custom["stl-cache-hit-%"] != 75 {
+		t.Errorf("custom units = %v, want metrics-per-scan and stl-cache-hit-%% captured", s.custom)
+	}
+}
+
+func TestCheckBytesPerPoint(t *testing.T) {
+	current := map[string]result{
+		"BenchmarkChunkAppend": {nsPerOp: 100, custom: map[string]float64{"bytes/point": 1.2}},
+		"BenchmarkNoMetric":    {nsPerOp: 100},
+	}
+	fails, err := checkBytesPerPoint(current, "BenchmarkChunkAppend:2")
+	if err != nil || len(fails) != 0 {
+		t.Fatalf("passing spec: fails=%v err=%v", fails, err)
+	}
+	fails, err = checkBytesPerPoint(current, "BenchmarkChunkAppend:1")
+	if err != nil || len(fails) != 1 {
+		t.Fatalf("failing spec: fails=%v err=%v", fails, err)
+	}
+	// A benchmark without the metric, an unknown benchmark, and a
+	// malformed spec are hard errors.
+	if _, err = checkBytesPerPoint(current, "BenchmarkNoMetric:2"); err == nil {
+		t.Fatal("missing metric must error")
+	}
+	if _, err = checkBytesPerPoint(current, "BenchmarkMissing:2"); err == nil {
+		t.Fatal("missing benchmark must error")
+	}
+	if _, err = checkBytesPerPoint(current, "malformed"); err == nil {
+		t.Fatal("malformed spec must error")
+	}
+	if fails, err = checkBytesPerPoint(current, ""); err != nil || len(fails) != 0 {
+		t.Fatalf("empty spec: fails=%v err=%v", fails, err)
 	}
 }
 
@@ -63,6 +95,22 @@ func TestCheckSpeedups(t *testing.T) {
 	if err != nil || len(fails) != 0 {
 		t.Fatalf("low-procs spec must not enforce: fails=%v err=%v", fails, err)
 	}
+	// An :any spec enforces even under 4 procs — algorithmic speedups do
+	// not need cores to materialize.
+	fails, err = checkSpeedups(map[string]result{
+		"BenchmarkSlow": {nsPerOp: 1000, procs: 1},
+		"BenchmarkFast": {nsPerOp: 100, procs: 1},
+	}, "BenchmarkSlow:BenchmarkFast:5:any")
+	if err != nil || len(fails) != 0 {
+		t.Fatalf("any-procs passing spec: fails=%v err=%v", fails, err)
+	}
+	fails, err = checkSpeedups(map[string]result{
+		"BenchmarkSlow": {nsPerOp: 1000, procs: 1},
+		"BenchmarkFast": {nsPerOp: 500, procs: 1},
+	}, "BenchmarkSlow:BenchmarkFast:5:any")
+	if err != nil || len(fails) != 1 {
+		t.Fatalf("any-procs failing spec: fails=%v err=%v", fails, err)
+	}
 	// Unknown benchmark names are hard errors, not silent passes.
 	if _, err = checkSpeedups(current, "BenchmarkSingle:BenchmarkMissing:2"); err == nil {
 		t.Fatal("missing benchmark must error")
@@ -78,13 +126,13 @@ func TestCheckSpeedups(t *testing.T) {
 
 func TestDiffGate(t *testing.T) {
 	baseline := map[string]result{
-		"BenchmarkA": {nsPerOp: 1000, allocsPerOp: 10},
-		"BenchmarkB": {nsPerOp: 1000, allocsPerOp: 10},
+		"BenchmarkA":              {nsPerOp: 1000, allocsPerOp: 10},
+		"BenchmarkB":              {nsPerOp: 1000, allocsPerOp: 10},
 		"BenchmarkOnlyInBaseline": {nsPerOp: 1},
 	}
 	current := map[string]result{
-		"BenchmarkA": {nsPerOp: 1100, allocsPerOp: 10}, // +10%: within threshold
-		"BenchmarkB": {nsPerOp: 1500, allocsPerOp: 10}, // +50%: regression
+		"BenchmarkA":             {nsPerOp: 1100, allocsPerOp: 10}, // +10%: within threshold
+		"BenchmarkB":             {nsPerOp: 1500, allocsPerOp: 10}, // +50%: regression
 		"BenchmarkOnlyInCurrent": {nsPerOp: 1},
 	}
 	rows, failures := diff(baseline, current, 0.20)

@@ -81,6 +81,9 @@ func main() {
 		db = store.DB
 		log.Printf("recovered %s: %d series from snapshot, %d points replayed from WAL (torn tail: %v)",
 			*dataDir, store.Stats.SnapshotSeries, store.Stats.ReplayedPoints, store.Stats.TornTail)
+		ss := db.StorageStats()
+		log.Printf("storage: %d series, %d points, %d sealed chunks, %.2f bytes/point",
+			ss.Series, ss.Points, ss.SealedChunks, ss.BytesPerPoint())
 	} else {
 		start := time.Date(2024, 8, 1, 0, 0, 0, 0, time.UTC)
 		end := start.Add(time.Duration(*hours) * time.Hour)

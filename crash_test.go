@@ -12,6 +12,8 @@ import (
 	"os/exec"
 	"testing"
 	"time"
+
+	"fbdetect/internal/tsdb"
 )
 
 // TestHelperIngestWorker is not a test: when re-exec'd by
@@ -162,9 +164,10 @@ func TestCrashRecoveryEquivalence(t *testing.T) {
 		t.Fatalf("only %d batches; too few to crash mid-stream", len(batches))
 	}
 	// The control is the uninterrupted run: the same batches applied
-	// in-process, no crash. The crashed-and-recovered store must match it
-	// bit for bit.
-	control := NewDB(time.Minute)
+	// in-process, no crash — and stored raw (uncompressed), so the
+	// comparison also proves WAL replay into the default chunked store
+	// decodes bit-for-bit against an uncompressed copy.
+	control := tsdb.NewWithOptions(time.Minute, tsdb.Options{ChunkSize: tsdb.RawChunks})
 	for _, b := range batches {
 		if _, err := control.AppendBatch(b); err != nil {
 			t.Fatal(err)
@@ -244,6 +247,11 @@ func TestCrashRecoveryEquivalence(t *testing.T) {
 	gotIDs := recovered.DB.Metrics("")
 	if len(wantIDs) != len(gotIDs) {
 		t.Fatalf("recovered %d series, want %d", len(gotIDs), len(wantIDs))
+	}
+	// The recovered store must actually be the compressed one: enough
+	// data went through to seal chunks.
+	if ss := recovered.DB.StorageStats(); ss.SealedChunks == 0 {
+		t.Fatalf("recovered store sealed no chunks (stats %+v); replay did not exercise chunked storage", ss)
 	}
 	for _, id := range wantIDs {
 		want, err := control.Full(id)

@@ -155,25 +155,56 @@ func TestScanEquivalenceCachedVsUncached(t *testing.T) {
 	base := pipelineConfig()
 
 	uncachedCfg := base
-	uncachedCfg.STLCacheSize = -1 // disabled: every scan recomputes
+	uncachedCfg.STLCacheSize = -1        // disabled: every scan recomputes
+	uncachedCfg.CheckpointCacheSize = -1 // disabled: every scan redetects
 	pu, services, start, end := equivalenceFixture(t, uncachedCfg)
 	mu := runSweeps(t, pu, services, start, end)
 
-	cachedCfg := base // default cache size
+	cachedCfg := base // default cache sizes
 	pc, _, _, _ := equivalenceFixture(t, cachedCfg)
 	mc := runSweeps(t, pc, services, start, end)
 
 	compareMonitors(t, mc, mu, "cached vs uncached")
 
 	if hits, _, _ := pu.STLCacheStats(); hits != 0 {
-		t.Errorf("disabled cache recorded %d hits", hits)
+		t.Errorf("disabled stl cache recorded %d hits", hits)
 	}
-	hits, misses, entries := pc.STLCacheStats()
-	if hits == 0 {
-		t.Errorf("cache never hit (misses=%d): repeated scan of unchanged series should hit", misses)
+	if hits, _, _ := pu.CheckpointStats(); hits != 0 {
+		t.Errorf("disabled checkpoint cache recorded %d hits", hits)
 	}
-	if entries == 0 {
-		t.Error("cache empty after sweeps")
+	// The repeated final scan re-reads unchanged series; the checkpoint
+	// layer must serve it without re-detection.
+	cpHits, cpMisses, _ := pc.CheckpointStats()
+	if cpHits == 0 {
+		t.Errorf("checkpoints never hit (misses=%d): repeated scan of unchanged series should hit", cpMisses)
+	}
+	if _, _, entries := pc.STLCacheStats(); entries == 0 {
+		t.Error("stl cache empty after sweeps")
+	}
+}
+
+// TestScanEquivalenceCheckpointsOnly pins the checkpoint layer alone
+// (STL cache disabled in both pipelines) against the fully cold path,
+// with appends interleaved between sweeps so warm scans mix hits
+// (unchanged series) and misses (appended series).
+func TestScanEquivalenceCheckpointsOnly(t *testing.T) {
+	base := pipelineConfig()
+
+	coldCfg := base
+	coldCfg.STLCacheSize = -1
+	coldCfg.CheckpointCacheSize = -1
+	pcold, services, start, end := equivalenceFixture(t, coldCfg)
+
+	warmCfg := base
+	warmCfg.STLCacheSize = -1
+	pwarm, _, _, _ := equivalenceFixture(t, warmCfg)
+
+	mcold := runSweeps(t, pcold, services, start, end)
+	mwarm := runSweeps(t, pwarm, services, start, end)
+	compareMonitors(t, mwarm, mcold, "checkpointed vs cold")
+
+	if hits, _, _ := pwarm.CheckpointStats(); hits == 0 {
+		t.Error("checkpoint layer never hit")
 	}
 }
 

@@ -1,0 +1,296 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"fbdetect/internal/stats"
+	"fbdetect/internal/stl"
+	"fbdetect/internal/timeseries"
+	"fbdetect/internal/tsdb"
+)
+
+// These tests pin the tentpole soundness claims of the incremental scan
+// path: detector checkpoints and compressed chunk storage must be
+// byte-identical to the cold, raw-storage path even as series grow
+// between scans, and the opt-in STL seasonal extension must track a full
+// redecomposition closely. Run under -race they also prove the scratch
+// and cache sharing discipline.
+
+// seedIncrementalDB appends the first `points` steps of a deterministic
+// 40-metric workload (some seasonal, one with a step regression) to db.
+func seedIncrementalDB(db *tsdb.DB, points int) {
+	rng := rand.New(rand.NewSource(99))
+	for m := 0; m < 40; m++ {
+		id := tsdb.ID("inc", "sub"+string(rune('a'+m%26))+string(rune('0'+m/26)), "gcpu")
+		base := 0.001 * (1 + float64(m)*0.01)
+		amp := 0.0
+		if m%3 == 0 {
+			amp = base * 0.2
+		}
+		for i := 0; i < points; i++ {
+			v := base + amp*math.Sin(2*math.Pi*float64(i)/120) + rng.NormFloat64()*base*0.01
+			if m == 7 && i >= 420 {
+				v += base * 0.5 // clear step regression in the analysis window
+			}
+			if err := db.Append(id, t0.Add(time.Duration(i)*time.Minute), v); err != nil {
+				panic(err)
+			}
+		}
+	}
+}
+
+// incrementalConfig is a short-window config the 540-point workload
+// supports, with the long-term path on so both detectors run.
+func incrementalConfig() Config {
+	return Config{
+		Threshold: 0.0001,
+		LongTerm:  true,
+		Windows: timeseries.WindowConfig{
+			Historic: 5 * time.Hour, Analysis: 3 * time.Hour, Extended: time.Hour,
+		},
+	}
+}
+
+// scanSequence drives the scan schedule both pipelines must agree on:
+// cold scan, warm repeat, then two more scans at later times after the
+// store has grown (the caller appends between calls via grow).
+func scanSequence(t *testing.T, p *Pipeline, db *tsdb.DB, label string) []*ScanResult {
+	t.Helper()
+	var out []*ScanResult
+	scan := func(at time.Time) {
+		r, err := p.Scan("inc", at)
+		if err != nil {
+			t.Fatalf("%s: scan at %v: %v", label, at, err)
+		}
+		out = append(out, r)
+	}
+	end1 := t0.Add(540 * time.Minute)
+	scan(end1)
+	scan(end1) // warm repeat: unchanged series
+	seedIncrementalGrowth(db, 540, 600)
+	scan(end1)                      // same window on grown series: content unchanged
+	scan(t0.Add(600 * time.Minute)) // slid window: must recompute
+	return out
+}
+
+// seedIncrementalGrowth extends every metric from step `from` to `to`
+// with the same deterministic generator (rng state re-derived per metric
+// so growth is reproducible across stores).
+func seedIncrementalGrowth(db *tsdb.DB, from, to int) {
+	rng := rand.New(rand.NewSource(173))
+	for m := 0; m < 40; m++ {
+		id := tsdb.ID("inc", "sub"+string(rune('a'+m%26))+string(rune('0'+m/26)), "gcpu")
+		base := 0.001 * (1 + float64(m)*0.01)
+		amp := 0.0
+		if m%3 == 0 {
+			amp = base * 0.2
+		}
+		for i := from; i < to; i++ {
+			v := base + amp*math.Sin(2*math.Pi*float64(i)/120) + rng.NormFloat64()*base*0.01
+			if m == 7 {
+				v += base * 0.5
+			}
+			if err := db.Append(id, t0.Add(time.Duration(i)*time.Minute), v); err != nil {
+				panic(err)
+			}
+		}
+	}
+}
+
+func compareScanResults(t *testing.T, got, want []*ScanResult, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d scans != %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Funnel != want[i].Funnel {
+			t.Errorf("%s: scan %d funnel %+v != %+v", label, i, got[i].Funnel, want[i].Funnel)
+		}
+		if err := diffRegressions(got[i].Reported, want[i].Reported); err != nil {
+			t.Errorf("%s: scan %d: %v", label, i, err)
+		}
+	}
+}
+
+// TestIncrementalVsFullByteIdentical: checkpoints on vs fully disabled,
+// same chunked store contents, appends interleaved between scans.
+func TestIncrementalVsFullByteIdentical(t *testing.T) {
+	coldCfg := incrementalConfig()
+	coldCfg.CheckpointCacheSize = -1
+	coldCfg.STLCacheSize = -1
+	dbCold := tsdb.New(time.Minute)
+	seedIncrementalDB(dbCold, 540)
+	pCold, err := NewPipeline(coldCfg, dbCold, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	warmCfg := incrementalConfig() // default caches on
+	dbWarm := tsdb.New(time.Minute)
+	seedIncrementalDB(dbWarm, 540)
+	pWarm, err := NewPipeline(warmCfg, dbWarm, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cold := scanSequence(t, pCold, dbCold, "cold")
+	warm := scanSequence(t, pWarm, dbWarm, "warm")
+	compareScanResults(t, warm, cold, "incremental vs full")
+
+	hits, misses, _ := pWarm.CheckpointStats()
+	if hits == 0 {
+		t.Error("warm pipeline never hit a checkpoint")
+	}
+	// Scans 1 and 2 (warm repeat, same window after growth) must be
+	// all-hits; scans 0 and 3 all-misses: 80 of each.
+	if hits != 80 || misses != 80 {
+		t.Errorf("checkpoint hits/misses = %d/%d, want 80/80", hits, misses)
+	}
+	if len(cold[0].Reported) == 0 {
+		t.Error("no regression reported; equivalence is vacuous")
+	}
+}
+
+// TestCompressedVsRawByteIdentical: identical pipelines over a chunked
+// and a raw store fed the same appends.
+func TestCompressedVsRawByteIdentical(t *testing.T) {
+	cfg := incrementalConfig()
+
+	dbChunked := tsdb.NewWithOptions(time.Minute, tsdb.Options{ChunkSize: 100})
+	seedIncrementalDB(dbChunked, 540)
+	pChunked, err := NewPipeline(cfg, dbChunked, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dbRaw := tsdb.NewWithOptions(time.Minute, tsdb.Options{ChunkSize: tsdb.RawChunks})
+	seedIncrementalDB(dbRaw, 540)
+	pRaw, err := NewPipeline(cfg, dbRaw, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	chunked := scanSequence(t, pChunked, dbChunked, "chunked")
+	raw := scanSequence(t, pRaw, dbRaw, "raw")
+	compareScanResults(t, chunked, raw, "compressed vs raw")
+}
+
+// TestSTLExtendTracksFullDecomposition unit-tests the seasonal extension
+// against a full redecomposition of the slid window.
+func TestSTLExtendTracksFullDecomposition(t *testing.T) {
+	const n, period, k = 480, 120, 10
+	rng := rand.New(rand.NewSource(41))
+	// Both windows slice the same underlying sequence so they share their
+	// overlap exactly, as slid windows over one stored series do.
+	seq := make([]float64, n+k)
+	for i := range seq {
+		seq[i] = 10 + 2*math.Sin(2*math.Pi*float64(i)/period) + rng.NormFloat64()*0.05
+	}
+	base := timeseries.New(t0, time.Minute, seq)
+	fullA := base.SliceIndex(0, n)
+	fullB := base.SliceIndex(k, n+k)
+
+	// Anchor at the true period (detection may lock onto a neighboring
+	// lag on noisy data; that wobble is a property of the detector, not
+	// of the extension under test here).
+	ad, err := stl.Decompose(fullA.Values, period, stl.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	anchorRes := &stlResult{
+		period: period, seasonal: true,
+		decomp: ad, des: ad.Deseasonalized(), resSD: stats.StdDev(ad.Residual),
+	}
+	a := stlAnchor{epoch: 1, start: fullA.Start.UnixNano(), n: n, res: anchorRes}
+
+	ext := extendSTL(a, 1, fullB)
+	if ext == nil {
+		t.Fatalf("extension refused a valid slide (anchor period=%d, start delta=%v, step=%v)",
+			anchorRes.period, fullB.Start.Sub(fullA.Start), fullB.Step)
+	}
+	if ext.period != anchorRes.period {
+		t.Fatalf("extension changed the period: %d != %d", ext.period, anchorRes.period)
+	}
+	// Reference: a full decomposition of the slid window pinned to the
+	// anchor's period. (An unpinned redecomposition may detect a
+	// neighboring lag — that drift is re-anchored away within one period
+	// and is not what the extension itself introduces.)
+	refDecomp, err := stl.Decompose(fullB.Values, ext.period, stl.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refDes := refDecomp.Deseasonalized()
+	// The extension must track the full redecomposition tightly over the
+	// interior. At the window edges STL's Loess smoothing lets the
+	// seasonal drift off strict periodicity (a property of STL itself,
+	// visible within a single decomposition), so the boundary bound is a
+	// loose sanity check rather than a tracking guarantee.
+	var maxInterior, maxEdge float64
+	for i := 0; i < n; i++ {
+		d := math.Abs(ext.decomp.Seasonal[i] - refDecomp.Seasonal[i])
+		if dd := math.Abs(ext.des[i] - refDes[i]); dd > d {
+			d = dd
+		}
+		if i >= period && i < n-period {
+			if d > maxInterior {
+				maxInterior = d
+			}
+		} else if d > maxEdge {
+			maxEdge = d
+		}
+	}
+	if maxInterior > 0.15 { // amplitude is 2.0: within 7.5%
+		t.Errorf("interior divergence %.4f exceeds tolerance", maxInterior)
+	}
+	if maxEdge > 1.0 { // half the amplitude
+		t.Errorf("edge divergence %.4f exceeds tolerance", maxEdge)
+	}
+	refSD := stats.StdDev(refDecomp.Residual)
+	if math.Abs(ext.resSD-refSD) > 0.05 {
+		t.Errorf("residual sd %.4f vs %.4f", ext.resSD, refSD)
+	}
+
+	// Refusals: wrong epoch, excessive slide, mismatched length.
+	if extendSTL(a, 2, fullB) != nil {
+		t.Error("extension accepted a different epoch")
+	}
+	far := base.SliceIndex(k, n+k)
+	farShift := timeseries.New(fullA.Start.Add(time.Duration(period+1)*time.Minute), time.Minute, far.Values)
+	if extendSTL(a, 1, farShift) != nil {
+		t.Error("extension accepted a slide past one period")
+	}
+	short := base.SliceIndex(k, n+k-1)
+	if extendSTL(a, 1, short) != nil {
+		t.Error("extension accepted a length mismatch")
+	}
+}
+
+// TestSTLExtendPipelineDeterministic: the opt-in extension path must be
+// deterministic and still detect a clear regression.
+func TestSTLExtendPipelineDeterministic(t *testing.T) {
+	run := func() []*ScanResult {
+		cfg := incrementalConfig()
+		cfg.STLExtend = true
+		db := tsdb.New(time.Minute)
+		seedIncrementalDB(db, 540)
+		p, err := NewPipeline(cfg, db, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return scanSequence(t, p, db, "stl-extend")
+	}
+	a, b := run(), run()
+	compareScanResults(t, b, a, "stl-extend determinism")
+	found := false
+	for _, r := range a {
+		if len(r.Reported) > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("extension-enabled pipeline reported nothing")
+	}
+}

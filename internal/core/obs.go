@@ -38,7 +38,10 @@ const (
 	MetricMetricsScanned = "fbdetect_pipeline_metrics_scanned_total"
 	MetricSTLCacheHits   = "fbdetect_stl_cache_hits_total"
 	MetricSTLCacheMisses = "fbdetect_stl_cache_misses_total"
+	MetricSTLExtended    = "fbdetect_stl_extended_total"
 	MetricViewPoints     = "fbdetect_tsdb_view_points_total"
+	MetricCheckpointHits = "fbdetect_checkpoint_hits_total"
+	MetricCheckpointMiss = "fbdetect_checkpoint_misses_total"
 )
 
 // pipelineObs holds the pre-created metric handles for the pipeline hot
@@ -54,7 +57,10 @@ type pipelineObs struct {
 
 	stlHits    *obs.Counter
 	stlMisses  *obs.Counter
+	stlExtends *obs.Counter
 	viewPoints *obs.Counter
+	cpHits     *obs.Counter
+	cpMisses   *obs.Counter
 }
 
 func newPipelineObs(reg *obs.Registry, tracer *obs.Tracer) *pipelineObs {
@@ -71,8 +77,14 @@ func newPipelineObs(reg *obs.Registry, tracer *obs.Tracer) *pipelineObs {
 			"Versioned decomposition cache hits (STL work skipped).", nil),
 		stlMisses: reg.NewCounter(MetricSTLCacheMisses,
 			"Versioned decomposition cache misses (STL work performed).", nil),
+		stlExtends: reg.NewCounter(MetricSTLExtended,
+			"Decompositions served by incremental seasonal extension instead of a full STL pass.", nil),
 		viewPoints: reg.NewCounter(MetricViewPoints,
-			"Data points served zero-copy by tsdb QueryView during scans.", nil),
+			"Data points decoded from tsdb views during scans (checkpoint hits decode nothing).", nil),
+		cpHits: reg.NewCounter(MetricCheckpointHits,
+			"Detector-checkpoint hits (per-metric detection skipped entirely).", nil),
+		cpMisses: reg.NewCounter(MetricCheckpointMiss,
+			"Detector-checkpoint misses (per-metric detection performed).", nil),
 	}
 	for _, st := range PipelineStages {
 		l := obs.Labels{"stage": st}
@@ -109,7 +121,28 @@ func (po *pipelineObs) stlCacheLookup(hit bool) {
 	}
 }
 
-// viewServed counts the points of one zero-copy series view. Nil-safe.
+// checkpointLookup counts one detector-checkpoint lookup. Nil-safe.
+func (po *pipelineObs) checkpointLookup(hit bool) {
+	if po == nil {
+		return
+	}
+	if hit {
+		po.cpHits.Inc()
+	} else {
+		po.cpMisses.Inc()
+	}
+}
+
+// stlExtended counts one decomposition served by seasonal extension.
+// Nil-safe.
+func (po *pipelineObs) stlExtended() {
+	if po == nil {
+		return
+	}
+	po.stlExtends.Inc()
+}
+
+// viewServed counts the points of one decoded series view. Nil-safe.
 func (po *pipelineObs) viewServed(points int) {
 	if po == nil {
 		return

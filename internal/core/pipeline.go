@@ -75,16 +75,18 @@ type ScanResult struct {
 // cross-scan state: the SameRegressionMerger's memory and the
 // PairwiseDeduper's groups.
 type Pipeline struct {
-	cfg      Config
-	db       *tsdb.DB
-	log      *changelog.Log
-	samples  SampleProvider
-	domains  []DomainDetector
-	merger   *SameRegressionMerger
-	pairwise *PairwiseDeduper
-	planned  *PlannedChangeRegistry
-	stlCache *stlCache    // versioned decomposition cache; nil = disabled
-	obs      *pipelineObs // nil until Instrument; nil-safe hooks
+	cfg         Config
+	db          *tsdb.DB
+	log         *changelog.Log
+	samples     SampleProvider
+	domains     []DomainDetector
+	merger      *SameRegressionMerger
+	pairwise    *PairwiseDeduper
+	planned     *PlannedChangeRegistry
+	stlCache    *stlCache        // epoch-keyed decomposition cache; nil = disabled
+	stlAnchors  *stlAnchors      // seasonal-extension anchors; nil unless STLExtend
+	checkpoints *checkpointCache // per-series detector checkpoints; nil = disabled
+	obs         *pipelineObs     // nil until Instrument; nil-safe hooks
 }
 
 // NewPipeline builds a pipeline. log and samples may be nil, disabling
@@ -105,15 +107,29 @@ func NewPipeline(cfg Config, db *tsdb.DB, log *changelog.Log, samples SampleProv
 	if cacheSize > 0 {
 		cache = newSTLCache(cacheSize)
 	}
+	cpSize := cfg.CheckpointCacheSize
+	if cpSize == 0 {
+		cpSize = defaultCheckpointCacheSize
+	}
+	var checkpoints *checkpointCache
+	if cpSize > 0 {
+		checkpoints = newCheckpointCache(cpSize)
+	}
+	var anchors *stlAnchors
+	if cfg.STLExtend {
+		anchors = newSTLAnchors()
+	}
 	return &Pipeline{
-		cfg:      cfg,
-		db:       db,
-		log:      log,
-		samples:  samples,
-		domains:  DefaultDomainDetectors(),
-		merger:   NewSameRegressionMerger(cfg.Dedup.SameRegressionWindow),
-		pairwise: NewPairwiseDeduper(cfg.Dedup, nil),
-		stlCache: cache,
+		cfg:         cfg,
+		db:          db,
+		log:         log,
+		samples:     samples,
+		domains:     DefaultDomainDetectors(),
+		merger:      NewSameRegressionMerger(cfg.Dedup.SameRegressionWindow),
+		pairwise:    NewPairwiseDeduper(cfg.Dedup, nil),
+		stlCache:    cache,
+		stlAnchors:  anchors,
+		checkpoints: checkpoints,
 	}, nil
 }
 
@@ -140,13 +156,28 @@ type metricScan struct {
 }
 
 // scanMetric runs stages 1-3 (short-term change point, went-away,
-// seasonality) plus the long-term path for one metric. The series window
-// is read zero-copy (QueryView) and the expensive decomposition work both
-// detection paths share is computed at most once, through the versioned
-// cache.
-func (p *Pipeline) scanMetric(metric tsdb.MetricID, from, scanTime time.Time) metricScan {
+// seasonality) plus the long-term path for one metric. The window is
+// first resolved to its content identity without decoding (ViewBounds);
+// a checkpoint hit returns the memoized outcome immediately — the warm
+// path for unchanged series. On a miss the window decodes into the
+// caller's reusable scratch buffer, the detection stages run, and the
+// outcome is checkpointed. The expensive decomposition work both
+// detection paths share is computed at most once, through the
+// epoch-keyed cache.
+func (p *Pipeline) scanMetric(metric tsdb.MetricID, from, scanTime time.Time, sc *tsdb.Scratch) metricScan {
 	var m metricScan
-	series, version, err := p.db.QueryView(metric, from, scanTime)
+	wstart, wn, stamp, err := p.db.ViewBounds(metric, from, scanTime)
+	if err != nil {
+		return m
+	}
+	if cached, ok := p.checkpoints.get(metric, stamp.Epoch, wstart.UnixNano(), wn); ok {
+		p.obs.checkpointLookup(true)
+		return cached
+	}
+	if p.checkpoints != nil {
+		p.obs.checkpointLookup(false)
+	}
+	series, stamp2, err := p.db.QueryViewStamped(metric, from, scanTime, sc)
 	if err != nil {
 		return m
 	}
@@ -158,7 +189,7 @@ func (p *Pipeline) scanMetric(metric tsdb.MetricID, from, scanTime time.Time) me
 	var stlRes *stlResult
 	stlFor := func() *stlResult {
 		if stlRes == nil {
-			stlRes = p.stlFor(metric, version, ws.Full())
+			stlRes = p.stlFor(metric, stamp2.Epoch, ws.Full())
 		}
 		return stlRes
 	}
@@ -195,6 +226,11 @@ func (p *Pipeline) scanMetric(metric tsdb.MetricID, from, scanTime time.Time) me
 			m.candidates = append(m.candidates, r)
 		}
 	}
+	// Detach candidates from the scratch-backed view (their windows must
+	// outlive the buffer's next reuse), then checkpoint the outcome under
+	// the decoded window's identity for the next cycle.
+	m = m.clone()
+	p.checkpoints.put(metric, stamp2.Epoch, series.Start.UnixNano(), series.Len(), m)
 	return m
 }
 
@@ -302,8 +338,11 @@ func (p *Pipeline) detectService(ctx context.Context, service string, scanTime t
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				// One decode scratch per worker: views are consumed within
+				// scanMetric, so the buffer recycles across its metrics.
+				var sc tsdb.Scratch
 				for i := range jobs {
-					perMetric[i] = p.scanMetric(metrics[i], from, scanTime)
+					perMetric[i] = p.scanMetric(metrics[i], from, scanTime, &sc)
 				}
 			}()
 		}
@@ -318,11 +357,12 @@ func (p *Pipeline) detectService(ctx context.Context, service string, scanTime t
 		close(jobs)
 		wg.Wait()
 	} else {
+		var sc tsdb.Scratch
 		for i := range metrics {
 			if ctx.Err() != nil {
 				break
 			}
-			perMetric[i] = p.scanMetric(metrics[i], from, scanTime)
+			perMetric[i] = p.scanMetric(metrics[i], from, scanTime, &sc)
 		}
 	}
 	if err := ctx.Err(); err != nil {

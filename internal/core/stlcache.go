@@ -16,20 +16,22 @@ import (
 // if seasonal, run an STL decomposition (O(n·span) Loess passes). Under
 // continuous scanning the same series is decomposed again and again —
 // twice per scan when both paths are enabled, and once per re-run even
-// when nothing changed. The tsdb's per-series version counters make that
-// redundancy detectable: a (metric, version, window) triple pins the exact
-// input values, so the decomposition-derived results can be memoized
-// safely. This is the amortization Hunter and MongoDB's change-point
-// system apply across overlapping scan windows.
+// when nothing changed. The tsdb's per-series epoch makes that redundancy
+// detectable: stored values are never rewritten under an epoch, so a
+// (metric, epoch, window) triple pins the exact input values — and unlike
+// the mutation-counting version, the epoch survives appends, so a cached
+// window stays warm while the series grows past it. This is the
+// amortization Hunter and MongoDB's change-point system apply across
+// overlapping scan windows.
 
 // stlKey identifies one memoizable decomposition input: the metric, the
-// series version at read time (bumped by the store on every mutation), and
-// the window cut from it (start nanos + point count).
+// series epoch at read time, and the window cut from it (start nanos +
+// point count).
 type stlKey struct {
-	metric  tsdb.MetricID
-	version uint64
-	start   int64
-	n       int
+	metric tsdb.MetricID
+	epoch  uint64
+	start  int64
+	n      int
 }
 
 // stlResult carries everything the two detectors derive from one full
@@ -176,11 +178,13 @@ func (p *Pipeline) STLCacheStats() (hits, misses uint64, entries int) {
 }
 
 // stlFor returns the decomposition-derived results for one metric's full
-// window, consulting the versioned cache. With caching disabled every call
-// recomputes, matching the uncached detectors exactly — the cache is a
-// pure memoization, so detection output is identical either way.
-func (p *Pipeline) stlFor(metric tsdb.MetricID, version uint64, full *timeseries.Series) *stlResult {
-	key := stlKey{metric: metric, version: version, start: full.Start.UnixNano(), n: full.Len()}
+// window, consulting the epoch-keyed cache. With caching disabled every
+// call recomputes, matching the uncached detectors exactly — the cache is
+// a pure memoization, so detection output is identical either way. (With
+// Config.STLExtend the miss path may extend a previous decomposition
+// instead of recomputing; see stlextend.go for the approximation bound.)
+func (p *Pipeline) stlFor(metric tsdb.MetricID, epoch uint64, full *timeseries.Series) *stlResult {
+	key := stlKey{metric: metric, epoch: epoch, start: full.Start.UnixNano(), n: full.Len()}
 	if r := p.stlCache.get(key); r != nil {
 		p.obs.stlCacheLookup(true)
 		return r
@@ -188,7 +192,7 @@ func (p *Pipeline) stlFor(metric tsdb.MetricID, version uint64, full *timeseries
 	if p.stlCache != nil {
 		p.obs.stlCacheLookup(false)
 	}
-	r := computeSTL(p.cfg.Seasonality, full, p.cfg.LongTerm)
+	r := p.stlCompute(metric, epoch, full)
 	p.stlCache.put(key, r)
 	return r
 }

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"sync"
+
+	"fbdetect/internal/stats"
+	"fbdetect/internal/stl"
+	"fbdetect/internal/timeseries"
+	"fbdetect/internal/tsdb"
+)
+
+// With Config.STLExtend enabled, a window that slid forward by a few
+// points over an unchanged series (the steady state of continuous
+// scanning: each cycle appends a handful of points and re-scans) does
+// not redecompose from scratch. The dominant cost of a cold stlFor is
+// period detection (autocorrelation over every candidate lag) plus the
+// iterative STL Loess passes; but the seasonal component is periodic by
+// construction, so sliding the window by k ≤ period points only shifts
+// it — the dropped head cycles out, and the k new tail points take the
+// seasonal value one period earlier. The extension shifts the anchored
+// seasonal, extends it periodically, and refits only the trend with a
+// single Loess pass over the deseasonalized values.
+//
+// The extension is approximate by design: a true redecomposition would
+// also let the period and the seasonal shape drift. Extensions therefore
+// always derive from the last full decomposition (the anchor), never
+// from another extension, and once the window has slid more than one
+// period past the anchor the series is fully redecomposed and
+// re-anchored — the error window is bounded by one period. STLExtend
+// defaults to off, keeping every detection output bit-identical to the
+// cold path.
+
+// stlAnchor is the last full decomposition of one metric, the base every
+// extension derives from.
+type stlAnchor struct {
+	epoch uint64
+	start int64 // window start, unix nanos
+	n     int
+	res   *stlResult
+}
+
+// stlAnchors tracks per-metric anchors; created only when STLExtend is
+// enabled.
+type stlAnchors struct {
+	mu sync.Mutex
+	m  map[tsdb.MetricID]stlAnchor
+}
+
+func newSTLAnchors() *stlAnchors {
+	return &stlAnchors{m: make(map[tsdb.MetricID]stlAnchor)}
+}
+
+// stlCompute produces the decomposition-derived results for one full
+// window, via seasonal extension when a close-enough anchor exists,
+// falling back to (and re-anchoring on) the full computation.
+func (p *Pipeline) stlCompute(metric tsdb.MetricID, epoch uint64, full *timeseries.Series) *stlResult {
+	if p.stlAnchors == nil {
+		return computeSTL(p.cfg.Seasonality, full, p.cfg.LongTerm)
+	}
+	p.stlAnchors.mu.Lock()
+	a, ok := p.stlAnchors.m[metric]
+	p.stlAnchors.mu.Unlock()
+	if ok {
+		if r := extendSTL(a, epoch, full); r != nil {
+			p.obs.stlExtended()
+			return r
+		}
+	}
+	r := computeSTL(p.cfg.Seasonality, full, p.cfg.LongTerm)
+	p.stlAnchors.mu.Lock()
+	p.stlAnchors.m[metric] = stlAnchor{epoch: epoch, start: full.Start.UnixNano(), n: full.Len(), res: r}
+	p.stlAnchors.mu.Unlock()
+	return r
+}
+
+// extendSTL slides the anchor's decomposition onto the window, or
+// returns nil when the window is not a short same-epoch forward slide of
+// a seasonal anchor.
+func extendSTL(a stlAnchor, epoch uint64, full *timeseries.Series) *stlResult {
+	n := full.Len()
+	if a.epoch != epoch || a.n != n || a.res == nil || !a.res.seasonal || a.res.decomp == nil {
+		return nil
+	}
+	step := full.Step.Nanoseconds()
+	if step <= 0 {
+		return nil
+	}
+	d := full.Start.UnixNano() - a.start
+	if d <= 0 || d%step != 0 {
+		return nil
+	}
+	k := int(d / step)
+	period := a.res.period
+	if k > period || period <= 0 || n < 2*period {
+		return nil
+	}
+
+	// Shift the anchored seasonal left by k and extend the tail one
+	// period back: seasonal repeats, so the k new points reuse the value
+	// from one cycle earlier.
+	oldSeasonal := a.res.decomp.Seasonal
+	seasonal := make([]float64, n)
+	copy(seasonal, oldSeasonal[k:])
+	for i := n - k; i < n; i++ {
+		seasonal[i] = seasonal[i-period]
+	}
+
+	// Refit only the trend: one Loess pass over the deseasonalized
+	// values, at the span a full decomposition would use.
+	des := make([]float64, n)
+	for i := range des {
+		des[i] = full.Values[i] - seasonal[i]
+	}
+	span := stl.Options{}.TrendSpanFor(period)
+	trend := stl.Loess(des, span)
+	residual := make([]float64, n)
+	for i := range residual {
+		residual[i] = des[i] - trend[i]
+	}
+	return &stlResult{
+		period:   period,
+		seasonal: true,
+		decomp:   &stl.Decomposition{Seasonal: seasonal, Trend: trend, Residual: residual, Period: period},
+		des:      des,
+		resSD:    stats.StdDev(residual),
+	}
+}

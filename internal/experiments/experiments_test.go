@@ -429,7 +429,7 @@ func TestRCAAccuracy(t *testing.T) {
 func TestScanThroughputShape(t *testing.T) {
 	r := RunScanThroughput(1)
 	if r.CacheHits == 0 {
-		t.Error("warm scans recorded no decomposition-cache hits")
+		t.Error("warm scans recorded no detector-checkpoint hits")
 	}
 	if r.ColdScan <= 0 || r.WarmScan <= 0 {
 		t.Errorf("timings not recorded: cold=%v warm=%v", r.ColdScan, r.WarmScan)

@@ -11,16 +11,17 @@ import (
 )
 
 // ScanThroughputResult measures the steady-state re-scan cost of one
-// detection job: the first (cold) scan decomposes every series, repeated
-// scans over unchanged series are served from the versioned decomposition
-// cache. The paper re-runs every configuration continuously at its re-run
-// interval (Table 1), so the warm cost is what sizes the detection tier.
+// detection job: the first (cold) scan decodes and detects over every
+// series, repeated scans over unchanged series are served from per-series
+// detector checkpoints without decoding a chunk. The paper re-runs every
+// configuration continuously at its re-run interval (Table 1), so the
+// warm cost is what sizes the detection tier.
 type ScanThroughputResult struct {
 	Metrics     int
 	WarmScans   int
-	ColdScan    time.Duration // first scan, empty cache
+	ColdScan    time.Duration // first scan, empty caches
 	WarmScan    time.Duration // mean of repeated scans, unchanged series
-	CacheHits   uint64
+	CacheHits   uint64        // detector-checkpoint hits
 	CacheMisses uint64
 }
 
@@ -40,14 +41,14 @@ func (r ScanThroughputResult) String() string {
 	}
 	return fmt.Sprintf("Scan throughput (%d metrics, long-term path enabled)\n", r.Metrics) +
 		table([]string{"scan", "wall time", "runs"}, rows) +
-		fmt.Sprintf("warm speedup: %s, decomposition-cache hit rate: %s\n", speedup, hitRate)
+		fmt.Sprintf("warm speedup: %s, checkpoint hit rate: %s\n", speedup, hitRate)
 }
 
 // RunScanThroughput scans a 500-metric service repeatedly with one
 // long-lived pipeline, timing the cold scan against the mean warm re-scan.
-// The series do not change between scans, so every warm decomposition is a
-// cache hit — the best case, and the common one for the paper's sparse
-// metrics that receive no new data between re-runs.
+// The series do not change between scans, so every warm per-metric scan is
+// a checkpoint hit — the best case, and the common one for the paper's
+// sparse metrics that receive no new data between re-runs.
 func RunScanThroughput(seed int64) ScanThroughputResult {
 	const (
 		nMetrics  = 500
@@ -94,6 +95,6 @@ func RunScanThroughput(seed int64) ScanThroughputResult {
 		}
 	}
 	res.WarmScan = time.Since(t0) / warmScans
-	res.CacheHits, res.CacheMisses, _ = pipe.STLCacheStats()
+	res.CacheHits, res.CacheMisses, _ = pipe.CheckpointStats()
 	return res
 }

@@ -56,6 +56,13 @@ type Config struct {
 	// series for (metric entity "meta:<value>"), enabling
 	// metadata-annotated regression detection (paper §3).
 	EmitMetadata []string
+	// QuantizeSamples rounds emitted gCPU values to the decimal grid a
+	// counting profiler can actually resolve: 1/10^ceil(log10(n)) for n
+	// samples per step (capped at 1e-9). A sample counter cannot report
+	// fractions finer than 1/n, so full float64 mantissas on gCPU are
+	// simulation artifacts; quantizing removes them, which also lets the
+	// chunked store pack fleet telemetry as scaled integers.
+	QuantizeSamples bool
 }
 
 func (c Config) validate() error {
@@ -102,6 +109,7 @@ type Service struct {
 	issues        []Issue
 	initialWeight float64
 	avgSpeed      float64
+	sampleScale   float64 // gCPU quantization grid (0: quantization off)
 }
 
 // NewService validates the config and returns a simulator for the service.
@@ -121,12 +129,20 @@ func NewService(cfg Config) (*Service, error) {
 			return nil, fmt.Errorf("fleet: generation fractions sum to %v, want 1", frac)
 		}
 	}
+	sampleScale := 0.0
+	if cfg.QuantizeSamples && cfg.SamplesPerStep > 0 {
+		sampleScale = math.Pow(10, math.Ceil(math.Log10(cfg.SamplesPerStep)))
+		if sampleScale > 1e9 {
+			sampleScale = 1e9
+		}
+	}
 	return &Service{
 		cfg:           cfg,
 		rng:           rand.New(rand.NewSource(cfg.Seed)),
 		epochs:        []treeEpoch{{tree: cfg.Tree.Clone()}},
 		initialWeight: cfg.Tree.TotalWeight(),
 		avgSpeed:      avgSpeed,
+		sampleScale:   sampleScale,
 	}, nil
 }
 
@@ -283,23 +299,25 @@ func (s *Service) Run(db *tsdb.DB, log *changelog.Log, from, to time.Time) error
 					continue // tolerate duplicates in EmitSubroutines
 				}
 				seen[sub] = true
-				p := gcpus[sub]
+				p := clamp01(gcpus[sub]) // float error can leave [0,1] and poison the sqrt
 				sd := math.Sqrt(p * (1 - p) / n)
 				g := p + s.rng.NormFloat64()*sd
 				if g < 0 {
 					g = 0
 				}
+				g = s.quantize(g)
 				if err := db.Append(tsdb.ID(s.cfg.Name, sub, "gcpu"), t, g); err != nil {
 					return err
 				}
 			}
 			for _, meta := range s.cfg.EmitMetadata {
-				p := tree.GCPUMetadata(meta)
+				p := clamp01(tree.GCPUMetadata(meta))
 				sd := math.Sqrt(p * (1 - p) / n)
 				g := p + s.rng.NormFloat64()*sd
 				if g < 0 {
 					g = 0
 				}
+				g = s.quantize(g)
 				if err := db.Append(tsdb.ID(s.cfg.Name, "meta:"+meta, "gcpu"), t, g); err != nil {
 					return err
 				}
@@ -307,6 +325,16 @@ func (s *Service) Run(db *tsdb.DB, log *changelog.Log, from, to time.Time) error
 		}
 	}
 	return nil
+}
+
+// quantize rounds a gCPU value onto the sampling-resolution grid; a
+// no-op (identity) when QuantizeSamples is off. It sits after the rng
+// draws, so enabling quantization does not perturb the rng sequence.
+func (s *Service) quantize(g float64) float64 {
+	if s.sampleScale == 0 {
+		return g
+	}
+	return math.Round(g*s.sampleScale) / s.sampleScale
 }
 
 func (s *Service) avgSpeedFactor() float64 {

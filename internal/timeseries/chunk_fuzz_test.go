@@ -1,0 +1,122 @@
+package timeseries
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"math"
+	"testing"
+	"time"
+)
+
+// FuzzChunkCodec exercises the chunk codec from both directions:
+//
+//  1. Treat the input as raw float64 bit patterns (NaN, ±Inf, -0.0 and
+//     friends included), encode them, and require the decode and the
+//     iterator to reproduce every bit exactly.
+//  2. Treat the input as an untrusted chunk: decoding must never panic,
+//     and truncations of a valid chunk must be rejected. A CRC-corrected
+//     variant is decoded too, so mutations reach the header and payload
+//     parsers instead of dying at the checksum; anything that decodes
+//     must re-encode to the same values.
+func FuzzChunkCodec(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	seed := []float64{0.001, math.NaN(), math.Inf(1), math.Copysign(0, -1), 42}
+	var sb []byte
+	for _, v := range seed {
+		sb = binary.LittleEndian.AppendUint64(sb, math.Float64bits(v))
+	}
+	f.Add(sb)
+	if enc, err := EncodeChunk(time.Unix(0, 0), time.Minute, seed); err == nil {
+		f.Add(enc)
+	}
+	crcTable := crc32.MakeTable(crc32.Castagnoli)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Arm 1: bytes as float64 values, bounded to keep iterations fast.
+		if n := len(data) / 8; n > 0 {
+			if n > 4096 {
+				n = 4096
+			}
+			values := make([]float64, n)
+			for i := range values {
+				values[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[i*8:]))
+			}
+			enc, err := EncodeChunk(time.Unix(0, 0), time.Second, values)
+			if err != nil {
+				t.Fatalf("encode rejected valid input: %v", err)
+			}
+			_, _, got, err := DecodeChunk(enc, nil)
+			if err != nil {
+				t.Fatalf("decode(encode(x)) failed: %v", err)
+			}
+			if len(got) != len(values) {
+				t.Fatalf("decoded %d values, want %d", len(got), len(values))
+			}
+			for i := range values {
+				if math.Float64bits(got[i]) != math.Float64bits(values[i]) {
+					t.Fatalf("value %d: %x != %x", i, math.Float64bits(got[i]), math.Float64bits(values[i]))
+				}
+			}
+			// Every truncation of a valid chunk must be rejected.
+			for _, cut := range []int{len(enc) - 1, len(enc) - 4, len(enc) / 2, 1, 0} {
+				if cut < 0 || cut >= len(enc) {
+					continue
+				}
+				if _, _, _, err := DecodeChunk(enc[:cut], nil); err == nil {
+					t.Fatalf("truncation to %d of %d bytes accepted", cut, len(enc))
+				}
+			}
+		}
+
+		// Arm 2a: raw bytes as a chunk — must not panic, errors are fine.
+		if _, _, vals, err := DecodeChunk(data, nil); err == nil {
+			reencodeMustMatch(t, data, vals)
+		}
+
+		// Arm 2b: CRC-corrected bytes, so the fuzzer explores the parser.
+		if len(data) >= 4 {
+			body := data[:len(data)-4]
+			fixed := binary.LittleEndian.AppendUint32(append([]byte{}, body...),
+				crc32.Checksum(body, crcTable))
+			if start, step, vals, err := DecodeChunk(fixed, nil); err == nil {
+				enc, err := EncodeChunk(start, step, vals)
+				if err != nil {
+					t.Fatalf("re-encode of decoded chunk failed: %v", err)
+				}
+				_, _, got, err := DecodeChunk(enc, nil)
+				if err != nil {
+					t.Fatalf("decode of re-encoded chunk failed: %v", err)
+				}
+				if len(got) != len(vals) {
+					t.Fatalf("re-encode round trip lost points: %d != %d", len(got), len(vals))
+				}
+				for i := range vals {
+					if math.Float64bits(got[i]) != math.Float64bits(vals[i]) {
+						t.Fatalf("re-encode value %d: %x != %x", i, math.Float64bits(got[i]), math.Float64bits(vals[i]))
+					}
+				}
+			}
+		}
+	})
+}
+
+// reencodeMustMatch re-encodes values decoded from data and requires the
+// round trip to preserve them bit-for-bit.
+func reencodeMustMatch(t *testing.T, data []byte, vals []float64) {
+	t.Helper()
+	it, err := NewChunkIter(data)
+	if err != nil {
+		t.Fatalf("iterator rejected chunk DecodeChunk accepted: %v", err)
+	}
+	i := 0
+	for it.Next() {
+		if math.Float64bits(it.Value()) != math.Float64bits(vals[i]) {
+			t.Fatalf("iterator value %d disagrees with DecodeChunk", i)
+		}
+		i++
+	}
+	if it.Err() != nil || i != len(vals) {
+		t.Fatalf("iterator saw %d values (err %v), DecodeChunk saw %d", i, it.Err(), len(vals))
+	}
+}

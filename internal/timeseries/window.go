@@ -81,6 +81,36 @@ func (w WindowConfig) Cut(s *Series, scanTime time.Time) (Windows, error) {
 	}, nil
 }
 
+// Clone returns a deep copy of the windows. Cut-produced windows clone
+// the one joined backing array and re-slice the three sub-windows from
+// it, preserving the zero-copy relationship among them; hand-assembled
+// windows clone each sub-series independently. Callers that must retain
+// windows past the lifetime of a shared or reused backing buffer (e.g.
+// detector checkpoints over scratch-decoded views) clone first.
+func (ws Windows) Clone() Windows {
+	if ws.joined != nil {
+		j := ws.joined.Clone()
+		h, a := ws.Historic.Len(), ws.Analysis.Len()
+		return Windows{
+			Historic: j.SliceIndex(0, h),
+			Analysis: j.SliceIndex(h, h+a),
+			Extended: j.SliceIndex(h+a, j.Len()),
+			joined:   j,
+		}
+	}
+	out := Windows{}
+	if ws.Historic != nil {
+		out.Historic = ws.Historic.Clone()
+	}
+	if ws.Analysis != nil {
+		out.Analysis = ws.Analysis.Clone()
+	}
+	if ws.Extended != nil {
+		out.Extended = ws.Extended.Clone()
+	}
+	return out
+}
+
 // AnalysisAndExtended returns the analysis and extended windows joined into
 // one series; detectors that look past the analysis window use this view.
 // Windows produced by Cut share the source series' values (zero-copy);

@@ -8,10 +8,19 @@
 // name, e.g. "frontfaas/feed_render/gcpu" (paper §5.5.1).
 //
 // The store is optimized for the pipeline's hot path: every series carries
-// a monotonic version counter (bumped on each mutation) so callers can
-// cache derived results keyed by (metric, version), a per-service index
-// makes Metrics(service) proportional to that service's metric count, and
-// QueryView serves windows zero-copy.
+// a monotonic version counter (bumped on each mutation) and an epoch (a
+// content-stability token that survives appends) so callers can cache
+// derived results keyed by (metric, version) or (metric, epoch, window),
+// a per-service index makes Metrics(service) proportional to that
+// service's metric count, and QueryViewStamped serves windows into
+// caller-reused scratch buffers.
+//
+// Values are stored compressed: each series is a run of sealed fixed-size
+// chunks (Gorilla-style XOR or scaled-integer encoding, see
+// timeseries.EncodeChunk) plus one mutable raw head chunk that appends
+// write into. Sealed chunks decode lazily at query time. Options.ChunkSize
+// = RawChunks opts a store out of compression, keeping raw arrays and
+// zero-copy views.
 //
 // Writes scale with cores: the store is lock-striped into shards keyed by
 // a hash of the MetricID (default GOMAXPROCS shards, see Options), so
@@ -97,13 +106,17 @@ type Point struct {
 	V  float64
 }
 
-// entry pairs a stored series with its monotonic version, bumped on every
-// mutation (append, prune). A (metric, version) pair therefore pins the
-// exact series content, which is what makes version-keyed caches of
-// derived results (STL decompositions, smoothed trends) sound.
+// entry pairs a stored series with two identity counters. version is the
+// monotonic mutation counter, bumped on every mutation (append, prune) —
+// a (metric, version) pair pins the exact series content, which is what
+// makes version-keyed caches of derived results (STL decompositions,
+// smoothed trends) sound. epoch is the coarser content-stability token
+// ViewStamp documents: fresh on creation, Restore, and Prune, unchanged
+// by appends.
 type entry struct {
-	series  *timeseries.Series
+	data    *cseries
 	version uint64
+	epoch   uint64
 }
 
 // shard is one lock stripe: a private map of series plus the per-service
@@ -124,14 +137,20 @@ type Options struct {
 	// (default GOMAXPROCS; 1 degrades to the old single-lock store, which
 	// the shard-contention benchmark uses as its baseline).
 	Shards int
+	// ChunkSize is the number of points per sealed compressed chunk
+	// (default DefaultChunkSize, clamped to timeseries.MaxChunkPoints).
+	// Pass RawChunks to disable compression and store raw float64 arrays
+	// with zero-copy views.
+	ChunkSize int
 }
 
 // DB is an in-memory time-series database. The zero value is not usable;
 // construct with New or NewWithOptions.
 type DB struct {
-	step   time.Duration
-	shards []*shard
-	mask   uint32
+	step      time.Duration
+	shards    []*shard
+	mask      uint32
+	chunkSize int // points per sealed chunk; <= 0 means raw storage
 }
 
 // New returns a DB whose series all share the given step (one point per
@@ -154,7 +173,16 @@ func NewWithOptions(step time.Duration, opts Options) *DB {
 	if n < 1 {
 		n = 1
 	}
-	db := &DB{step: step, shards: make([]*shard, n), mask: uint32(n - 1)}
+	cs := opts.ChunkSize
+	switch {
+	case cs == 0:
+		cs = DefaultChunkSize
+	case cs < 0:
+		cs = 0 // raw mode
+	case cs > timeseries.MaxChunkPoints:
+		cs = timeseries.MaxChunkPoints
+	}
+	db := &DB{step: step, shards: make([]*shard, n), mask: uint32(n - 1), chunkSize: cs}
 	for i := range db.shards {
 		db.shards[i] = &shard{
 			series:    map[MetricID]*entry{},
@@ -206,31 +234,31 @@ func (sh *shard) indexRemove(id MetricID) {
 // sight and gap-filling as Append documents. stale points (at or before
 // the series end) are either rejected or skipped per lenient. Caller
 // holds sh.mu. Reports whether the point was appended.
-func (sh *shard) appendLocked(step time.Duration, id MetricID, t time.Time, v float64, lenient bool) (bool, error) {
+func (sh *shard) appendLocked(step time.Duration, chunkSize int, id MetricID, t time.Time, v float64, lenient bool) (bool, error) {
 	e, ok := sh.series[id]
 	if !ok {
-		e = &entry{series: timeseries.New(t.Truncate(step), step, nil)}
+		e = &entry{data: newCSeries(t.Truncate(step), step, chunkSize), epoch: nextEpoch()}
 		sh.series[id] = e
 		sh.indexAdd(id)
 	}
-	s := e.series
-	// Compute the raw slot without IndexOf's clamping so gaps are visible.
-	slot := int(t.Sub(s.Start) / step)
+	c := e.data
+	// Compute the raw slot without indexOf's clamping so gaps are visible.
+	slot := int(t.Sub(c.start) / step)
 	switch {
-	case slot < s.Len():
+	case slot < c.len():
 		if lenient {
 			return false, nil
 		}
 		return false, fmt.Errorf("tsdb: out-of-order append to %s at %s", id, t)
-	case slot == s.Len():
-		s.Append(v)
+	case slot == c.len():
+		c.append(v)
 	default:
 		last := v
-		if s.Len() > 0 {
-			last = s.Values[s.Len()-1]
+		if c.len() > 0 {
+			last = c.last
 		}
-		s.AppendRepeat(last, slot-s.Len())
-		s.Append(v)
+		c.appendRepeat(last, slot-c.len())
+		c.append(v)
 	}
 	e.version++
 	return true, nil
@@ -246,7 +274,7 @@ func (db *DB) Append(id MetricID, t time.Time, v float64) error {
 	sh := db.shardFor(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	_, err := sh.appendLocked(db.step, id, t, v, false)
+	_, err := sh.appendLocked(db.step, db.chunkSize, id, t, v, false)
 	return err
 }
 
@@ -271,7 +299,7 @@ func (db *DB) AppendBatch(pts []Point) (int, error) {
 		sh := db.shards[0]
 		sh.mu.Lock()
 		for _, p := range pts {
-			ok, _ := sh.appendLocked(db.step, p.ID, p.T, p.V, true)
+			ok, _ := sh.appendLocked(db.step, db.chunkSize, p.ID, p.T, p.V, true)
 			if ok {
 				appended++
 			}
@@ -280,7 +308,13 @@ func (db *DB) AppendBatch(pts []Point) (int, error) {
 		return appended, nil
 	}
 	// Bucket point indices per shard, preserving batch order within each.
-	buckets := make([][]int, len(db.shards))
+	// The bucket slices come from a pool: steady-state ingestion appends
+	// batches continuously, and reallocating per call cost ~13KB/op.
+	bs := bucketPool.Get().(*bucketScratch)
+	if len(bs.buckets) < len(db.shards) {
+		bs.buckets = make([][]int, len(db.shards))
+	}
+	buckets := bs.buckets[:len(db.shards)]
 	for i, p := range pts {
 		s := p.ID.hash() & db.mask
 		buckets[s] = append(buckets[s], i)
@@ -293,15 +327,28 @@ func (db *DB) AppendBatch(pts []Point) (int, error) {
 		sh.mu.Lock()
 		for _, i := range idx {
 			p := pts[i]
-			ok, _ := sh.appendLocked(db.step, p.ID, p.T, p.V, true)
+			ok, _ := sh.appendLocked(db.step, db.chunkSize, p.ID, p.T, p.V, true)
 			if ok {
 				appended++
 			}
 		}
 		sh.mu.Unlock()
 	}
+	for si := range buckets {
+		buckets[si] = buckets[si][:0]
+	}
+	bucketPool.Put(bs)
 	return appended, nil
 }
+
+// bucketScratch holds AppendBatch's per-shard index buckets between
+// calls; the inner slices keep their capacity, so a steady stream of
+// similar batches allocates nothing.
+type bucketScratch struct {
+	buckets [][]int
+}
+
+var bucketPool = sync.Pool{New: func() any { return &bucketScratch{} }}
 
 // Restore installs a series wholesale under the given ID, replacing any
 // existing series — the bulk-load path snapshot recovery uses instead of
@@ -314,7 +361,9 @@ func (db *DB) Restore(id MetricID, s *timeseries.Series) {
 	if _, ok := sh.series[id]; !ok {
 		sh.indexAdd(id)
 	}
-	sh.series[id] = &entry{series: s, version: 1}
+	c := newCSeries(s.Start, s.Step, db.chunkSize)
+	c.bulkAppend(s.Values)
+	sh.series[id] = &entry{data: c, version: 1, epoch: nextEpoch()}
 }
 
 // Query returns a copy of the metric's series restricted to [from, to), or
@@ -327,25 +376,31 @@ func (db *DB) Query(id MetricID, from, to time.Time) (*timeseries.Series, error)
 	if !ok {
 		return nil, fmt.Errorf("tsdb: unknown metric %q", id)
 	}
-	return e.series.Slice(from, to).Clone(), nil
+	c := e.data
+	i, j := c.indexOf(from), c.indexOf(to)
+	if j < i {
+		j = i
+	}
+	var tmp []float64
+	vals, err := c.valuesInto(make([]float64, 0, j-i), i, j, &tmp)
+	if err != nil {
+		return nil, err
+	}
+	return timeseries.New(c.timeAt(i), c.step, vals), nil
 }
 
-// QueryView returns the metric's series restricted to [from, to) as a
-// zero-copy view sharing the store's backing array, plus the series
-// version at snapshot time. The view is a stable snapshot: concurrent
-// Appends only write past the view's end (or into a freshly grown array),
-// and Prune replaces the backing array rather than truncating it in
-// place. Callers must treat the view's Values as read-only; use Query for
-// a mutable copy.
+// QueryView returns the metric's series restricted to [from, to) plus the
+// series version at snapshot time. In raw mode (Options.ChunkSize ==
+// RawChunks) the view is zero-copy, sharing the store's backing array;
+// the view is a stable snapshot because concurrent Appends only write
+// past its end (or into a freshly grown array) and Prune replaces the
+// backing array rather than truncating it in place. Callers must treat
+// the view's Values as read-only. In chunked mode (the default) the
+// window decodes into a fresh allocation; hot paths should prefer
+// QueryViewStamped with a reused Scratch.
 func (db *DB) QueryView(id MetricID, from, to time.Time) (*timeseries.Series, uint64, error) {
-	sh := db.shardFor(id)
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	e, ok := sh.series[id]
-	if !ok {
-		return nil, 0, fmt.Errorf("tsdb: unknown metric %q", id)
-	}
-	return e.series.Slice(from, to), e.version, nil
+	s, st, err := db.QueryViewStamped(id, from, to, nil)
+	return s, st.Version, err
 }
 
 // Version returns the metric's current version counter (0 for unknown
@@ -370,7 +425,13 @@ func (db *DB) Full(id MetricID) (*timeseries.Series, error) {
 	if !ok {
 		return nil, fmt.Errorf("tsdb: unknown metric %q", id)
 	}
-	return e.series.Clone(), nil
+	c := e.data
+	var tmp []float64
+	vals, err := c.valuesInto(make([]float64, 0, c.len()), 0, c.len(), &tmp)
+	if err != nil {
+		return nil, err
+	}
+	return timeseries.New(c.start, c.step, vals), nil
 }
 
 // Metrics returns all metric IDs, sorted, optionally filtered to one
@@ -432,20 +493,34 @@ func (db *DB) Drop(id MetricID) {
 }
 
 // Prune discards points older than the retention horizon for every series,
-// bounding memory for long simulations. Pruned series get fresh backing
-// arrays (never truncated in place), so outstanding QueryView snapshots
-// stay valid; their versions advance so caches keyed on (metric, version)
-// invalidate.
+// bounding memory for long simulations. Pruned series are rebuilt into
+// fresh chunks and backing arrays (never truncated in place), so
+// outstanding QueryView snapshots stay valid; their versions and epochs
+// advance so caches keyed on (metric, version) or (metric, epoch)
+// invalidate. Pruning is exact even mid-chunk: overlapping sealed chunks
+// are decoded and the surviving points re-sealed.
 func (db *DB) Prune(before time.Time) {
+	var tmp []float64
 	for _, sh := range db.shards {
 		sh.mu.Lock()
 		for _, e := range sh.series {
-			s := e.series
-			if !s.Start.Before(before) {
+			c := e.data
+			if !c.start.Before(before) {
 				continue
 			}
-			e.series = s.Slice(before, s.End()).Clone()
+			k := c.indexOf(before)
+			vals, err := c.valuesInto(make([]float64, 0, c.len()-k), k, c.len(), &tmp)
+			if err != nil {
+				// A sealed chunk failing its CRC means in-memory corruption;
+				// keep the series untouched rather than truncating it to the
+				// decodable prefix.
+				continue
+			}
+			nc := newCSeries(c.timeAt(k), c.step, c.chunkSize)
+			nc.bulkAppend(vals)
+			e.data = nc
 			e.version++
+			e.epoch = nextEpoch()
 		}
 		sh.mu.Unlock()
 	}

@@ -81,6 +81,16 @@ wait "$CRASH_PID" 2>/dev/null || true
 start_crash_worker
 grep -h "recovered" "$WORK/crash.log" | tail -1 || true
 
+# WAL replay must land in the compressed chunked store, not a raw
+# fallback: the final recovery's storage line has to report sealed chunks.
+STORAGE_LINE="$(grep -h "sealed chunks" "$WORK/crash.log" | tail -1)"
+echo "$STORAGE_LINE"
+SEALED="$(echo "$STORAGE_LINE" | sed -n 's/.* \([0-9][0-9]*\) sealed chunks.*/\1/p')"
+if [ -z "$SEALED" ] || [ "$SEALED" -eq 0 ]; then
+    echo "FAIL: recovered worker reports no sealed chunks; replay did not reach chunked storage" >&2
+    exit 1
+fi
+
 echo "== scanning both workers"
 scan "$CONTROL_PORT" "$WORK/control.json"
 scan "$CRASH_PORT" "$WORK/crash.json"
