@@ -104,7 +104,8 @@ func printSummary(r *evalharness.Report) {
 	for _, class := range []evalharness.Class{
 		evalharness.ClassRegression, evalharness.ClassDuplicate,
 		evalharness.ClassTransient, evalharness.ClassCostShift,
-		evalharness.ClassSeasonal, evalharness.ClassControl,
+		evalharness.ClassSeasonal, evalharness.ClassPopShift,
+		evalharness.ClassControl,
 	} {
 		cr := r.Classes[class]
 		if cr == nil {

@@ -191,8 +191,8 @@ func main() {
 		// two intervals so the monitor demonstrates overlap handling.
 		check(mon.RunVirtual(end.Add(-*watchEvery), end))
 		funnel, scans := mon.Stats()
-		fmt.Printf("\nmonitor: %d scans, %d change points, %d reported\n",
-			scans, funnel.ChangePoints, len(mon.Reports()))
+		fmt.Printf("\nmonitor: %d scans, %d change points, %d reported, %d population shifts\n",
+			scans, funnel.ChangePoints, len(mon.Reports()), len(mon.PopulationShifts()))
 		printTelemetry(reg)
 		return
 	}
@@ -203,9 +203,10 @@ func main() {
 
 	if *verbose {
 		f := res.Funnel
-		fmt.Printf("\nfunnel: change-points=%d long-term=%d went-away=%d seasonality=%d threshold=%d same=%d som=%d costshift=%d reported=%d\n",
+		fmt.Printf("\nfunnel: change-points=%d long-term=%d went-away=%d seasonality=%d threshold=%d same=%d som=%d popshift=%d costshift=%d reported=%d\n",
 			f.ChangePoints, f.LongTermChangePoints, f.AfterWentAway, f.AfterSeasonality,
-			f.AfterThreshold, f.AfterSameMerger, f.AfterSOMDedup, f.AfterCostShift, f.AfterPairwise)
+			f.AfterThreshold, f.AfterSameMerger, f.AfterSOMDedup, f.AfterPopShift,
+			f.AfterCostShift, f.AfterPairwise)
 	}
 	fmt.Printf("\n%d regression(s) reported:\n\n", len(res.Reported))
 	check(fbdetect.WriteScanReport(os.Stdout, res, &changes))
@@ -241,9 +242,10 @@ func runCoordinator(workerList, serviceList, scanTimeStr string, hours int, opts
 	}
 	fmt.Println()
 	f := merged.Funnel
-	fmt.Printf("funnel: change-points=%d went-away=%d seasonality=%d threshold=%d same=%d som=%d costshift=%d reported=%d\n",
+	fmt.Printf("funnel: change-points=%d went-away=%d seasonality=%d threshold=%d same=%d som=%d popshift=%d costshift=%d reported=%d\n",
 		f.ChangePoints, f.AfterWentAway, f.AfterSeasonality, f.AfterThreshold,
-		f.AfterSameMerger, f.AfterSOMDedup, f.AfterCostShift, f.AfterPairwise)
+		f.AfterSameMerger, f.AfterSOMDedup, f.AfterPopShift, f.AfterCostShift,
+		f.AfterPairwise)
 	fmt.Printf("\n%d regression(s) reported:\n\n", len(merged.Reported))
 	for _, r := range merged.Reported {
 		fmt.Printf("  [%s] %s %s (%s): %+.4f (%+.1f%%) at %s\n",

@@ -67,13 +67,19 @@ type (
 	// Funnel counts regression candidates surviving each pipeline stage
 	// (the paper's Table 3).
 	Funnel = core.Funnel
-	// WentAwayConfig, SeasonalityConfig, CostShiftConfig, DedupConfig and
-	// RootCauseConfig tune individual stages.
+	// WentAwayConfig, SeasonalityConfig, CostShiftConfig, PopShiftConfig,
+	// DedupConfig and RootCauseConfig tune individual stages.
 	WentAwayConfig    = core.WentAwayConfig
 	SeasonalityConfig = core.SeasonalityConfig
 	CostShiftConfig   = core.CostShiftConfig
+	PopShiftConfig    = core.PopShiftConfig
 	DedupConfig       = core.DedupConfig
 	RootCauseConfig   = core.RootCauseConfig
+	// PopulationShift is one candidate regression the pop-shift stage
+	// reclassified as a population mix change (generation rollout,
+	// regional failover, traffic migration) rather than a behavior
+	// regression; collected in ScanResult.PopulationShifts.
+	PopulationShift = core.PopulationShift
 	// SampleProvider supplies stack-trace samples for cost-shift analysis
 	// and root-cause attribution.
 	SampleProvider = core.SampleProvider

@@ -88,6 +88,9 @@ type Config struct {
 	// CostShift tunes the cost-shift detector.
 	CostShift CostShiftConfig
 
+	// PopShift tunes the population-shift diagnosis stage.
+	PopShift PopShiftConfig
+
 	// Dedup tunes SOMDedup and PairwiseDedup.
 	Dedup DedupConfig
 
@@ -186,6 +189,27 @@ func (c CostShiftConfig) withDefaults() CostShiftConfig {
 		c.NegligibleChangeFraction = 0.25
 	}
 	return c
+}
+
+// PopShiftConfig tunes the population-shift diagnosis stage (Lumos-style
+// stratified re-weighting; ROADMAP item 2). The stage is opt-in: with
+// Enabled false the pipeline's behavior and output are identical to a
+// build without the stage.
+type PopShiftConfig struct {
+	// Enabled turns the stage on. Off by default.
+	Enabled bool
+	// MinStrata is the minimum number of population strata that must be
+	// observed around a candidate's change point for a diagnosis to be
+	// attempted (default 2).
+	MinStrata int
+	// MinMixChange is the minimum total-variation distance between the
+	// pre- and post-window population mixes for a shift verdict
+	// (default 0.02).
+	MinMixChange float64
+	// ZThreshold is the bias-test multiplier: a behavior term more than
+	// this many standard errors from zero vetoes the shift verdict
+	// (default 3).
+	ZThreshold float64
 }
 
 // DedupConfig tunes the deduplication stages (paper §5.5).

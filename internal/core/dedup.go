@@ -47,6 +47,25 @@ func (m *SameRegressionMerger) IsDuplicate(r *Regression) bool {
 	return false
 }
 
+// Forget removes the regression's recorded change point from the merger's
+// memory. The pop-shift stage calls it for candidates it reclassifies as
+// population shifts: a suppressed mix-shift candidate must not keep
+// masking a later genuine regression whose change point lands within the
+// proximity window on the same series.
+func (m *SameRegressionMerger) Forget(r *Regression) {
+	key := string(r.Metric)
+	seen := m.seen[key]
+	for i, t := range seen {
+		if t.Equal(r.ChangePointTime) {
+			m.seen[key] = append(seen[:i], seen[i+1:]...)
+			if len(m.seen[key]) == 0 {
+				delete(m.seen, key)
+			}
+			return
+		}
+	}
+}
+
 // ImportanceScore ranks a regression for selection as its group's
 // representative (paper §5.5.1):
 //

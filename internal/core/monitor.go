@@ -18,10 +18,11 @@ type Monitor struct {
 	pipeline *Pipeline
 	interval time.Duration
 
-	mu       sync.Mutex
-	services []string
-	reports  []*Regression
-	funnel   Funnel
+	mu        sync.Mutex
+	services  []string
+	reports   []*Regression
+	popShifts []*PopulationShift
+	funnel    Funnel
 	scans    int
 	onReport func(*Regression)
 	obs      *monitorObs // nil until Instrument; nil-safe hooks
@@ -149,6 +150,7 @@ func (m *Monitor) ScanOnce(scanTime time.Time) error {
 		m.scans++
 		m.funnel.Add(scanRes.Funnel)
 		m.reports = append(m.reports, scanRes.Reported...)
+		m.popShifts = append(m.popShifts, scanRes.PopulationShifts...)
 		m.mu.Unlock()
 		if mo != nil {
 			mo.reports.Add(float64(len(scanRes.Reported)))
@@ -207,6 +209,16 @@ func (m *Monitor) Reports() []*Regression {
 	defer m.mu.Unlock()
 	out := make([]*Regression, len(m.reports))
 	copy(out, m.reports)
+	return out
+}
+
+// PopulationShifts returns every population-shift verdict emitted so
+// far (candidates the pop-shift stage suppressed instead of reporting).
+func (m *Monitor) PopulationShifts() []*PopulationShift {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*PopulationShift, len(m.popShifts))
+	copy(out, m.popShifts)
 	return out
 }
 

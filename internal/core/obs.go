@@ -17,6 +17,7 @@ const (
 	StageThreshold   = "threshold"
 	StageSameMerger  = "same_merger"
 	StageSOMDedup    = "som_dedup"
+	StagePopShift    = "popshift"
 	StageCostShift   = "costshift"
 	StagePairwise    = "pairwise"
 	StageRootCause   = "rootcause"
@@ -25,8 +26,8 @@ const (
 // PipelineStages lists every stage in execution order.
 var PipelineStages = []string{
 	StageChangePoint, StageLongTerm, StageWentAway, StageSeasonality,
-	StageThreshold, StageSameMerger, StageSOMDedup, StageCostShift,
-	StagePairwise, StageRootCause,
+	StageThreshold, StageSameMerger, StageSOMDedup, StagePopShift,
+	StageCostShift, StagePairwise, StageRootCause,
 }
 
 // Pipeline metric names.
@@ -42,6 +43,7 @@ const (
 	MetricViewPoints     = "fbdetect_tsdb_view_points_total"
 	MetricCheckpointHits = "fbdetect_checkpoint_hits_total"
 	MetricCheckpointMiss = "fbdetect_checkpoint_misses_total"
+	MetricPopShifts      = "fbdetect_popshift_verdicts_total"
 )
 
 // pipelineObs holds the pre-created metric handles for the pipeline hot
@@ -61,6 +63,7 @@ type pipelineObs struct {
 	viewPoints *obs.Counter
 	cpHits     *obs.Counter
 	cpMisses   *obs.Counter
+	popShifts  *obs.Counter
 }
 
 func newPipelineObs(reg *obs.Registry, tracer *obs.Tracer) *pipelineObs {
@@ -85,6 +88,8 @@ func newPipelineObs(reg *obs.Registry, tracer *obs.Tracer) *pipelineObs {
 			"Detector-checkpoint hits (per-metric detection skipped entirely).", nil),
 		cpMisses: reg.NewCounter(MetricCheckpointMiss,
 			"Detector-checkpoint misses (per-metric detection performed).", nil),
+		popShifts: reg.NewCounter(MetricPopShifts,
+			"Candidates reclassified as population mix-shifts instead of regressions.", nil),
 	}
 	for _, st := range PipelineStages {
 		l := obs.Labels{"stage": st}
@@ -133,6 +138,15 @@ func (po *pipelineObs) checkpointLookup(hit bool) {
 	}
 }
 
+// popShiftSuppressed counts candidates reclassified as population
+// shifts this scan. Nil-safe.
+func (po *pipelineObs) popShiftSuppressed(n int) {
+	if po == nil || n == 0 {
+		return
+	}
+	po.popShifts.Add(float64(n))
+}
+
 // stlExtended counts one decomposition served by seasonal extension.
 // Nil-safe.
 func (po *pipelineObs) stlExtended() {
@@ -170,7 +184,8 @@ func (po *pipelineObs) recordFunnel(metricsScanned int, longTerm bool, f Funnel)
 		{StageThreshold, f.AfterSeasonality + f.LongTermChangePoints, f.AfterThreshold},
 		{StageSameMerger, f.AfterThreshold, f.AfterSameMerger},
 		{StageSOMDedup, f.AfterSameMerger, f.AfterSOMDedup},
-		{StageCostShift, f.AfterSOMDedup, f.AfterCostShift},
+		{StagePopShift, f.AfterSOMDedup, f.AfterPopShift},
+		{StageCostShift, f.AfterPopShift, f.AfterCostShift},
 		{StagePairwise, f.AfterCostShift, f.AfterPairwise},
 		{StageRootCause, f.AfterPairwise, f.AfterPairwise},
 	}

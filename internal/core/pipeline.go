@@ -23,6 +23,7 @@ type Funnel struct {
 	AfterThreshold       int
 	AfterSameMerger      int
 	AfterSOMDedup        int
+	AfterPopShift        int // candidates not explained by a population mix change
 	AfterCostShift       int
 	AfterPairwise        int // new groups reported this scan
 }
@@ -36,6 +37,7 @@ func (f *Funnel) Add(o Funnel) {
 	f.AfterThreshold += o.AfterThreshold
 	f.AfterSameMerger += o.AfterSameMerger
 	f.AfterSOMDedup += o.AfterSOMDedup
+	f.AfterPopShift += o.AfterPopShift
 	f.AfterCostShift += o.AfterCostShift
 	f.AfterPairwise += o.AfterPairwise
 }
@@ -57,6 +59,7 @@ func (f Funnel) ReductionRatios() map[string]float64 {
 		"threshold":   ratio(f.AfterThreshold),
 		"same-merger": ratio(f.AfterSameMerger),
 		"som-dedup":   ratio(f.AfterSOMDedup),
+		"pop-shift":   ratio(f.AfterPopShift),
 		"cost-shift":  ratio(f.AfterCostShift),
 		"pairwise":    ratio(f.AfterPairwise),
 	}
@@ -67,6 +70,10 @@ type ScanResult struct {
 	// Reported holds the representative regressions newly reported this
 	// scan (one per new PairwiseDedup group).
 	Reported []*Regression
+	// PopulationShifts holds candidates reclassified as population
+	// mix-shifts by the pop-shift stage (suppressed from Reported).
+	// Always nil when Config.PopShift.Enabled is false.
+	PopulationShifts []*PopulationShift
 	// Funnel counts candidates per stage.
 	Funnel Funnel
 }
@@ -299,7 +306,7 @@ func (p *Pipeline) detectService(ctx context.Context, service string, scanTime t
 	d := &serviceDetect{
 		service:  service,
 		scanTime: scanTime,
-		metrics:  p.db.Metrics(service),
+		metrics:  p.alertableMetrics(service),
 		res:      &ScanResult{},
 	}
 	metrics := d.metrics
@@ -486,24 +493,62 @@ func (p *Pipeline) finalizeService(ctx context.Context, d *serviceDetect) (*Scan
 	res.Funnel.AfterSOMDedup = len(reps)
 	endStage()
 
+	// Stage 6b: population-shift diagnosis. A candidate whose delta is
+	// explained by the population mix moving (stratified re-weighting of
+	// per-stratum means against the pre-window mix, §5.4-adjacent; see
+	// internal/popshift) is reclassified as a population-shift verdict
+	// instead of a regression report. It runs before cost-shift analysis:
+	// the diagnosis needs only telemetry (no sample queries), and a
+	// mix-induced delta would otherwise be claimed by the cost-shift
+	// stage — the mix movement never shows in stack-sample attributions —
+	// which records no verdict and leaves the candidate armed in the
+	// merger's memory. AfterPopShift is maintained even with the stage
+	// disabled so the funnel stays uniform.
+	surviving := reps
+	if p.cfg.PopShift.Enabled {
+		endStage = p.stageStart(trace, root, StagePopShift)
+		var unexplained []*Regression
+		for _, r := range surviving {
+			if ps := p.checkPopShift(r, scanTime); ps != nil {
+				res.PopulationShifts = append(res.PopulationShifts, ps)
+				// Un-record the candidate from the merger's memory: a
+				// suppressed mix-shift must not mask a later genuine
+				// regression on the same series.
+				p.merger.Forget(r)
+				continue
+			}
+			unexplained = append(unexplained, r)
+		}
+		surviving = unexplained
+		endStage()
+		p.obs.popShiftSuppressed(len(res.PopulationShifts))
+	}
+	res.Funnel.AfterPopShift = len(surviving)
+
 	// Stage 7: cost-shift analysis on representatives — stack-sample
 	// domains for gCPU regressions, the endpoint-prefix domain for
-	// endpoint regressions.
+	// endpoint regressions. Suppressed candidates are un-recorded from
+	// the merger for the same reason as in the pop-shift stage: an
+	// explained-away change point must not mask a later genuine
+	// regression landing nearby on the same series.
 	endStage = p.stageStart(trace, root, StageCostShift)
-	var surviving []*Regression
-	for _, r := range reps {
+	var unexplained []*Regression
+	for _, r := range surviving {
 		if r.Name == "gcpu" && before != nil && after != nil {
 			if CheckCostShift(p.cfg.CostShift, p.domains, r, before, after).IsCostShift {
+				p.merger.Forget(r)
 				continue
 			}
 		}
 		if strings.HasPrefix(r.Entity, "endpoint:") {
 			if CheckEndpointCostShift(p.cfg.CostShift, p.db, r, p.cfg.Windows, scanTime).IsCostShift {
+				p.merger.Forget(r)
 				continue
 			}
 		}
-		surviving = append(surviving, r)
+		unexplained = append(unexplained, r)
 	}
+	surviving = unexplained
 	res.Funnel.AfterCostShift = len(surviving)
 	endStage()
 

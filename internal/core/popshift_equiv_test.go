@@ -1,0 +1,218 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"fbdetect/internal/popshift"
+	"fbdetect/internal/tsdb"
+)
+
+// These tests pin the pop-shift stage's two contracts: with
+// Config.PopShift disabled the pipeline's output is byte-identical to a
+// build without the stage (same funnel, same regression fields, on any
+// store — tagged or not), and with it enabled a mix-induced aggregate
+// step is reclassified as a population-shift verdict while a genuine
+// per-stratum behavior step still reports. Run under -race via the
+// Makefile race target.
+
+// TestPopShiftDisabledByteIdentical: the pop-shift stage disabled vs a
+// pipeline that never heard of it, over the incremental workload and
+// the full scan schedule (cold, warm repeat, grown store, slid window).
+// AfterPopShift must mirror AfterSOMDedup (the preceding stage) exactly
+// and everything else must match field for field.
+func TestPopShiftDisabledByteIdentical(t *testing.T) {
+	base := incrementalConfig()
+	dbA := tsdb.New(time.Minute)
+	seedIncrementalDB(dbA, 540)
+	pA, err := NewPipeline(base, dbA, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Explicitly zeroed (not merely default) PopShift config: the stage
+	// must change nothing when off.
+	off := incrementalConfig()
+	off.PopShift = PopShiftConfig{}
+	dbB := tsdb.New(time.Minute)
+	seedIncrementalDB(dbB, 540)
+	pB, err := NewPipeline(off, dbB, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a := scanSequence(t, pA, dbA, "no-popshift")
+	b := scanSequence(t, pB, dbB, "popshift-off")
+	compareScanResults(t, b, a, "popshift disabled")
+	for i, r := range b {
+		if r.Funnel.AfterPopShift != r.Funnel.AfterSOMDedup {
+			t.Errorf("scan %d: AfterPopShift %d != AfterSOMDedup %d with stage disabled",
+				i, r.Funnel.AfterPopShift, r.Funnel.AfterSOMDedup)
+		}
+		if r.PopulationShifts != nil {
+			t.Errorf("scan %d: disabled stage emitted %d verdicts", i, len(r.PopulationShifts))
+		}
+	}
+	if len(a[0].Reported) == 0 {
+		t.Error("no regression reported; equivalence is vacuous")
+	}
+}
+
+// TestPopShiftDisabledIgnoresTaggedSeries: a store carrying stratum
+// series and weight series must scan identically whether those series
+// were appended or not, as long as the stage is disabled... except that
+// the tagged series themselves are then alert surfaces like any other
+// metric. What is pinned here is narrower and exact: disabling the
+// stage leaves tagged series visible to detection (no silent skipping),
+// and enabling it hides exactly the tagged and weight series.
+func TestPopShiftMetricVisibility(t *testing.T) {
+	db := tsdb.New(time.Minute)
+	seedIncrementalDB(db, 540)
+	// One tagged stratum series + its weight series.
+	tagged := tsdb.ID("inc", popshift.TagEntity("suba0", popshift.Stratum{Gen: "g1"}), "gcpu")
+	weight := tsdb.ID("inc", popshift.TagEntity("", popshift.Stratum{Gen: "g1"}), popshift.WeightMetric)
+	for i := 0; i < 540; i++ {
+		ts := t0.Add(time.Duration(i) * time.Minute)
+		if err := db.Append(tagged, ts, 0.001); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Append(weight, ts, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cfgOff := incrementalConfig()
+	pOff, err := NewPipeline(cfgOff, db, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgOn := incrementalConfig()
+	cfgOn.PopShift.Enabled = true
+	pOn, err := NewPipeline(cfgOn, db, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	all := len(db.Metrics("inc"))
+	if got := len(pOff.alertableMetrics("inc")); got != all {
+		t.Errorf("disabled stage filtered metrics: %d != %d", got, all)
+	}
+	if got := len(pOn.alertableMetrics("inc")); got != all-2 {
+		t.Errorf("enabled stage kept %d metrics, want %d (tagged + weight hidden)", got, all-2)
+	}
+}
+
+// popShiftFixture builds a store with one service-level aggregate gcpu
+// series whose step at minute 420 is produced by the population mix
+// ramping from an all-cheap to a mostly-expensive stratum, plus the
+// per-stratum series and weight series the diagnosis needs. behaviorStep
+// additionally steps BOTH strata (a real regression riding on the
+// shift); 0 means a pure mix change.
+func popShiftFixture(behaviorStep float64) *tsdb.DB {
+	db := tsdb.New(time.Minute)
+	agg := tsdb.ID("pop", "", "gcpu")
+	oldS := popshift.Stratum{Gen: "old"}
+	newS := popshift.Stratum{Gen: "new"}
+	oldSeries := tsdb.ID("pop", popshift.TagEntity("", oldS), "gcpu")
+	newSeries := tsdb.ID("pop", popshift.TagEntity("", newS), "gcpu")
+	oldWeight := tsdb.ID("pop", popshift.TagEntity("", oldS), popshift.WeightMetric)
+	newWeight := tsdb.ID("pop", popshift.TagEntity("", newS), popshift.WeightMetric)
+
+	const mOld, mNew = 0.0010, 0.0016
+	for i := 0; i < 540; i++ {
+		ts := t0.Add(time.Duration(i) * time.Minute)
+		wNew := 0.1
+		if i >= 420 {
+			wNew = 0.7 // regional failover: mix steps at minute 420
+		}
+		vOld, vNew := mOld, mNew
+		if behaviorStep != 0 && i >= 420 {
+			vOld += behaviorStep
+			vNew += behaviorStep
+		}
+		// Tiny deterministic wobble so variance estimates are nonzero.
+		wob := 1e-6 * math.Sin(float64(i))
+		must(db.Append(agg, ts, (1-wNew)*vOld+wNew*vNew+wob))
+		must(db.Append(oldSeries, ts, vOld+wob))
+		must(db.Append(newSeries, ts, vNew+wob))
+		must(db.Append(oldWeight, ts, 1-wNew))
+		must(db.Append(newWeight, ts, wNew))
+	}
+	return db
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+// TestPopShiftSuppressesMixStep: the aggregate step is pure mix; with
+// the stage enabled it must come out as a population-shift verdict, not
+// a report; with the stage disabled it must (wrongly, by design) report.
+func TestPopShiftSuppressesMixStep(t *testing.T) {
+	run := func(enabled bool) *ScanResult {
+		cfg := incrementalConfig()
+		cfg.PopShift.Enabled = enabled
+		db := popShiftFixture(0)
+		p, err := NewPipeline(cfg, db, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.Scan("pop", t0.Add(540*time.Minute))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	off := run(false)
+	if len(off.Reported) == 0 {
+		t.Fatal("fixture step not detected with stage off; suppression test is vacuous")
+	}
+
+	on := run(true)
+	if len(on.Reported) != 0 {
+		t.Errorf("mix-induced step still reported: %v", on.Reported[0])
+	}
+	if len(on.PopulationShifts) != 1 {
+		t.Fatalf("want 1 population-shift verdict, got %d", len(on.PopulationShifts))
+	}
+	ps := on.PopulationShifts[0]
+	if ps.Service != "pop" || ps.Name != "gcpu" {
+		t.Errorf("verdict identity wrong: %+v", ps)
+	}
+	if !ps.Verdict.IsShift {
+		t.Errorf("verdict not a shift: %+v", ps.Verdict)
+	}
+	if ps.Verdict.Decomp.Strata != 2 {
+		t.Errorf("verdict strata = %d, want 2", ps.Verdict.Decomp.Strata)
+	}
+	if on.Funnel.AfterPopShift != on.Funnel.AfterSOMDedup-1 {
+		t.Errorf("funnel did not count the suppression: %+v", on.Funnel)
+	}
+}
+
+// TestPopShiftKeepsBehaviorStep: both strata step together under the
+// same mix ramp — a real regression riding on a shift. The stage must
+// NOT suppress it.
+func TestPopShiftKeepsBehaviorStep(t *testing.T) {
+	cfg := incrementalConfig()
+	cfg.PopShift.Enabled = true
+	db := popShiftFixture(0.0008) // 8x the 0.0001 threshold
+	p, err := NewPipeline(cfg, db, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Scan("pop", t0.Add(540*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reported) == 0 {
+		t.Fatal("behavior step over-suppressed: nothing reported")
+	}
+	if len(res.PopulationShifts) != 0 {
+		t.Errorf("behavior step misclassified as shift: %+v", res.PopulationShifts[0].Verdict)
+	}
+}

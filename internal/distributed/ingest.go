@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"fbdetect/internal/obs"
+	"fbdetect/internal/popshift"
 	"fbdetect/internal/resilience"
 	"fbdetect/internal/tsdb"
 )
@@ -263,7 +264,16 @@ func decodeNDJSON(data []byte) ([]tsdb.Point, error) {
 		if p.Metric == "" || p.Time.IsZero() {
 			return nil, fmt.Errorf("line %d: metric and time required", line)
 		}
-		pts = append(pts, tsdb.Point{ID: tsdb.MetricID(p.Metric), T: p.Time, V: float64(p.Value)})
+		id := tsdb.MetricID(p.Metric)
+		// Stratum-tagged entities ("base@gen=..;region=..") are canonicalized
+		// so external clients writing tag keys in any order land on the same
+		// series the pop-shift stage reads; untagged metrics pass through.
+		if service, entity, name := id.Parts(); service != "" {
+			if c := popshift.CanonicalEntity(entity); c != entity {
+				id = tsdb.ID(service, c, name)
+			}
+		}
+		pts = append(pts, tsdb.Point{ID: id, T: p.Time, V: float64(p.Value)})
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err

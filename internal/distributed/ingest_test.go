@@ -110,6 +110,46 @@ func TestIngestNonFiniteValues(t *testing.T) {
 	}
 }
 
+// TestIngestCanonicalizesStratumTags: an external client writing stratum
+// tag keys in a non-canonical order must land on the same series the
+// simulator emits ("@gen=..;region=.."), or the pop-shift diagnosis would
+// see two half-populated strata instead of one. Untagged metrics and
+// entities with an unparseable suffix pass through byte-for-byte.
+func TestIngestCanonicalizesStratumTags(t *testing.T) {
+	db := tsdb.New(time.Minute)
+	h := NewIngestHandler(db, IngestOptions{})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	body := strings.Join([]string{
+		`{"metric":"svc/sub@region=west;gen=g2/gcpu","time":"2024-01-02T15:04:00Z","value":1}`,
+		`{"metric":"svc/@class=live;gen=g2/popweight","time":"2024-01-02T15:04:00Z","value":0.4}`,
+		`{"metric":"svc/sub@not-a-tag/gcpu","time":"2024-01-02T15:04:00Z","value":2}`,
+		`{"metric":"svc/sub/gcpu","time":"2024-01-02T15:04:00Z","value":3}`,
+	}, "\n") + "\n"
+	resp, err := http.Post(srv.URL+"/ingest", "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	for _, want := range []tsdb.MetricID{
+		tsdb.MetricID("svc/sub@gen=g2;region=west/gcpu"),
+		tsdb.MetricID("svc/@gen=g2;class=live/popweight"),
+		tsdb.MetricID("svc/sub@not-a-tag/gcpu"),
+		tsdb.MetricID("svc/sub/gcpu"),
+	} {
+		if _, err := db.Full(want); err != nil {
+			t.Errorf("series %q not stored: %v", want, err)
+		}
+	}
+	if got := db.Len(); got != 4 {
+		t.Errorf("db has %d series, want 4 (tag orders collapsed)", got)
+	}
+}
+
 // blockingStore parks AppendBatch until released, so a test can hold one
 // request in flight.
 type blockingStore struct {

@@ -170,7 +170,7 @@ func BaselineFromReport(r *Report, margin float64) *Baseline {
 		TopKRootCause:    relax(r.TopKRootCause, 0.5),
 		DedupCollapse:    relax(r.DedupCollapseRate, 0.5),
 	}
-	for _, class := range []Class{ClassTransient, ClassCostShift, ClassSeasonal, ClassControl} {
+	for _, class := range []Class{ClassTransient, ClassCostShift, ClassSeasonal, ClassPopShift, ClassControl} {
 		if cr := r.Classes[class]; cr != nil && cr.Scenarios > 0 {
 			b.Suppression[class] = relax(cr.SuppressionRate, 0.8)
 		}

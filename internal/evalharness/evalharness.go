@@ -31,15 +31,20 @@ type Class string
 
 // Scenario classes. Regression and Duplicate scenarios carry positive
 // labels (the pipeline must report them); Transient, CostShift, Seasonal,
-// and Control scenarios are labeled negatives (the pipeline must stay
-// silent).
+// PopShift, and Control scenarios are labeled negatives (the pipeline
+// must stay silent).
 const (
 	ClassRegression Class = "regression"
 	ClassDuplicate  Class = "correlated-duplicate"
 	ClassTransient  Class = "transient"
 	ClassCostShift  Class = "cost-shift"
 	ClassSeasonal   Class = "seasonal"
-	ClassControl    Class = "control"
+	// ClassPopShift scenarios move the aggregate metrics purely by
+	// changing the population mix (generation rollout, regional failover,
+	// traffic-class migration); the pop-shift diagnosis stage must
+	// reclassify the apparent regression as a population-shift verdict.
+	ClassPopShift Class = "population-shift"
+	ClassControl  Class = "control"
 )
 
 // Positive reports whether scenarios of the class inject a regression the

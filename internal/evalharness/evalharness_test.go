@@ -55,7 +55,7 @@ func TestSuiteRecallFleetScale(t *testing.T) {
 
 func TestSuiteSuppression(t *testing.T) {
 	r := defaultReport(t)
-	for _, class := range []Class{ClassTransient, ClassCostShift, ClassSeasonal, ClassControl} {
+	for _, class := range []Class{ClassTransient, ClassCostShift, ClassSeasonal, ClassPopShift, ClassControl} {
 		cr := r.Classes[class]
 		if cr == nil || cr.Scenarios == 0 {
 			t.Errorf("no %s scenarios ran", class)

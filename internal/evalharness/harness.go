@@ -64,6 +64,9 @@ func DefaultSuite() *Suite {
 				Analysis: 200 * time.Minute,
 				Extended: 60 * time.Minute,
 			},
+			// The mix-shift scenarios carry stratified telemetry; the
+			// pop-shift stage must reclassify their aggregate movements.
+			PopShift: core.PopShiftConfig{Enabled: true},
 		},
 		Step:                time.Minute,
 		Duration:            1100 * time.Minute,

@@ -1,0 +1,139 @@
+package evalharness
+
+import (
+	"time"
+
+	"fbdetect/internal/changelog"
+	"fbdetect/internal/fleet"
+)
+
+// Mix-shift scenarios: the fleet's population composition changes while
+// every stratum keeps behaving the same, so the aggregate (fleet-averaged)
+// metrics step or ramp without any code regressing — the false-positive
+// family the population-shift diagnosis stage exists to suppress. Each
+// pure-shift scenario is a labeled negative (ClassPopShift, Expect
+// false); the composite scenarios additionally inject a genuine
+// per-stratum regression riding on the shift and are labeled positive,
+// pinning that the stage does not over-suppress.
+
+// A mixFunc builds a scenario's stratified population: the initial strata
+// (tag values prefixed with the scenario slug so they read distinctly in
+// reports) and the target fractions the scheduled shift moves to.
+type mixFunc func(slug string) ([]fleet.Stratum, []float64)
+
+// PopulationMixShift runs a stratified service whose mix moves to the
+// target fractions at env.Start+onset (linearly over ramp when ramp > 0,
+// instantly otherwise). Per-stratum behavior never changes, so every
+// aggregate movement is pure composition and must come out as a
+// population-shift verdict, not a report.
+func PopulationMixShift(name, slug string, mix mixFunc, onset, ramp time.Duration) Scenario {
+	return Scenario{Name: name, Class: ClassPopShift,
+		Build: func(env Env) (*fleet.Service, []Label, error) {
+			tree, target, err := scenarioTree(slug, 2)
+			if err != nil {
+				return nil, nil, err
+			}
+			strata, fractions := mix(slug)
+			cfg := baseService(name, env, tree, fleetScale, []string{target})
+			at := env.Start.Add(onset)
+			cfg.Population = &fleet.Population{
+				Strata: strata,
+				Shifts: []fleet.MixShift{{At: at, Ramp: ramp, Fractions: fractions}},
+			}
+			svc, err := fleet.NewService(cfg)
+			if err != nil {
+				return nil, nil, err
+			}
+			return svc, []Label{{
+				Scenario: name, Class: ClassPopShift, Service: name,
+				Onset: at, Expect: false,
+			}}, nil
+		}}
+}
+
+// MixShiftWithRegression overlays a genuine step regression (a real
+// per-stratum behavior change of the given gCPU delta) on a population
+// mix shift. The pop-shift stage must suppress the mix-induced movement
+// yet still report the injected regression: the bias test sees the
+// behavior term move in every stratum. The shift and the regression may
+// coincide (the hardest case) or be staggered.
+func MixShiftWithRegression(name, slug string, mix mixFunc,
+	shiftOnset, ramp time.Duration, delta float64, regressionOnset time.Duration) Scenario {
+	return Scenario{Name: name, Class: ClassRegression,
+		Build: func(env Env) (*fleet.Service, []Label, error) {
+			tree, target, err := scenarioTree(slug, 3)
+			if err != nil {
+				return nil, nil, err
+			}
+			factor, err := scaleForDelta(tree, target, delta)
+			if err != nil {
+				return nil, nil, err
+			}
+			strata, fractions := mix(slug)
+			cfg := baseService(name, env, tree, fleetScale, []string{target})
+			cfg.Population = &fleet.Population{
+				Strata: strata,
+				Shifts: []fleet.MixShift{{At: env.Start.Add(shiftOnset), Ramp: ramp, Fractions: fractions}},
+			}
+			svc, err := fleet.NewService(cfg)
+			if err != nil {
+				return nil, nil, err
+			}
+			at := env.Start.Add(regressionOnset)
+			changeID := name + "-change"
+			svc.ScheduleChange(fleet.ScheduledChange{
+				At:     at,
+				Effect: func(t *fleet.Tree) error { return t.ScaleSelfWeight(target, factor) },
+				Record: &changelog.Change{ID: changeID,
+					Title:       "slow down " + target + " during fleet rebalance",
+					Subroutines: []string{target}},
+			})
+			return svc, []Label{{
+				Scenario: name, Class: ClassRegression, Service: name,
+				Entities: pathEntities(tree, target),
+				Onset:    at, Magnitude: delta, Expect: true,
+				ChangeID: changeID, AffectedSeries: 1,
+			}}, nil
+		}}
+}
+
+// generationRollout is a new-hardware rollout: denser hosts run the same
+// code at newCost per-server cost, and the rollout moves most of the
+// fleet onto them (0.9/0.1 to 0.3/0.7).
+func generationRollout(newCost float64) mixFunc {
+	return func(slug string) ([]fleet.Stratum, []float64) {
+		return []fleet.Stratum{
+			{Generation: slug + "G1", Fraction: 0.9, CostFactor: 1.0},
+			{Generation: slug + "G2", Fraction: 0.1, CostFactor: newCost},
+		}, []float64{0.3, 0.7}
+	}
+}
+
+// regionalFailover drains a cheap region into a more expensive one in a
+// single step (disaster-recovery drill: no ramp).
+func regionalFailover(slug string) ([]fleet.Stratum, []float64) {
+	return []fleet.Stratum{
+		{Region: slug + "east", Fraction: 0.8, CostFactor: 1.0},
+		{Region: slug + "west", Fraction: 0.2, CostFactor: 1.25},
+	}, []float64{0.35, 0.65}
+}
+
+// classMigration moves traffic from a cheap batch class to a hotter
+// interactive class.
+func classMigration(slug string) ([]fleet.Stratum, []float64) {
+	return []fleet.Stratum{
+		{TrafficClass: slug + "bulk", Fraction: 0.7, CostFactor: 0.9},
+		{TrafficClass: slug + "live", Fraction: 0.3, CostFactor: 1.2},
+	}, []float64{0.3, 0.7}
+}
+
+// multiwayRebalance crosses generation and region features: three strata
+// redistribute at once, exercising the diagnosis beyond the two-stratum
+// case.
+func multiwayRebalance(slug string) ([]fleet.Stratum, []float64) {
+	return []fleet.Stratum{
+		{Generation: slug + "G1", Region: slug + "east", Fraction: 0.5, CostFactor: 1.0},
+		{Generation: slug + "G1", Region: slug + "west", Fraction: 0.3, CostFactor: 1.1},
+		{Generation: slug + "G2", Region: slug + "east", Fraction: 0.2, CostFactor: 1.4},
+	}, []float64{0.2, 0.25, 0.55}
+}

@@ -338,5 +338,20 @@ func DefaultScenarios() []Scenario {
 		Seasonal("seasonal-90m", "wharf", 0.1, 90*time.Minute),
 		Control("control-a", "xenon"),
 		Control("control-b", "yucca"),
+		// Population mix shifts: aggregates move, per-stratum behavior does
+		// not. Pure shifts must come out as population-shift verdicts...
+		PopulationMixShift("popshift-rollout", "zesty", generationRollout(1.3), 707*m, 90*m),
+		PopulationMixShift("popshift-failover", "onyx", regionalFailover, 721*m, 0),
+		PopulationMixShift("popshift-migration", "topaz", classMigration, 917*m, 60*m),
+		PopulationMixShift("popshift-rollout-steep", "raven", generationRollout(1.5), 735*m, 120*m),
+		PopulationMixShift("popshift-multiway", "sepia", multiwayRebalance, 929*m, 0),
+		// ...while a real regression riding on a shift must still report:
+		// simultaneous onset (hardest), then staggered. The staggered
+		// shift's ramp ends before minute 760 so no 200-minute analysis
+		// window straddles both the ramp and the late regression.
+		MixShiftWithRegression("popshift-with-regression", "wren", regionalFailover,
+			748*m, 0, 0.001, 748*m),
+		MixShiftWithRegression("popshift-then-regression", "coral", generationRollout(1.35),
+			685*m, 60*m, 0.001, 926*m),
 	}
 }

@@ -1,0 +1,253 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"fbdetect/internal/popshift"
+	"fbdetect/internal/tsdb"
+)
+
+// Stratum is one population cell of a heterogeneous fleet: servers of
+// one generation, in one region, serving one traffic class. The
+// simulator emits per-stratum metric series (entity
+// "<base>@gen=..;region=..;class=..") and a population-weight series
+// per stratum, which the pop-shift diagnosis stage consumes.
+type Stratum struct {
+	Generation   string
+	Region       string
+	TrafficClass string
+	// Fraction is the stratum's initial share of the service's servers.
+	// Fractions across strata must be in [0,1] and sum to 1.
+	Fraction float64
+	// CostFactor is the per-server CPU-cost multiplier for work running
+	// on this stratum relative to the service baseline (an older
+	// generation without a hardware offload runs the same code hotter).
+	// 0 means 1.
+	CostFactor float64
+}
+
+// Tag returns the stratum's population features as a popshift tag.
+func (s Stratum) Tag() popshift.Stratum {
+	return popshift.Stratum{Gen: s.Generation, Region: s.Region, Class: s.TrafficClass}
+}
+
+func (s Stratum) costFactor() float64 {
+	if s.CostFactor == 0 {
+		return 1
+	}
+	return s.CostFactor
+}
+
+// MixShift rebalances the population to new fractions at a point in
+// simulated time: a generation rollout (Ramp > 0 spreads the move
+// linearly over the ramp window), a regional failover (Ramp 0 steps
+// instantly), or a traffic-class migration.
+type MixShift struct {
+	At   time.Time
+	Ramp time.Duration
+	// Fractions are the target shares, index-aligned with
+	// Population.Strata; they must be in [0,1] and sum to 1.
+	Fractions []float64
+}
+
+// Population describes a stratified fleet and its scheduled mix shifts.
+type Population struct {
+	Strata []Stratum
+	Shifts []MixShift
+}
+
+// validate checks the population for the loud-failure guarantees the
+// simulator promises: valid tag values, sane fractions, ordered
+// non-overlapping shifts.
+func (p *Population) validate() error {
+	if len(p.Strata) < 2 {
+		return fmt.Errorf("fleet: population needs >= 2 strata, got %d", len(p.Strata))
+	}
+	if err := validFractions(fractionsOf(p.Strata), len(p.Strata)); err != nil {
+		return fmt.Errorf("fleet: population strata: %w", err)
+	}
+	seen := make(map[popshift.Stratum]bool, len(p.Strata))
+	for i, st := range p.Strata {
+		tag := st.Tag()
+		if tag.IsZero() {
+			return fmt.Errorf("fleet: stratum %d has no population features", i)
+		}
+		if !tag.Valid() {
+			return fmt.Errorf("fleet: stratum %d tag %+v contains reserved bytes (@;=/)", i, tag)
+		}
+		if seen[tag] {
+			return fmt.Errorf("fleet: duplicate stratum %v", tag)
+		}
+		seen[tag] = true
+		if st.CostFactor < 0 {
+			return fmt.Errorf("fleet: stratum %v has negative cost factor %v", tag, st.CostFactor)
+		}
+	}
+	var prevEnd time.Time
+	for i, sh := range p.Shifts {
+		if err := validFractions(sh.Fractions, len(p.Strata)); err != nil {
+			return fmt.Errorf("fleet: mix shift %d: %w", i, err)
+		}
+		if sh.Ramp < 0 {
+			return fmt.Errorf("fleet: mix shift %d has negative ramp", i)
+		}
+		if i > 0 && sh.At.Before(prevEnd) {
+			return fmt.Errorf("fleet: mix shift %d at %v overlaps the previous shift ending %v",
+				i, sh.At, prevEnd)
+		}
+		prevEnd = sh.At.Add(sh.Ramp)
+	}
+	return nil
+}
+
+func fractionsOf(strata []Stratum) []float64 {
+	out := make([]float64, len(strata))
+	for i, s := range strata {
+		out[i] = s.Fraction
+	}
+	return out
+}
+
+// validFractions enforces the shared fraction contract: the right
+// count, each in [0,1], summing to 1.
+func validFractions(fr []float64, n int) error {
+	if len(fr) != n {
+		return fmt.Errorf("%d fractions for %d strata", len(fr), n)
+	}
+	sum := 0.0
+	for i, f := range fr {
+		if f < 0 || f > 1 || math.IsNaN(f) {
+			return fmt.Errorf("fraction %d is %v, want [0,1]", i, f)
+		}
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		return fmt.Errorf("fractions sum to %v, want 1", sum)
+	}
+	return nil
+}
+
+// fractionsAt returns the population mix in effect at t: the initial
+// strata fractions, moved by every shift whose ramp has begun —
+// linearly interpolated inside a ramp, fully applied after it.
+func (p *Population) fractionsAt(t time.Time) []float64 {
+	cur := fractionsOf(p.Strata)
+	for _, sh := range p.Shifts {
+		if t.Before(sh.At) {
+			break
+		}
+		if sh.Ramp <= 0 || !t.Before(sh.At.Add(sh.Ramp)) {
+			copy(cur, sh.Fractions)
+			continue
+		}
+		alpha := float64(t.Sub(sh.At)) / float64(sh.Ramp)
+		for i := range cur {
+			cur[i] += alpha * (sh.Fractions[i] - cur[i])
+		}
+		break // inside a ramp; later shifts cannot have started (validated)
+	}
+	return cur
+}
+
+// mixCostFactor is the population-weighted per-server cost multiplier at
+// the given mix: what the aggregate (fleet-averaged) series scale by.
+func (p *Population) mixCostFactor(fr []float64) float64 {
+	mix := 0.0
+	for i, st := range p.Strata {
+		mix += fr[i] * st.costFactor()
+	}
+	return mix
+}
+
+// popEmitter carries the per-step population emission state of one
+// service run. Population draws use their own rng so that configuring a
+// population (or changing its strata count) never perturbs the main
+// sequence — Population == nil leaves every existing series bit-exact.
+type popEmitter struct {
+	pop  *Population
+	rng  *rand.Rand
+	tags []popshift.Stratum
+	fr   []float64 // mix at the current step
+	mix  float64   // population-weighted cost factor at the current step
+}
+
+func newPopEmitter(pop *Population, seed int64) *popEmitter {
+	if pop == nil {
+		return nil
+	}
+	tags := make([]popshift.Stratum, len(pop.Strata))
+	for i, st := range pop.Strata {
+		tags[i] = st.Tag()
+	}
+	// Offset the seed so the population stream differs from the main
+	// stream even at seed 0.
+	return &popEmitter{pop: pop, rng: rand.New(rand.NewSource(seed + 0x9e3779b9)), tags: tags}
+}
+
+// step advances the emitter to time t and emits the per-stratum weight
+// series. Nil-safe; returns the mix cost factor (1 when no population).
+func (e *popEmitter) step(db *tsdb.DB, service string, t time.Time) (float64, error) {
+	if e == nil {
+		return 1, nil
+	}
+	e.fr = e.pop.fractionsAt(t)
+	e.mix = e.pop.mixCostFactor(e.fr)
+	for i, tag := range e.tags {
+		id := tsdb.ID(service, popshift.TagEntity("", tag), popshift.WeightMetric)
+		if err := db.Append(id, t, e.fr[i]); err != nil {
+			return 0, err
+		}
+	}
+	return e.mix, nil
+}
+
+// emitGCPU emits the per-stratum twins of one aggregate gCPU series:
+// the stratum's own cost p·CostFactor with binomial sampling noise at
+// the stratum's share of the sample budget. Nil-safe.
+func (e *popEmitter) emitGCPU(db *tsdb.DB, service, entity string, t time.Time, p float64, n float64, quantize func(float64) float64) error {
+	if e == nil {
+		return nil
+	}
+	for i, st := range e.pop.Strata {
+		v := clamp01(p * st.costFactor())
+		ns := n * e.fr[i]
+		if ns < 1 {
+			ns = 1 // a stratum never resolves finer than one sample
+		}
+		sd := math.Sqrt(v * (1 - v) / ns)
+		g := v + e.rng.NormFloat64()*sd
+		if g < 0 {
+			g = 0
+		}
+		g = quantize(g)
+		id := tsdb.ID(service, popshift.TagEntity(entity, e.tags[i]), "gcpu")
+		if err := db.Append(id, t, g); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// emitCPU emits the per-stratum twins of the service-level cpu series:
+// the per-server utilization on each stratum, with fleet noise shrunk
+// by the stratum's server count. Nil-safe.
+func (e *popEmitter) emitCPU(db *tsdb.DB, service string, t time.Time, baseCPU, noiseSD, servers float64) error {
+	if e == nil {
+		return nil
+	}
+	for i, st := range e.pop.Strata {
+		m := servers * e.fr[i]
+		if m < 1 {
+			m = 1
+		}
+		v := clamp01(baseCPU*st.costFactor() + e.rng.NormFloat64()*noiseSD/math.Sqrt(m))
+		id := tsdb.ID(service, popshift.TagEntity("", e.tags[i]), "cpu")
+		if err := db.Append(id, t, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}

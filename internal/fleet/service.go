@@ -47,8 +47,16 @@ type Config struct {
 	// Generations describes the fleet mix; empty means one homogeneous
 	// generation.
 	Generations []Generation
-	Tree        *Tree
-	Seed        int64
+	// Population stratifies the fleet into tagged population cells
+	// (generation × region × traffic class) with scheduled mix shifts.
+	// When set, the simulator emits per-stratum metric series and
+	// population-weight series alongside the aggregates, and the
+	// aggregates scale with the population-weighted cost factor — the
+	// raw material for the pop-shift diagnosis stage. Nil leaves every
+	// existing series bit-exact.
+	Population *Population
+	Tree       *Tree
+	Seed       int64
 	// EmitSubroutines limits gCPU emission to the named subroutines; nil
 	// emits every subroutine in the tree (can be large).
 	EmitSubroutines []string
@@ -81,6 +89,11 @@ func (c Config) validate() error {
 	if c.BaseCPU < 0 || c.BaseCPU > 1 {
 		return fmt.Errorf("fleet: base CPU out of [0,1]: %v", c.BaseCPU)
 	}
+	if c.Population != nil {
+		if err := c.Population.validate(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -109,7 +122,8 @@ type Service struct {
 	issues        []Issue
 	initialWeight float64
 	avgSpeed      float64
-	sampleScale   float64 // gCPU quantization grid (0: quantization off)
+	sampleScale   float64     // gCPU quantization grid (0: quantization off)
+	pop           *popEmitter // nil unless Config.Population is set
 }
 
 // NewService validates the config and returns a simulator for the service.
@@ -122,6 +136,13 @@ func NewService(cfg Config) (*Service, error) {
 		avgSpeed = 0
 		frac := 0.0
 		for _, g := range cfg.Generations {
+			// Each fraction must be a valid share on its own: a set like
+			// {1.5, -0.5} sums to 1 but describes an impossible fleet, and
+			// negative fractions silently flip speed-factor contributions.
+			if g.Fraction < 0 || g.Fraction > 1 || math.IsNaN(g.Fraction) {
+				return nil, fmt.Errorf("fleet: generation %q fraction %v out of [0,1]",
+					g.Name, g.Fraction)
+			}
 			avgSpeed += g.Fraction * g.SpeedFactor
 			frac += g.Fraction
 		}
@@ -143,6 +164,7 @@ func NewService(cfg Config) (*Service, error) {
 		initialWeight: cfg.Tree.TotalWeight(),
 		avgSpeed:      avgSpeed,
 		sampleScale:   sampleScale,
+		pop:           newPopEmitter(cfg.Population, cfg.Seed),
 	}, nil
 }
 
@@ -245,13 +267,25 @@ func (s *Service) Run(db *tsdb.DB, log *changelog.Log, from, to time.Time) error
 		season := s.seasonFactor(t)
 		cpuF, thrF, latF, errF := s.issueFactors(t)
 
+		// Population mix for this step: emits the per-stratum weight
+		// series and yields the population-weighted cost factor the
+		// aggregates scale by (1 when no population is configured).
+		mix, err := s.pop.step(db, s.cfg.Name, t)
+		if err != nil {
+			return err
+		}
+
 		// Process-level CPU: base scaled by total subroutine cost, with
 		// fleet-averaged noise (per-server sigma shrinks by sqrt(m)).
 		costScale := tree.TotalWeight() / s.initialWeight
 		m := float64(s.cfg.Servers)
 		cpuNoise := s.rng.NormFloat64() * s.cfg.CPUNoise / math.Sqrt(m)
-		cpu := clamp01(s.cfg.BaseCPU*costScale*s.avgSpeedFactor()*season*cpuF + cpuNoise)
+		cpuBase := s.cfg.BaseCPU * costScale * s.avgSpeedFactor() * season * cpuF
+		cpu := clamp01(cpuBase*mix + cpuNoise)
 		if err := db.Append(tsdb.ID(s.cfg.Name, "", "cpu"), t, cpu); err != nil {
+			return err
+		}
+		if err := s.pop.emitCPU(db, s.cfg.Name, t, cpuBase, s.cfg.CPUNoise, m); err != nil {
 			return err
 		}
 
@@ -300,8 +334,9 @@ func (s *Service) Run(db *tsdb.DB, log *changelog.Log, from, to time.Time) error
 				}
 				seen[sub] = true
 				p := clamp01(gcpus[sub]) // float error can leave [0,1] and poison the sqrt
-				sd := math.Sqrt(p * (1 - p) / n)
-				g := p + s.rng.NormFloat64()*sd
+				agg := clamp01(p * mix)  // fleet average over the population mix
+				sd := math.Sqrt(agg * (1 - agg) / n)
+				g := agg + s.rng.NormFloat64()*sd
 				if g < 0 {
 					g = 0
 				}
@@ -309,16 +344,23 @@ func (s *Service) Run(db *tsdb.DB, log *changelog.Log, from, to time.Time) error
 				if err := db.Append(tsdb.ID(s.cfg.Name, sub, "gcpu"), t, g); err != nil {
 					return err
 				}
+				if err := s.pop.emitGCPU(db, s.cfg.Name, sub, t, p, n, s.quantize); err != nil {
+					return err
+				}
 			}
 			for _, meta := range s.cfg.EmitMetadata {
 				p := clamp01(tree.GCPUMetadata(meta))
-				sd := math.Sqrt(p * (1 - p) / n)
-				g := p + s.rng.NormFloat64()*sd
+				agg := clamp01(p * mix)
+				sd := math.Sqrt(agg * (1 - agg) / n)
+				g := agg + s.rng.NormFloat64()*sd
 				if g < 0 {
 					g = 0
 				}
 				g = s.quantize(g)
 				if err := db.Append(tsdb.ID(s.cfg.Name, "meta:"+meta, "gcpu"), t, g); err != nil {
+					return err
+				}
+				if err := s.pop.emitGCPU(db, s.cfg.Name, "meta:"+meta, t, p, n, s.quantize); err != nil {
 					return err
 				}
 			}

@@ -1,0 +1,72 @@
+package popshift
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzPopShiftTags fuzzes the stratum-label parser: for arbitrary
+// entity bytes the parser must never panic, a successful parse must
+// round-trip byte-identically through TagEntity, a failed parse must
+// leave the entity untouched, and CanonicalEntity must be idempotent.
+func FuzzPopShiftTags(f *testing.F) {
+	seeds := []string{
+		"frontend",
+		"frontend@gen=skylake;region=west;class=batch",
+		"a/b/c@gen=x",
+		"user@host@region=eu-1",
+		"svc@class=b;gen=a",
+		"svc@",
+		"svc@gen=",
+		"svc@gen=a;gen=b",
+		"svc@region=a;gen=b",
+		"@gen=g1;region=w",
+		"svc@foo=bar",
+		"svc@gen=a=b",
+		"svc@gen=a/b",
+		"@",
+		"",
+		"gen=x",
+		"svc@gen=\xff\xfe",
+		"svc@;;;",
+		strings.Repeat("@gen=x", 50),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, entity string) {
+		base, s, ok := ParseEntity(entity)
+		if ok {
+			if !s.Valid() {
+				t.Fatalf("parsed invalid stratum %+v from %q", s, entity)
+			}
+			if s.IsZero() {
+				t.Fatalf("ok parse yielded zero stratum from %q", entity)
+			}
+			// Round trip: re-tagging the base must reproduce the
+			// input byte-for-byte (parse only accepts canonical form).
+			if rt := TagEntity(base, s); rt != entity {
+				t.Fatalf("round trip %q -> (%q, %+v) -> %q", entity, base, s, rt)
+			}
+			// A tagged entity canonicalizes to itself.
+			if c := CanonicalEntity(entity); c != entity {
+				t.Fatalf("canonical form not fixed point: %q -> %q", entity, c)
+			}
+		} else {
+			if base != entity || !s.IsZero() {
+				t.Fatalf("failed parse must pass through: %q -> (%q, %+v)", entity, base, s)
+			}
+		}
+		// CanonicalEntity must never panic and must be idempotent.
+		c1 := CanonicalEntity(entity)
+		if c2 := CanonicalEntity(c1); c2 != c1 {
+			t.Fatalf("CanonicalEntity not idempotent: %q -> %q -> %q", entity, c1, c2)
+		}
+		// A canonicalized tagged entity must parse.
+		if c1 != entity {
+			if _, _, ok := ParseEntity(c1); !ok {
+				t.Fatalf("canonicalized %q -> %q does not parse", entity, c1)
+			}
+		}
+	})
+}

@@ -1,0 +1,236 @@
+// Package popshift diagnoses population mix-shifts: apparent metric
+// regressions that are explained by a change in WHO is being measured
+// (server-generation rollouts, regional failovers, traffic-class
+// migrations) rather than a change in what the code costs.
+//
+// The idea follows Lumos (Microsoft): stratify the fleet by population
+// features, re-weight per-stratum means against the pre-change mix, and
+// decompose the observed delta into a composition term (mix moved) and a
+// behavior term (per-stratum cost moved). When the behavior term is
+// below the metric's own detection threshold and statistically
+// indistinguishable from zero, the candidate regression is reclassified
+// as a "population-shift" verdict and suppressed from the report stream.
+//
+// Series carry their population features as a structured entity suffix:
+//
+//	web/frontend@gen=skylake;region=west;class=batch/gcpu
+//
+// The suffix grammar is deliberately tiny — a fixed key set (gen,
+// region, class) in canonical order, ';'-separated, values free of the
+// '@', ';', '=', and '/' structural bytes — so it survives round trips
+// through TSDB IDs, NDJSON ingestion, and report output.
+package popshift
+
+import (
+	"sort"
+	"strings"
+)
+
+// WeightMetric is the reserved metric name under which the simulator
+// (or an external ingestor) publishes per-stratum population weights.
+// The series entity is the stratum suffix alone (TagEntity("", s)), so a
+// service's weight series ID looks like:
+//
+//	web/@gen=skylake;region=west;class=batch/popweight
+//
+// Weight series are diagnostic inputs for the pop-shift stage; the
+// pipeline never alerts on them.
+const WeightMetric = "popweight"
+
+// Stratum identifies one population cell: the cross product of server
+// generation, region, and traffic class. Empty fields are allowed (a
+// deployment may only stratify along one axis); a fully-zero Stratum
+// means "untagged".
+type Stratum struct {
+	Gen    string // server generation, e.g. "skylake"
+	Region string // deployment region, e.g. "west"
+	Class  string // traffic class, e.g. "batch"
+}
+
+// IsZero reports whether no population feature is set.
+func (s Stratum) IsZero() bool { return s.Gen == "" && s.Region == "" && s.Class == "" }
+
+// Suffix renders the stratum in canonical form: keys in the fixed order
+// gen, region, class; empty fields omitted. The zero Stratum renders as
+// the empty string.
+func (s Stratum) Suffix() string {
+	var parts []string
+	if s.Gen != "" {
+		parts = append(parts, "gen="+s.Gen)
+	}
+	if s.Region != "" {
+		parts = append(parts, "region="+s.Region)
+	}
+	if s.Class != "" {
+		parts = append(parts, "class="+s.Class)
+	}
+	return strings.Join(parts, ";")
+}
+
+// String implements fmt.Stringer.
+func (s Stratum) String() string {
+	if s.IsZero() {
+		return "(untagged)"
+	}
+	return s.Suffix()
+}
+
+// TagEntity appends the stratum suffix to a base entity name. A zero
+// stratum returns base unchanged, so untagged series keep their exact
+// historical IDs.
+func TagEntity(base string, s Stratum) string {
+	if s.IsZero() {
+		return base
+	}
+	return base + "@" + s.Suffix()
+}
+
+// validValue reports whether a feature value is safe to embed in the
+// suffix grammar: non-empty and free of the structural bytes. '/' is
+// excluded because TSDB IDs are '/'-delimited and entities already may
+// contain slashes — a slash inside the suffix would move the split
+// point of tsdb.Parts.
+func validValue(v string) bool {
+	if v == "" {
+		return false
+	}
+	return !strings.ContainsAny(v, "@;=/")
+}
+
+// Valid reports whether every set feature value round-trips through the
+// suffix grammar.
+func (s Stratum) Valid() bool {
+	for _, v := range []string{s.Gen, s.Region, s.Class} {
+		if v != "" && !validValue(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// ParseEntity splits an entity name into its base and stratum tag. The
+// tag is introduced by the LAST '@' (base entities may themselves
+// contain '@' as long as what follows the final one is not a valid
+// suffix). ok is false when the entity carries no parseable tag, in
+// which case base is the input unchanged and the stratum is zero.
+//
+// A suffix parses only if every ';'-separated element is key=value with
+// a key from the fixed set {gen, region, class}, no key repeats, keys
+// appear in canonical order, and values are non-empty and free of
+// structural bytes. Anything else — including an empty suffix after a
+// trailing '@' — is treated as part of the base name.
+func ParseEntity(entity string) (base string, s Stratum, ok bool) {
+	i := strings.LastIndexByte(entity, '@')
+	if i < 0 {
+		return entity, Stratum{}, false
+	}
+	suffix := entity[i+1:]
+	st, ok := parseSuffix(suffix)
+	if !ok {
+		return entity, Stratum{}, false
+	}
+	return entity[:i], st, true
+}
+
+// keyRank maps suffix keys to their canonical order.
+func keyRank(key string) int {
+	switch key {
+	case "gen":
+		return 0
+	case "region":
+		return 1
+	case "class":
+		return 2
+	}
+	return -1
+}
+
+func parseSuffix(suffix string) (Stratum, bool) {
+	if suffix == "" {
+		return Stratum{}, false
+	}
+	var s Stratum
+	prev := -1
+	for _, part := range strings.Split(suffix, ";") {
+		key, val, found := strings.Cut(part, "=")
+		if !found || !validValue(val) {
+			return Stratum{}, false
+		}
+		r := keyRank(key)
+		if r < 0 || r <= prev { // unknown key, repeat, or out of order
+			return Stratum{}, false
+		}
+		prev = r
+		switch r {
+		case 0:
+			s.Gen = val
+		case 1:
+			s.Region = val
+		case 2:
+			s.Class = val
+		}
+	}
+	return s, true
+}
+
+// CanonicalEntity re-renders a possibly tagged entity with its suffix in
+// canonical form. Entities whose suffix does not parse are returned
+// unchanged. Ingestion uses this so that out-of-order (but otherwise
+// valid) key orders written by external clients land on the same TSDB
+// series as simulator-emitted ones.
+func CanonicalEntity(entity string) string {
+	i := strings.LastIndexByte(entity, '@')
+	if i < 0 {
+		return entity
+	}
+	st, ok := parseAnyOrderSuffix(entity[i+1:])
+	if !ok {
+		return entity
+	}
+	return TagEntity(entity[:i], st)
+}
+
+// parseAnyOrderSuffix accepts valid keys in any order (still no
+// repeats), for ingest-side canonicalization.
+func parseAnyOrderSuffix(suffix string) (Stratum, bool) {
+	if suffix == "" {
+		return Stratum{}, false
+	}
+	var s Stratum
+	seen := [3]bool{}
+	for _, part := range strings.Split(suffix, ";") {
+		key, val, found := strings.Cut(part, "=")
+		if !found || !validValue(val) {
+			return Stratum{}, false
+		}
+		r := keyRank(key)
+		if r < 0 || seen[r] {
+			return Stratum{}, false
+		}
+		seen[r] = true
+		switch r {
+		case 0:
+			s.Gen = val
+		case 1:
+			s.Region = val
+		case 2:
+			s.Class = val
+		}
+	}
+	return s, true
+}
+
+// SortStrata orders strata deterministically (gen, region, class) so
+// reports and tests are stable.
+func SortStrata(strata []Stratum) {
+	sort.Slice(strata, func(i, j int) bool {
+		a, b := strata[i], strata[j]
+		if a.Gen != b.Gen {
+			return a.Gen < b.Gen
+		}
+		if a.Region != b.Region {
+			return a.Region < b.Region
+		}
+		return a.Class < b.Class
+	})
+}

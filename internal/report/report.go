@@ -154,11 +154,25 @@ func changePointMarker(r *core.Regression, width int) string {
 func WriteScan(w io.Writer, res *core.ScanResult, log *changelog.Log) error {
 	f := res.Funnel
 	if _, err := fmt.Fprintf(w,
-		"scan: %d change points (%d long-term) -> went-away %d -> seasonality %d -> threshold %d -> merged %d -> SOM %d -> cost-shift %d -> reported %d\n",
+		"scan: %d change points (%d long-term) -> went-away %d -> seasonality %d -> threshold %d -> merged %d -> SOM %d -> pop-shift %d -> cost-shift %d -> reported %d\n",
 		f.ChangePoints, f.LongTermChangePoints, f.AfterWentAway, f.AfterSeasonality,
-		f.AfterThreshold, f.AfterSameMerger, f.AfterSOMDedup, f.AfterCostShift,
-		f.AfterPairwise); err != nil {
+		f.AfterThreshold, f.AfterSameMerger, f.AfterSOMDedup, f.AfterPopShift,
+		f.AfterCostShift, f.AfterPairwise); err != nil {
 		return err
+	}
+	for _, ps := range res.PopulationShifts {
+		entity := ps.Entity
+		if entity == "" {
+			entity = "(service level)"
+		}
+		if _, err := fmt.Fprintf(w,
+			"\npopulation shift (not a regression): %s %s %s %+.6g (%+.2f%%) at %s\n  %s (mix moved %.1f%%, composition %+.6g, behavior %+.6g over %d strata)\n",
+			ps.Service, entity, ps.Name, ps.Delta, 100*ps.Relative,
+			ps.ChangePointTime.Format(time.RFC3339), ps.Verdict.Reason,
+			100*ps.Verdict.Decomp.MixChange, ps.Verdict.Decomp.Composition,
+			ps.Verdict.Decomp.BehaviorPre, ps.Verdict.Decomp.Strata); err != nil {
+			return err
+		}
 	}
 	for _, r := range res.Reported {
 		t := ForRegression(r, log)

@@ -8,6 +8,7 @@ import (
 
 	"fbdetect/internal/changelog"
 	"fbdetect/internal/core"
+	"fbdetect/internal/popshift"
 	"fbdetect/internal/timeseries"
 	"fbdetect/internal/tsdb"
 )
@@ -66,7 +67,21 @@ func TestForRegressionServiceLevel(t *testing.T) {
 func TestWriteScan(t *testing.T) {
 	res := &core.ScanResult{
 		Reported: []*core.Regression{sampleRegression()},
-		Funnel:   core.Funnel{ChangePoints: 50, AfterWentAway: 5, AfterPairwise: 1},
+		Funnel: core.Funnel{
+			ChangePoints: 50, AfterWentAway: 5,
+			AfterSOMDedup: 3, AfterPopShift: 2, AfterPairwise: 1,
+		},
+		PopulationShifts: []*core.PopulationShift{{
+			Service:  "svc",
+			Name:     "gcpu",
+			Delta:    0.0004,
+			Relative: 0.08,
+			Verdict: popshift.Verdict{
+				IsShift: true,
+				Reason:  "delta explained by population mix change",
+				Decomp:  popshift.Decomposition{MixChange: 0.6, Strata: 2},
+			},
+		}},
 	}
 	var buf bytes.Buffer
 	if err := WriteScan(&buf, res, nil); err != nil {
@@ -75,6 +90,15 @@ func TestWriteScan(t *testing.T) {
 	out := buf.String()
 	if !strings.Contains(out, "50 change points") {
 		t.Errorf("funnel line missing: %q", out)
+	}
+	if !strings.Contains(out, "pop-shift 2") {
+		t.Errorf("funnel line missing pop-shift stage: %q", out)
+	}
+	if !strings.Contains(out, "population shift (not a regression): svc (service level) gcpu") {
+		t.Errorf("population-shift section missing: %q", out)
+	}
+	if !strings.Contains(out, "mix moved 60.0%") {
+		t.Errorf("verdict detail missing: %q", out)
 	}
 	if !strings.Contains(out, "[fbdetect]") {
 		t.Errorf("ticket missing: %q", out)

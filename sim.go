@@ -38,6 +38,17 @@ type (
 	// EndpointSpec declares one user-facing endpoint and the subroutines
 	// a request to it executes, for endpoint-level regression detection.
 	EndpointSpec = fleet.EndpointSpec
+	// Population describes a stratified fleet — server generations,
+	// regions, traffic classes — and its scheduled mix shifts; the
+	// simulator then emits per-stratum twin series and weight series the
+	// pop-shift stage diagnoses against.
+	Population = fleet.Population
+	// PopulationStratum is one cell of a stratified fleet with its cost
+	// factor and initial fraction.
+	PopulationStratum = fleet.Stratum
+	// PopulationMixShift rebalances the strata to new fractions at a
+	// point in simulated time, optionally over a linear ramp.
+	PopulationMixShift = fleet.MixShift
 )
 
 // Transient issue types (paper §1's false-positive sources).
