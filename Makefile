@@ -2,9 +2,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 # Packages that define Fuzz* targets (go can only fuzz one package at a time).
-FUZZ_PKGS = . ./internal/stacktrace ./internal/wal ./internal/pprofparse ./internal/evalharness/replay ./internal/timeseries ./internal/popshift
+FUZZ_PKGS = . ./internal/stacktrace ./internal/wal ./internal/pprofparse ./internal/evalharness/replay ./internal/timeseries ./internal/popshift ./internal/controlplane
 
-.PHONY: build test vet race lint fuzz-smoke bench-obs bench bench-gate bench-baseline eval eval-gate eval-baseline eval-replay eval-replay-baseline crashtest profdiff-demo check
+.PHONY: build test vet race lint fuzz-smoke bench-obs bench bench-gate bench-baseline eval eval-gate eval-baseline eval-replay eval-replay-baseline crashtest server-smoke profdiff-demo check
 
 build:
 	$(GO) build ./...
@@ -22,7 +22,7 @@ vet:
 # for its zero-copy QueryView snapshots, which concurrent appends must
 # never disturb.
 race:
-	$(GO) test -race ./internal/obs/... ./internal/distributed/... ./internal/core/... ./internal/resilience/... ./internal/tsdb/... ./internal/wal/... ./internal/evalharness/...
+	$(GO) test -race ./internal/obs/... ./internal/distributed/... ./internal/core/... ./internal/resilience/... ./internal/tsdb/... ./internal/wal/... ./internal/evalharness/... ./internal/controlplane/...
 
 # Static analysis. The tools are not vendored; when missing locally the
 # target degrades to a notice (CI installs and enforces them).
@@ -127,6 +127,13 @@ eval-replay-baseline:
 # byte-identical to an uninterrupted control worker's.
 crashtest:
 	bash scripts/crashtest.sh
+
+# Control-plane smoke drill with the real fbdetect-server binary: tenant
+# registration, auth rejection, per-tenant isolation, an async backfill
+# SIGKILLed mid-job and recovered from its journal, and rate-limit
+# isolation between tenants. Set SMOKE_LOG_DIR to keep the server logs.
+server-smoke:
+	bash scripts/server_smoke.sh
 
 # Real-profile demo: profile an actual Go workload before and after an
 # injected slowdown, then require `fbdetect profdiff` to rank the slowed

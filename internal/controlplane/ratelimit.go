@@ -1,0 +1,48 @@
+package controlplane
+
+import (
+	"sync"
+	"time"
+)
+
+// bucket is a token bucket: capacity `burst`, refilled at `rate` tokens
+// per second. Each admitted request spends one token. The clock is
+// injected by the caller (the server's resilience.Clock) so limit edges
+// are testable on virtual time.
+type bucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64 // bucket depth
+	tokens float64
+	last   time.Time
+}
+
+// newBucket returns a full bucket as of now. Non-positive rate or burst
+// disables limiting (take always admits) — the "unlimited tenant" knob.
+func newBucket(rate float64, burst int, now time.Time) *bucket {
+	return &bucket{rate: rate, burst: float64(burst), tokens: float64(burst), last: now}
+}
+
+// take attempts to spend one token at time now. When the bucket is
+// empty it reports how long until the next token exists — the
+// Retry-After hint — without going into debt.
+func (b *bucket) take(now time.Time) (ok bool, retryAfter time.Duration) {
+	if b == nil || b.rate <= 0 || b.burst <= 0 {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if now.After(b.last) {
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := 1 - b.tokens
+	return false, time.Duration(need / b.rate * float64(time.Second))
+}

@@ -173,6 +173,38 @@ func (w *Worker) ServeHTTP(rw http.ResponseWriter, req *http.Request) {
 	}
 	w.duration.Observe(time.Since(scanStart).Seconds())
 	w.scans.Inc()
+	resp := w.wireResponse(res)
+	rw.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(rw).Encode(resp)
+}
+
+// ErrUnknownService is returned by Worker.Scan for a service with no
+// series in the worker's store.
+var ErrUnknownService = errors.New("distributed: unknown service")
+
+// Scan runs one worker-local pipeline scan directly (no HTTP), with the
+// same serialization and wire conversion ServeHTTP applies — the entry
+// point for in-process callers like the control plane's async sweep
+// jobs, which must share the pipeline mutex with the HTTP surface.
+func (w *Worker) Scan(ctx context.Context, service string, scanTime time.Time) (*ScanResponse, error) {
+	if !w.pipeline.HasService(service) {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownService, service)
+	}
+	scanStart := time.Now()
+	w.mu.Lock()
+	res, err := w.pipeline.ScanContext(ctx, service, scanTime)
+	w.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	w.duration.Observe(time.Since(scanStart).Seconds())
+	w.scans.Inc()
+	resp := w.wireResponse(res)
+	return &resp, nil
+}
+
+// wireResponse converts a pipeline scan result to the wire form.
+func (w *Worker) wireResponse(res *core.ScanResult) ScanResponse {
 	resp := ScanResponse{Funnel: res.Funnel, Worker: w.Name}
 	for _, r := range res.Reported {
 		resp.Reported = append(resp.Reported, WireRegression{
@@ -189,8 +221,7 @@ func (w *Worker) ServeHTTP(rw http.ResponseWriter, req *http.Request) {
 			RootCauses:      r.RootCauses,
 		})
 	}
-	rw.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(rw).Encode(resp)
+	return resp
 }
 
 // Options tunes the coordinator's resilience layer. The zero value
@@ -351,6 +382,50 @@ func (c *Coordinator) ensure() {
 func (c *Coordinator) Pool() *WorkerPool {
 	c.ensure()
 	return c.pool
+}
+
+// AddWorker grows the hash ring at runtime: the new worker joins the
+// pool (healthy until probed otherwise) and starts receiving its hash
+// share of services on the next scan. The control plane's admin API
+// calls this.
+func (c *Coordinator) AddWorker(url string) error {
+	c.ensure()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.pool.Add(url); err != nil {
+		return err
+	}
+	c.workers = c.pool.URLs()
+	return nil
+}
+
+// DrainWorker marks a ring member draining (drain=true: no new work is
+// routed to it) or returns it to rotation (drain=false). Draining keeps
+// the worker in the ring so undrain is cheap and hash assignments of the
+// other members don't churn.
+func (c *Coordinator) DrainWorker(url string, drain bool) error {
+	c.ensure()
+	return c.pool.SetDraining(url, drain)
+}
+
+// RemoveWorker deletes a ring member at runtime; its services rehash to
+// the survivors on the next scan. Removing the last worker is refused.
+func (c *Coordinator) RemoveWorker(url string) error {
+	c.ensure()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.pool.Remove(url); err != nil {
+		return err
+	}
+	c.workers = c.pool.URLs()
+	return nil
+}
+
+// Workers reports every ring member's health, drain flag, and breaker
+// state — the admin API's GET view.
+func (c *Coordinator) Workers() []WorkerStatus {
+	c.ensure()
+	return c.pool.Snapshot()
 }
 
 // StartHealthChecks probes workers now and every Pool.ProbeInterval

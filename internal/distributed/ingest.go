@@ -97,7 +97,17 @@ const (
 	IngestReasonTooLarge    = "too_large"
 	IngestReasonBusy        = "busy"
 	IngestReasonStoreFailed = "store_failed"
+	IngestReasonQuota       = "quota"
 )
+
+// StatusError lets a store reject a batch with a specific HTTP status:
+// the control plane's quota-enforcing store returns 403s that must not
+// surface as generic 500s (a 500 invites the client to retry; a quota
+// rejection should not).
+type StatusError interface {
+	error
+	HTTPStatus() int
+}
 
 // Ingestion metric names.
 const (
@@ -177,7 +187,7 @@ func (h *IngestHandler) Instrument(reg *obs.Registry) {
 		"Request body bytes accepted by /ingest.", nil)
 	for _, reason := range []string{
 		IngestReasonBadMethod, IngestReasonBadJSON, IngestReasonTooLarge,
-		IngestReasonBusy, IngestReasonStoreFailed,
+		IngestReasonBusy, IngestReasonStoreFailed, IngestReasonQuota,
 	} {
 		h.rejCounter(reason)
 	}
@@ -232,6 +242,12 @@ func (h *IngestHandler) ServeHTTP(rw http.ResponseWriter, req *http.Request) {
 	}
 	appended, err := h.store.AppendBatch(pts)
 	if err != nil {
+		var se StatusError
+		if errors.As(err, &se) {
+			h.rejCounter(IngestReasonQuota).Inc()
+			http.Error(rw, err.Error(), se.HTTPStatus())
+			return
+		}
 		h.rejCounter(IngestReasonStoreFailed).Inc()
 		http.Error(rw, "append failed: "+err.Error(), http.StatusInternalServerError)
 		return

@@ -109,3 +109,69 @@ if ! cmp "$WORK/control.json" "$WORK/crash.json"; then
     exit 1
 fi
 echo "PASS: recovered scan identical to uninterrupted control ($(wc -c <"$WORK/control.json") bytes)"
+
+# ---------------------------------------------------------------------------
+# Control-plane drill: SIGKILL fbdetect-server mid-operation and require the
+# journaled job to be requeued on restart and run to a terminal state.
+echo "== building fbdetect-server"
+go build -o "$WORK/server" ./cmd/fbdetect-server
+
+SERVER_PORT="${SERVER_PORT:-18094}"
+SBASE="http://127.0.0.1:$SERVER_PORT"
+ADMIN_KEY="crashtest-admin"
+start_server() {
+    "$WORK/server" -listen "127.0.0.1:$SERVER_PORT" -data-dir "$WORK/server-data" \
+        -admin-key "$ADMIN_KEY" -wal-sync always &>>"$WORK/server.log" &
+    SERVER_PID=$!
+    for _ in $(seq 1 100); do
+        if curl -sf "$SBASE/healthz" >/dev/null 2>&1; then return 0; fi
+        sleep 0.1
+    done
+    echo "fbdetect-server never came up" >&2
+    tail -20 "$WORK/server.log" >&2
+    return 1
+}
+
+echo "== starting fbdetect-server and submitting a throttled backfill"
+start_server
+TENANT_KEY="$(curl -sf -X POST -H "Authorization: Bearer $ADMIN_KEY" \
+    "$SBASE/admin/tenants" -d '{"name":"crashtest"}' \
+    | sed 's/.*"key":"\([^"]*\)".*/\1/')"
+OP_LOC="$(curl -sf -D - -o /dev/null -X POST -H "Authorization: Bearer $TENANT_KEY" \
+    "$SBASE/operations" \
+    -d '{"kind":"backfill","params":{"service":"svc","metric":"m","count":300,"batch":10,"throttle_ms":150}}' \
+    | sed -n 's/^[Ll]ocation: *//p' | tr -d '\r')"
+if [ -z "$OP_LOC" ]; then
+    echo "FAIL: operation POST returned no Location" >&2
+    exit 1
+fi
+sleep 1
+echo "   SIGKILL fbdetect-server (pid $SERVER_PID) with $OP_LOC in flight"
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+
+echo "== restarting fbdetect-server: the journaled operation must finish"
+start_server
+grep -q "requeued 1 in-flight operations" "$WORK/server.log" || {
+    echo "FAIL: restart did not requeue the in-flight operation" >&2
+    grep recovered "$WORK/server.log" >&2 || true
+    exit 1
+}
+DEADLINE=$((SECONDS + 60))
+while :; do
+    OP="$(curl -sf -H "Authorization: Bearer $TENANT_KEY" "$SBASE$OP_LOC")"
+    case "$OP" in
+    *'"status":"succeeded"'*) break ;;
+    *'"status":"failed"'*)
+        echo "FAIL: recovered operation failed: $OP" >&2
+        exit 1
+        ;;
+    esac
+    if [ "$SECONDS" -ge "$DEADLINE" ]; then
+        echo "FAIL: recovered operation never reached a terminal state: $OP" >&2
+        exit 1
+    fi
+    sleep 1
+done
+kill -9 "$SERVER_PID" 2>/dev/null || true
+echo "PASS: SIGKILLed server requeued its journaled operation and ran it to completion"

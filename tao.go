@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"fbdetect/internal/canary"
+	"fbdetect/internal/controlplane"
 	"fbdetect/internal/core"
 	"fbdetect/internal/distributed"
 	"fbdetect/internal/pprofparse"
@@ -249,4 +250,44 @@ func DiffProfiles(before, after *SampleSet, opts ProfileDiffOptions) *ProfileDif
 // WriteProfileDiff renders a profile diff as deterministic plain text.
 func WriteProfileDiff(w io.Writer, d *ProfileDiff) error {
 	return report.WriteProfileDiff(w, d)
+}
+
+// Multi-tenant control plane: the long-lived REST front door — tenant
+// registration with API-key auth, per-tenant namespacing into a shared
+// durable store, quotas and token-bucket rate limits on the data plane,
+// journaled async operations polled at /operations/{id}, and a runtime
+// admin API over the coordinator worker ring.
+type (
+	// ControlPlane is the server; ControlPlaneOptions configures it.
+	ControlPlane        = controlplane.Server
+	ControlPlaneOptions = controlplane.Options
+	// ControlPlaneClient submits and polls async operations, honoring
+	// the server's Retry-After hints.
+	ControlPlaneClient = controlplane.Client
+	// Tenant is one registered API consumer; TenantQuotas bounds its
+	// footprint (series quota, request rate, burst).
+	Tenant       = controlplane.Tenant
+	TenantQuotas = controlplane.Quotas
+	// AsyncOperation is one journaled long-running job; AsyncOpStatus
+	// its lifecycle state.
+	AsyncOperation = controlplane.Operation
+	AsyncOpStatus  = controlplane.OpStatus
+)
+
+// Async operation lifecycle states and built-in kinds.
+const (
+	AsyncOpPending   = controlplane.OpPending
+	AsyncOpRunning   = controlplane.OpRunning
+	AsyncOpSucceeded = controlplane.OpSucceeded
+	AsyncOpFailed    = controlplane.OpFailed
+
+	AsyncOpKindBackfill  = controlplane.OpKindBackfill
+	AsyncOpKindSweep     = controlplane.OpKindSweep
+	AsyncOpKindRebalance = controlplane.OpKindRebalance
+)
+
+// NewControlPlane opens (or crash-recovers) a control plane rooted at
+// opts.DataDir.
+func NewControlPlane(opts ControlPlaneOptions) (*ControlPlane, error) {
+	return controlplane.NewServer(opts)
 }
